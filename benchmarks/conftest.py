@@ -1,0 +1,71 @@
+"""Benchmark fixtures: traces and trained models, built once per session.
+
+CitySee-profile traces are additionally cached on disk (keyed by their
+parameters), so only the first-ever benchmark run pays simulation cost for
+them.  Each bench prints the same rows/series the paper's table or figure
+reports; run with ``pytest benchmarks/ --benchmark-only -s`` to see them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def citysee_trace():
+    """Small CitySee training trace (no episode), disk-cached."""
+    from repro.traces.citysee import CitySeeProfile, generate_citysee_trace
+
+    return generate_citysee_trace(CitySeeProfile.small(), episode=False)
+
+
+@pytest.fixture(scope="session")
+def citysee_episode_trace():
+    """14-day small CitySee trace with the degradation episode, disk-cached."""
+    import dataclasses
+
+    from repro.traces.citysee import CitySeeProfile, generate_citysee_trace
+
+    profile = dataclasses.replace(CitySeeProfile.small(), days=14.0)
+    return generate_citysee_trace(profile, episode=True, episode_days=(6.0, 8.0))
+
+
+@pytest.fixture(scope="session")
+def citysee_tool(citysee_trace):
+    """VN2 trained on the CitySee training trace (rank 20, the scaled
+    analogue of the paper's r=25)."""
+    from repro.core.pipeline import VN2, VN2Config
+
+    return VN2(VN2Config(rank=20)).fit(citysee_trace)
+
+
+@pytest.fixture(scope="session")
+def testbed_trace_expansive():
+    from repro.traces.testbed import TestbedScenario, generate_testbed_trace
+
+    return generate_testbed_trace(TestbedScenario.EXPANSIVE, seed=7)
+
+
+@pytest.fixture(scope="session")
+def testbed_trace_local():
+    from repro.traces.testbed import TestbedScenario, generate_testbed_trace
+
+    return generate_testbed_trace(TestbedScenario.LOCAL, seed=7)
+
+
+@pytest.fixture(scope="session")
+def testbed_tool(testbed_trace_expansive):
+    from repro.analysis.testbed_experiments import (
+        fit_testbed_tool,
+        train_test_split,
+    )
+
+    train, _ = train_test_split(testbed_trace_expansive)
+    return fit_testbed_tool(train)
+
+
+@pytest.fixture(scope="session")
+def multicause_trace():
+    from repro.analysis.baseline_comparison import build_multicause_trace
+
+    return build_multicause_trace()

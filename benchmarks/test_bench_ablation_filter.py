@@ -1,0 +1,29 @@
+"""A1 — Ablation: the exception filter (paper Section IV-B).
+
+Claim under test: pre-filtering to exception states keeps the exception
+structure representable with a far smaller training set, instead of
+letting normal states "conceal representability of network exceptions".
+"""
+
+from repro.analysis.ablations import exp_ablation_filter
+
+
+def test_bench_ablation_filter(benchmark, citysee_trace):
+    result = benchmark.pedantic(
+        lambda: exp_ablation_filter(citysee_trace, rank=20),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n=== Ablation: exception filter on/off ===")
+    print(result.to_text())
+
+    # the filter shrinks training data by an order of magnitude ...
+    assert (
+        result.with_filter.n_training_states
+        < 0.3 * result.without_filter.n_training_states
+    )
+    # ... while reconstructing the exception states at least as well
+    assert (
+        result.with_filter.exception_reconstruction_error
+        <= result.without_filter.exception_reconstruction_error + 0.05
+    )

@@ -1,0 +1,31 @@
+"""A2 — Ablation: Algorithm 2's retained-mass target.
+
+Claim under test: retention trades approximation accuracy against
+explanation sparsity; the paper's 0.9 keeps most accuracy while pruning
+most entries (each exception explained by few causes — Occam's razor).
+"""
+
+from repro.analysis.ablations import exp_ablation_sparsify
+
+
+def test_bench_ablation_sparsify(benchmark, citysee_trace):
+    result = benchmark.pedantic(
+        lambda: exp_ablation_sparsify(citysee_trace, rank=20),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n=== Ablation: sparsification retention sweep ===")
+    print(result.to_text())
+
+    points = {p.retention: p for p in result.points}
+    # monotone trade-off
+    accuracies = [p.accuracy for p in result.points]
+    assert accuracies == sorted(accuracies, reverse=True)
+    # at the paper's 0.9: a large share of entries pruned, accuracy within
+    # a factor of 2 of dense
+    at_paper = points[0.9]
+    assert at_paper.kept_fraction <= 0.65
+    assert at_paper.accuracy < 2.0 * result.dense_accuracy
+    # explanations are sparser than the dense factorization's
+    dense_causes = points[1.0].mean_active_causes
+    assert at_paper.mean_active_causes < 0.75 * dense_causes

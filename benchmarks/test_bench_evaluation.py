@@ -1,0 +1,32 @@
+"""E3 (extension) — diagnosis quality vs ground truth.
+
+Per-fault-kind precision/recall of VN2's per-state diagnoses against the
+injected fault schedule, plus the threshold operating curve an operator
+would tune.
+"""
+
+from repro.analysis.evaluation import evaluate_diagnoses, threshold_sweep
+from repro.core.pipeline import VN2, VN2Config
+
+
+def test_bench_evaluation(benchmark, multicause_trace):
+    tool = VN2(VN2Config(rank=12)).fit(multicause_trace)
+    result = benchmark.pedantic(
+        lambda: evaluate_diagnoses(tool, multicause_trace, min_strength=0.2),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n=== Diagnosis quality vs ground truth ===")
+    print(result.to_text())
+
+    sweep = threshold_sweep(tool, multicause_trace,
+                            thresholds=(0.05, 0.1, 0.2, 0.4))
+    print("\nthreshold sweep (threshold, precision, recall):")
+    for threshold, precision, recall in sweep:
+        print(f"  {threshold:.2f}  P={precision:.2f}  R={recall:.2f}")
+
+    assert result.micro_recall > 0.3
+    assert result.n_states_scored > 10
+    # recall is monotone non-increasing in the threshold
+    recalls = [r for _t, _p, r in sweep]
+    assert all(a >= b - 1e-9 for a, b in zip(recalls, recalls[1:]))

@@ -1,0 +1,24 @@
+"""F3a — Fig 3(a): metric variations over time; exceptions are outliers.
+
+Paper shape: most deltas hover near zero; discrete outlier points are the
+exceptions, a small fraction of all states.
+"""
+
+import numpy as np
+
+from repro.analysis.figures34 import exp_fig3a
+
+
+def test_bench_fig3a(benchmark, citysee_trace):
+    result = benchmark.pedantic(
+        lambda: exp_fig3a(citysee_trace), rounds=1, iterations=1
+    )
+    print("\n=== Fig 3(a): metric variations over time ===")
+    print(result.to_text())
+    # exceptions are a small minority of states
+    assert 0.0 < result.exception_fraction < 0.25
+    # the bulk of every series sits near zero relative to its extremes
+    for series in result.series:
+        median_abs = float(np.median(np.abs(series.deltas)))
+        max_abs = float(np.abs(series.deltas).max())
+        assert max_abs == 0 or median_abs < 0.25 * max_abs

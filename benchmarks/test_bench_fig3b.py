@@ -1,0 +1,36 @@
+"""F3b — Fig 3(b): approximation accuracy vs r, dense W vs sparse W-bar.
+
+Paper shape: error rises steeply once r is small; the sparse curve sits
+above the dense curve, and their gap widens at large r; the knee lands at
+an intermediate rank (25 for the paper's 43-metric CitySee data).
+"""
+
+import numpy as np
+
+from repro.analysis.figures34 import exp_fig3b
+
+
+def test_bench_fig3b(benchmark, citysee_trace):
+    result = benchmark.pedantic(
+        lambda: exp_fig3b(citysee_trace, ranks=range(5, 41, 5)),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n=== Fig 3(b): accuracy vs compression factor r ===")
+    print(result.to_text())
+
+    dense = result.accuracy_dense
+    sparse = result.accuracy_sparse
+    # dense error decreases monotonically (NMF capacity grows with r)
+    assert np.all(np.diff(dense) <= 1e-6)
+    # sparse curve dominates dense everywhere
+    assert np.all(sparse >= dense - 1e-9)
+    # steep region at small r: the first step improves more than the last
+    first_gain = dense[0] - dense[1]
+    last_gain = dense[-2] - dense[-1]
+    assert first_gain > last_gain
+    # sparse-dense gap is wider at the large-r end than at the knee
+    gaps = sparse - dense
+    assert gaps[-1] > gaps.min()
+    # the knee is an interior rank, as in the paper (r=25 of [5..40])
+    assert result.ranks[0] < result.chosen_rank <= result.ranks[-1]

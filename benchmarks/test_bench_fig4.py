@@ -1,0 +1,25 @@
+"""F4 — Fig 4: six representative vectors in three families.
+
+Paper shape: Ψ rows fall into three interpretable families — physical/
+environmental metrics (C1), link quality (C2 RSSI/ETX), and protocol
+counters (C3) — with two examples shown per family.
+"""
+
+from repro.analysis.figures34 import exp_fig4
+
+
+def test_bench_fig4(benchmark, citysee_tool):
+    result = benchmark.pedantic(
+        lambda: exp_fig4(citysee_tool, per_family=2), rounds=1, iterations=1
+    )
+    print("\n=== Fig 4: representative-vector families ===")
+    print(result.to_text())
+
+    # at least two of the paper's three families appear among the rows
+    # (environment faults are rarer in scaled traces)
+    assert len(result.families_covered) >= 2
+    assert "link" in result.families_covered or "protocol" in result.families_covered
+    for row in result.rows:
+        # every displayed profile is in the paper's [-1, 1] convention
+        assert abs(row.profile).max() <= 1.0 + 1e-9
+        assert row.label.top_metrics, "each vector has dominant metrics"

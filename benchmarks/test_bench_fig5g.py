@@ -1,0 +1,27 @@
+"""F5g — Fig 5(g): failure vs reboot events activate different rows.
+
+Paper shape: node-failure exceptions concentrate on the failure-related
+rows (Ψ1/Ψ2 in the paper), while reboot exceptions additionally activate
+the reboot-related rows (Ψ4/Ψ10) — the two distributions are
+distinguishable.
+"""
+
+from repro.analysis.testbed_experiments import exp_fig5g
+
+
+def test_bench_fig5g(benchmark, testbed_tool, testbed_trace_expansive):
+    result = benchmark.pedantic(
+        lambda: exp_fig5g(testbed_tool, testbed_trace_expansive),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n=== Fig 5(g): failure vs reboot strength profiles ===")
+    print(result.to_text())
+
+    assert result.n_failure_states > 20
+    assert result.n_reboot_states > 20
+    # both event types activate the model at all
+    assert result.failure_profile.sum() > 0
+    assert result.reboot_profile.sum() > 0
+    # the fault-row profiles are distinguishable
+    assert result.profile_distance > 0.05

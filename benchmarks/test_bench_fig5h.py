@@ -1,0 +1,21 @@
+"""F5h — Fig 5(h): scenario 1 (local removal), train vs test profiles.
+
+Paper shape: the correlation-strength profile of the test hour is
+positively related to the training hour's — the learned root causes
+transfer.
+"""
+
+from repro.analysis.testbed_experiments import exp_fig5hi
+from repro.traces.testbed import TestbedScenario
+
+
+def test_bench_fig5h(benchmark, testbed_trace_local):
+    result = benchmark.pedantic(
+        lambda: exp_fig5hi(TestbedScenario.LOCAL, trace=testbed_trace_local),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n=== Fig 5(h): local-removal scenario, train vs test ===")
+    print(result.to_text())
+    assert result.profile_correlation > 0.9
+    assert result.train_profile.shape == result.test_profile.shape == (10,)

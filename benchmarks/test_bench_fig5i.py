@@ -1,0 +1,31 @@
+"""F5i — Fig 5(i): scenario 2 (expansive removal), train vs test profiles.
+
+Paper shape: positive train/test relation, as in 5(h).  The paper further
+observes scenario 2 matching *better* than scenario 1 (expansive removals
+are easier to detect); in this reproduction that ordering holds for some
+seeds but is within noise for others, so it is reported rather than
+asserted (see EXPERIMENTS.md).
+"""
+
+from repro.analysis.testbed_experiments import exp_fig5hi
+from repro.traces.testbed import TestbedScenario
+
+
+def test_bench_fig5i(benchmark, testbed_trace_expansive, testbed_trace_local):
+    result = benchmark.pedantic(
+        lambda: exp_fig5hi(TestbedScenario.EXPANSIVE,
+                           trace=testbed_trace_expansive),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n=== Fig 5(i): expansive-removal scenario, train vs test ===")
+    print(result.to_text())
+    assert result.profile_correlation > 0.9
+
+    # report (not assert) the paper's scenario ordering
+    local = exp_fig5hi(TestbedScenario.LOCAL, trace=testbed_trace_local)
+    print(
+        f"scenario ordering: expansive dist={result.profile_distance:.4f} "
+        f"vs local dist={local.profile_distance:.4f} "
+        f"(paper: expansive matches better)"
+    )

@@ -1,0 +1,30 @@
+"""F6a — Fig 6(a): the sink PRR shows an obvious degradation window.
+
+Paper shape: PRR fluctuates near its baseline for most of the 14 days and
+dips clearly during the episode (the paper's Sep 20-22), where the
+degradation detector locates a window overlapping the injected episode.
+"""
+
+import numpy as np
+
+from repro.analysis.citysee_experiments import exp_fig6a
+
+
+def test_bench_fig6a(benchmark, citysee_episode_trace):
+    result = benchmark.pedantic(
+        lambda: exp_fig6a(citysee_episode_trace), rounds=1, iterations=1
+    )
+    print("\n=== Fig 6(a): sink PRR over 14 days ===")
+    print(result.to_text())
+
+    assert len(result.prr) > 20
+    # the injected episode produces a clear dip ...
+    assert result.dip_depth > 0.3
+    # ... that the degradation detector localizes
+    assert result.episode_detected()
+    # outside the episode the network is mostly healthy
+    s, e = result.episode_window
+    outside = result.prr[
+        (result.bin_centers < s) | (result.bin_centers >= e)
+    ]
+    assert float(np.median(outside)) > 0.6

@@ -1,0 +1,26 @@
+"""F6b — Fig 6(b): strength of Ψ rows over the degradation window.
+
+Paper shape: the degraded window's states concentrate their correlation
+strength on a small subset of the 25 rows (the paper highlights Ψ11, Ψ16,
+Ψ17, Ψ22).
+"""
+
+import numpy as np
+
+from repro.analysis.citysee_experiments import exp_fig6b
+
+
+def test_bench_fig6b(benchmark, citysee_tool, citysee_episode_trace):
+    result = benchmark.pedantic(
+        lambda: exp_fig6b(citysee_tool, citysee_episode_trace),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n=== Fig 6(b): root-cause strengths in the degraded window ===")
+    print(result.to_text())
+
+    assert result.n_states > 100
+    # strength concentrates on a small subset of rows
+    assert result.concentration > 0.25
+    strengths = np.sort(result.strengths)[::-1]
+    assert strengths[0] > 2.0 * strengths[len(strengths) // 2]

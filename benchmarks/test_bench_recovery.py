@@ -1,0 +1,38 @@
+"""E4 (extension) — planted-root-cause recovery: does NMF find the truth?
+
+The simulator validates the pipeline end-to-end but cannot say how close
+the learned Ψ is to the "true" causes.  Planted data can: exception
+matrices are built as sparse mixtures of known signature vectors, and the
+bench measures the matched (rest-centered) cosine similarity between the
+learned and planted rows across noise levels.
+"""
+
+import numpy as np
+
+from repro.core.nmf import nmf_best_of
+from repro.traces.synthetic import generate_planted_dataset, recovery_score
+
+
+def test_bench_recovery(benchmark):
+    noise_levels = (0.02, 0.1, 0.3, 1.0)
+
+    def run():
+        scores = []
+        for sigma in noise_levels:
+            data = generate_planted_dataset(
+                n_states=400, n_causes=4, noise_sigma=sigma,
+                rng=np.random.default_rng(1),
+            )
+            result = nmf_best_of(data.E, 4, restarts=3, n_iter=400)
+            scores.append(recovery_score(result.Psi, data.Psi_true))
+        return scores
+
+    scores = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== Planted-cause recovery vs noise ===")
+    for sigma, score in zip(noise_levels, scores):
+        print(f"  noise sigma={sigma:.2f}: matched cosine={score:.3f}")
+
+    # near-perfect at low noise; graceful degradation; never catastrophic
+    assert scores[0] > 0.9
+    assert scores[-1] < scores[0]
+    assert scores[-1] > 0.5

@@ -1,0 +1,55 @@
+"""R1 — runtime micro-benchmarks of the core operations.
+
+Unlike the figure benches (one-shot experiment harnesses), these measure
+wall-clock cost of the hot paths with proper repetition, so performance
+regressions show up in ``--benchmark-compare`` runs:
+
+* one NMF fit at the paper's dimensions (exceptions x 43, r = 25),
+* batch NNLS inference (the per-state diagnosis cost),
+* one simulated network-minute of the 45-node testbed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.inference import infer_weights
+from repro.core.nmf import nmf
+from repro.simnet.network import Network, NetworkConfig
+from repro.simnet.radio import RadioParams
+from repro.simnet.topology import grid_topology
+
+
+@pytest.fixture(scope="module")
+def exception_matrix():
+    rng = np.random.default_rng(0)
+    W = rng.uniform(0, 1, size=(1000, 25))
+    Psi = rng.uniform(0, 1, size=(25, 43))
+    return np.clip(W @ Psi + rng.normal(0, 0.05, (1000, 43)), 0, None)
+
+
+def test_bench_runtime_nmf(benchmark, exception_matrix):
+    result = benchmark(
+        lambda: nmf(exception_matrix, 25, n_iter=100, tol=0.0, init="nndsvd")
+    )
+    assert result.loss < np.linalg.norm(exception_matrix)
+
+
+def test_bench_runtime_nnls_batch(benchmark, exception_matrix):
+    Psi = nmf(exception_matrix, 25, n_iter=60, init="nndsvd").Psi
+    states = exception_matrix[:100]
+    weights, _res = benchmark(lambda: infer_weights(Psi, states))
+    assert weights.shape == (100, 25)
+
+
+def test_bench_runtime_simulated_minute(benchmark):
+    def run_minute():
+        topology = grid_topology(rows=9, cols=5, spacing=8.0)
+        network = Network(topology, NetworkConfig(
+            report_period_s=180.0, seed=3,
+            radio=RadioParams(tx_power_dbm=-10.0), max_range_m=40.0,
+        ))
+        network.run(60.0)
+        return network
+
+    network = benchmark.pedantic(run_minute, rounds=3, iterations=1)
+    assert network.sim.events_processed > 100

@@ -1,0 +1,28 @@
+"""T1 — Table I: every cataloged hazard moves its trigger metrics.
+
+Paper artifact: Table I (metric -> hazard -> network-performance catalog).
+Reproduction: clean-vs-faulty simulation pairs per hazard; the trigger
+metric must move by far more under the injected hazard.
+"""
+
+from repro.analysis.table1 import exp_table1
+
+
+def test_bench_table1(benchmark):
+    result = benchmark.pedantic(
+        lambda: exp_table1(seed=11, quick=False), rounds=1, iterations=1
+    )
+    print("\n=== Table I validation ===")
+    print(result.to_text())
+    assert result.all_passed, "a Table I hazard failed to move its metric"
+    hazards = {c.hazard for c in result.checks}
+    assert {
+        "routing_loop",
+        "contention",
+        "queue_overflow",
+        "link_degradation",
+        "node_failure",
+        "link_disconnection",
+        "energy_drain",
+        "clock_instability",
+    } <= hazards

@@ -1,0 +1,124 @@
+"""Online monitoring: diagnose states as they arrive at the sink.
+
+Run:  python examples/live_monitoring.py
+
+VN2's deployment mode: the network runs clean for two hours, a model is
+trained on that history, and then monitoring continues *on the same
+network* while an operator watches.  Every simulated half-hour the script
+pulls newly completed snapshots from the sink, keeps only the states that
+score as exceptions against the training statistics (the paper's ε rule,
+applied online), and prints one aggregated alert per node.  Midway
+through, a battery-drain fault and an interference burst are injected —
+the alerts should pick both up without being told anything.
+"""
+
+from collections import Counter, defaultdict
+
+from repro import VN2, VN2Config
+from repro.core.states import build_states
+from repro.simnet import FaultInjector, Network, NetworkConfig, grid_topology
+from repro.simnet.faults import BatteryDrain, Interference
+from repro.simnet.radio import RadioParams
+from repro.traces.records import trace_from_network
+
+TRAIN_HOURS = 2.0
+MONITOR_HOURS = 3.0
+WINDOW_S = 1800.0
+
+
+def main() -> None:
+    topology = grid_topology(rows=7, cols=5, spacing=8.0)
+    network = Network(topology, NetworkConfig(
+        report_period_s=120.0,
+        seed=4,
+        radio=RadioParams(tx_power_dbm=-10.0),
+        max_range_m=40.0,
+    ))
+
+    # --- Phase 1: clean history to learn from.
+    print(f"running {TRAIN_HOURS:.0f} clean hours to train on ...")
+    train_end = TRAIN_HOURS * 3600.0
+    network.run(train_end)
+    model = VN2(VN2Config(rank=8, filter_exceptions=False)).fit(
+        trace_from_network(network)
+    )
+    print(f"model ready: r={model.rank_}\n")
+
+    # --- Phase 2: live monitoring with faults injected mid-run.
+    drain_start = train_end + 1800.0
+    interference_window = (train_end + 4500.0, train_end + 7500.0)
+    FaultInjector(
+        [
+            BatteryDrain(17, start=drain_start, end=train_end + 10800.0,
+                         multiplier=25000.0),
+            Interference(
+                center=(16.0, 24.0), radius=18.0,
+                start=interference_window[0], end=interference_window[1],
+                delta_db=18.0,
+            ),
+        ]
+    ).install(network)
+
+    seen: set = set()
+    n_windows = int(MONITOR_HOURS * 3600.0 / WINDOW_S)
+    for _ in range(n_windows):
+        network.run(WINDOW_S)
+        now = network.sim.now()
+        trace = trace_from_network(network)
+        states = build_states(trace).in_window(now - WINDOW_S, now + 1.0)
+
+        node_causes: dict = defaultdict(Counter)
+        for i in range(len(states)):
+            p = states.provenance[i]
+            key = (p.node_id, p.epoch_to)
+            if key in seen:
+                continue
+            seen.add(key)
+            if not model.is_exception(states.values[i], threshold_ratio=0.05):
+                continue
+            report = model.diagnose(states.values[i])
+            for cause in report.ranked[:2]:
+                if not cause.label.is_baseline and cause.strength > 0.3:
+                    hazard = cause.label.primary_hazard or cause.label.family
+                    node_causes[p.node_id][hazard] += 1
+
+        # Liveness: a node whose reports stopped arriving is itself an
+        # alarm (state-delta diagnosis cannot see a silent node).
+        last_report: dict = {}
+        for row in trace.rows:
+            last_report[row.node_id] = max(
+                last_report.get(row.node_id, 0.0), row.generated_at
+            )
+        silent = sorted(
+            node_id
+            for node_id, seen_at in last_report.items()
+            if now - seen_at > 4 * 120.0
+        )
+
+        minutes = (now - train_end) / 60.0
+        quiet = True
+        for node_id in sorted(node_causes):
+            top = ", ".join(
+                f"{hazard} x{count}"
+                for hazard, count in node_causes[node_id].most_common(2)
+            )
+            print(f"[t=+{minutes:4.0f}min] ALERT node {node_id}: {top}")
+            quiet = False
+        if silent:
+            listed = ", ".join(str(n) for n in silent)
+            print(
+                f"[t=+{minutes:4.0f}min] SILENT ({len(silent)} nodes, no "
+                f"complete reports): {listed}"
+            )
+            quiet = False
+        if quiet:
+            print(f"[t=+{minutes:4.0f}min] all quiet")
+
+    print(
+        "\n(ground truth: battery drain on node 17 from +30min; "
+        "interference near the grid center +75..+125min)"
+    )
+
+
+if __name__ == "__main__":
+    main()

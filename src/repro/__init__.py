@@ -1,0 +1,74 @@
+"""VN2: visibility of network performance in large-scale sensor networks.
+
+Reproduction of "Enhancing Visibility of Network Performance in Large-scale
+Sensor Networks" (ICDCS 2014).  The package bundles:
+
+``repro.simnet``
+    A discrete-event wireless-sensor-network simulator (CTP-like collection
+    tree, CSMA MAC, RSSI/noise radio model, hardware model, fault injection)
+    used as the substrate that produces metric traces.
+
+``repro.metrics``
+    The 43-metric catalog, the C1/C2/C3 report packets and the sink-side
+    collector.
+
+``repro.traces``
+    Trace containers, JSONL/CSV IO and the synthetic CitySee / testbed
+    trace generators.
+
+``repro.core``
+    The VN2 algorithm itself: state construction, exception detection,
+    non-negative matrix factorization, sparsification, rank selection,
+    NNLS inference and root-cause interpretation.
+
+``repro.baselines``
+    Sympathy-style decision-tree diagnosis, Agnostic-Diagnosis-style
+    correlation graphs and a PCA detector, for comparison.
+
+``repro.analysis``
+    One experiment harness per table/figure of the paper.
+
+Top-level conveniences (``repro.VN2`` etc.) are provided lazily so that
+importing :mod:`repro` stays cheap and subpackages can be used standalone.
+"""
+
+from typing import TYPE_CHECKING
+
+__version__ = "1.0.0"
+
+# name -> (module, attribute) for lazy top-level re-exports
+_LAZY_EXPORTS = {
+    "VN2": ("repro.core.pipeline", "VN2"),
+    "VN2Config": ("repro.core.pipeline", "VN2Config"),
+    "DiagnosisReport": ("repro.core.pipeline", "DiagnosisReport"),
+    "NMFResult": ("repro.core.nmf", "NMFResult"),
+    "nmf": ("repro.core.nmf", "nmf"),
+    "METRICS": ("repro.metrics.catalog", "METRICS"),
+    "METRIC_NAMES": ("repro.metrics.catalog", "METRIC_NAMES"),
+    "NUM_METRICS": ("repro.metrics.catalog", "NUM_METRICS"),
+}
+
+__all__ = ["__version__", *_LAZY_EXPORTS]
+
+if TYPE_CHECKING:  # pragma: no cover - static typing only
+    from repro.core.nmf import NMFResult, nmf
+    from repro.core.pipeline import VN2, DiagnosisReport, VN2Config
+    from repro.metrics.catalog import METRICS, METRIC_NAMES, NUM_METRICS
+
+
+def __getattr__(name: str):
+    """PEP 562 lazy attribute access for the re-exports above."""
+    try:
+        module_name, attr = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, attr)
+    globals()[name] = value  # cache for subsequent lookups
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

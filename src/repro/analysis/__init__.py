@@ -1,0 +1,103 @@
+"""Experiment harnesses: one per table/figure of the paper, plus ablations.
+
+Each harness returns a small result dataclass and renders the same rows or
+series the paper's artifact shows (ASCII, no plotting dependency).  The
+benchmark suite under ``benchmarks/`` drives these and asserts the shape
+properties DESIGN.md lists.
+"""
+
+from repro.analysis.reporting import format_table, format_series, sparkline
+from repro.analysis.table1 import exp_table1, Table1Result
+from repro.analysis.figures34 import (
+    exp_fig3a,
+    exp_fig3b,
+    exp_fig3c,
+    exp_fig4,
+    Fig3aResult,
+    Fig3bResult,
+    Fig3cResult,
+    Fig4Result,
+)
+from repro.analysis.testbed_experiments import (
+    exp_fig5b,
+    exp_fig5cf,
+    exp_fig5g,
+    exp_fig5hi,
+    Fig5bResult,
+    Fig5cfResult,
+    Fig5gResult,
+    Fig5hiResult,
+)
+from repro.analysis.citysee_experiments import (
+    exp_fig6a,
+    exp_fig6b,
+    exp_fig6c,
+    Fig6aResult,
+    Fig6bResult,
+    Fig6cResult,
+)
+from repro.analysis.ablations import (
+    exp_ablation_filter,
+    exp_ablation_sparsify,
+    FilterAblationResult,
+    SparsifyAblationResult,
+)
+from repro.analysis.baseline_comparison import exp_baselines, BaselineComparisonResult
+from repro.analysis.performance import (
+    CauseImpact,
+    PerformanceModel,
+    estimate_cause_costs,
+)
+from repro.analysis.evaluation import (
+    EvaluationResult,
+    KindScore,
+    evaluate_diagnoses,
+    threshold_sweep,
+)
+from repro.analysis.node_report import NodeHealth, NodeReport, node_health_report
+
+__all__ = [
+    "format_table",
+    "format_series",
+    "sparkline",
+    "exp_table1",
+    "Table1Result",
+    "exp_fig3a",
+    "exp_fig3b",
+    "exp_fig3c",
+    "exp_fig4",
+    "Fig3aResult",
+    "Fig3bResult",
+    "Fig3cResult",
+    "Fig4Result",
+    "exp_fig5b",
+    "exp_fig5cf",
+    "exp_fig5g",
+    "exp_fig5hi",
+    "Fig5bResult",
+    "Fig5cfResult",
+    "Fig5gResult",
+    "Fig5hiResult",
+    "exp_fig6a",
+    "exp_fig6b",
+    "exp_fig6c",
+    "Fig6aResult",
+    "Fig6bResult",
+    "Fig6cResult",
+    "exp_ablation_filter",
+    "exp_ablation_sparsify",
+    "FilterAblationResult",
+    "SparsifyAblationResult",
+    "exp_baselines",
+    "BaselineComparisonResult",
+    "CauseImpact",
+    "PerformanceModel",
+    "estimate_cause_costs",
+    "EvaluationResult",
+    "KindScore",
+    "evaluate_diagnoses",
+    "threshold_sweep",
+    "NodeHealth",
+    "NodeReport",
+    "node_health_report",
+]

@@ -1,0 +1,57 @@
+"""ASCII rendering of experiment outputs (tables, series, sparklines).
+
+The harnesses print exactly the rows/series the paper's tables and figures
+report; these helpers keep that output readable without any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+_SPARK_CHARS = " ▁▂▃▄▅▆▇█"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Fixed-width table with a header rule."""
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A unicode sparkline of a numeric series."""
+    values = np.asarray(list(values), dtype=float)
+    if values.size == 0:
+        return ""
+    lo, hi = float(values.min()), float(values.max())
+    span = hi - lo
+    if span <= 0:
+        return _SPARK_CHARS[4] * values.size
+    idx = ((values - lo) / span * (len(_SPARK_CHARS) - 1)).round().astype(int)
+    return "".join(_SPARK_CHARS[i] for i in idx)
+
+
+def format_series(
+    name: str, xs: Sequence[float], ys: Sequence[float], max_points: int = 24
+) -> str:
+    """A named series as a sparkline plus endpoint values."""
+    xs = list(xs)
+    ys = list(ys)
+    if not ys:
+        return f"{name}: (empty)"
+    stride = max(1, len(ys) // max_points)
+    sampled = ys[::stride]
+    return (
+        f"{name}: {sparkline(sampled)}  "
+        f"[{min(ys):.3g} .. {max(ys):.3g}] ({len(ys)} pts)"
+    )

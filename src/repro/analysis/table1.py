@@ -1,0 +1,316 @@
+"""Table I validation: every cataloged hazard moves its trigger metrics.
+
+The paper's Table I is a qualitative catalog ("a sampling of system-level
+metrics that correlated hazard events in our system").  The reproduction
+makes it executable: for each hazard we run two identical simulations —
+one clean, one with the hazard injected — and verify that the hazard's
+trigger counters move far more in the faulty run, at the affected nodes,
+during the fault window.
+
+This doubles as the causal-fidelity check of the whole substrate: if the
+simulator's counters did not move for Table I's reasons, nothing VN2
+learns from the simulator would transfer meaning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.metrics.catalog import METRIC_INDEX
+from repro.simnet.faults import (
+    BatteryDrain,
+    FaultInjector,
+    ForcedLoop,
+    Interference,
+    LinkDegradation,
+    TrafficBurst,
+    NodeFailure,
+)
+from repro.simnet.hardware import ClockParams, Hardware
+from repro.simnet.network import Network, NetworkConfig
+from repro.simnet.radio import RadioParams
+from repro.simnet.topology import grid_topology
+
+
+@dataclass
+class HazardCheck:
+    """One validated Table I row."""
+
+    hazard: str
+    metric: str
+    clean_delta: float
+    faulty_delta: float
+    amplification: float
+    passed: bool
+
+
+@dataclass
+class Table1Result:
+    """All hazard checks."""
+
+    checks: List[HazardCheck]
+
+    @property
+    def all_passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    def to_text(self) -> str:
+        rows = [
+            (
+                c.hazard,
+                c.metric,
+                f"{c.clean_delta:.4g}",
+                f"{c.faulty_delta:.4g}",
+                f"{c.amplification:.3g}x",
+                "ok" if c.passed else "FAIL",
+            )
+            for c in self.checks
+        ]
+        return format_table(
+            ["hazard", "trigger metric", "clean", "faulty", "amplification", ""],
+            rows,
+        )
+
+
+def _fresh_network(seed: int) -> Network:
+    """A small dense grid whose tree is a few hops deep."""
+    topology = grid_topology(rows=5, cols=5, spacing=9.0)
+    config = NetworkConfig(
+        report_period_s=120.0,
+        beacon_min_s=10.0,
+        beacon_max_s=120.0,
+        seed=seed,
+        radio=RadioParams(tx_power_dbm=-10.0),
+        max_range_m=40.0,
+    )
+    return Network(topology, config)
+
+
+def _counter_sum(network: Network, node_ids: Sequence[int], metric: str) -> float:
+    """Summed metric value over nodes (counters live on the node object)."""
+    total = 0.0
+    for nid in node_ids:
+        node = network.nodes[nid]
+        counters = node.counters.as_dict()
+        if metric in counters:
+            total += counters[metric]
+        elif metric == "radio_on_time":
+            total += node.hardware.radio_on_time
+        else:
+            raise KeyError(f"not a counter metric: {metric}")
+    return total
+
+
+def _run_pair(
+    seed: int,
+    faults: Sequence[object],
+    observe_nodes: Sequence[int],
+    metric: str,
+    warmup_s: float = 900.0,
+    window_s: float = 1200.0,
+) -> Tuple[float, float]:
+    """Delta of ``metric`` over the fault window, clean vs faulty run."""
+    deltas = []
+    for inject in (False, True):
+        network = _fresh_network(seed)
+        if inject:
+            FaultInjector(list(faults)).install(network)
+        network.run(warmup_s)
+        before = _counter_sum(network, observe_nodes, metric)
+        network.run(window_s)
+        after = _counter_sum(network, observe_nodes, metric)
+        deltas.append(after - before)
+    return deltas[0], deltas[1]
+
+
+def _check(
+    hazard: str,
+    metric: str,
+    clean: float,
+    faulty: float,
+    min_amplification: float = 2.0,
+    min_absolute: float = 3.0,
+) -> HazardCheck:
+    amplification = faulty / clean if clean > 0 else float("inf")
+    passed = faulty >= max(min_absolute, clean * min_amplification)
+    return HazardCheck(
+        hazard=hazard,
+        metric=metric,
+        clean_delta=clean,
+        faulty_delta=faulty,
+        amplification=amplification if np.isfinite(amplification) else 999.0,
+        passed=passed,
+    )
+
+
+def exp_table1(seed: int = 11, quick: bool = False) -> Table1Result:
+    """Run the Table I validation suite.
+
+    Args:
+        seed: Simulation seed shared by each clean/faulty pair.
+        quick: Run a 4-check subset (for unit tests).
+    """
+    checks: List[HazardCheck] = []
+    t0 = 900.0
+    t1 = 2100.0
+
+    # Routing loop: loop/duplicate/transmit counters at the looped pair.
+    loop_nodes = (12, 17)
+    for metric in ("loop_counter", "duplicate_counter", "transmit_counter"):
+        clean, faulty = _run_pair(
+            seed,
+            [ForcedLoop(loop_nodes[0], loop_nodes[1], start=t0, end=t1)],
+            observe_nodes=loop_nodes,
+            metric=metric,
+        )
+        checks.append(_check("routing_loop", metric, clean, faulty))
+
+    # Contention: interference raises MAC backoffs and NOACK retransmits
+    # inside the jammed region.
+    region_nodes = [6, 7, 8, 11, 12, 13]
+    for metric in ("mac_backoff_counter", "noack_retransmit_counter"):
+        clean, faulty = _run_pair(
+            seed,
+            [Interference(center=(18.0, 18.0), radius=20.0, start=t0, end=t1,
+                          delta_db=18.0)],
+            observe_nodes=region_nodes,
+            metric=metric,
+        )
+        checks.append(_check("contention", metric, clean, faulty))
+
+    # Queue overflow: a traffic burst overruns the forwarding queues of
+    # nodes on the hot path.
+    burst_nodes = (21, 22, 23, 24)
+    clean, faulty = _run_pair(
+        seed,
+        [TrafficBurst(node_ids=burst_nodes, start=t0, end=t1, interval_s=0.4)],
+        observe_nodes=list(range(25)),
+        metric="overflow_drop_counter",
+    )
+    checks.append(_check("queue_overflow", "overflow_drop_counter", clean, faulty))
+
+    if not quick:
+        # Link degradation: retransmits and parent churn in the shadowed area.
+        degraded_nodes = [16, 17, 18, 21, 22, 23]
+        for metric in ("noack_retransmit_counter", "parent_change_counter"):
+            clean, faulty = _run_pair(
+                seed,
+                [LinkDegradation(center=(18.0, 36.0), radius=20.0, start=t0,
+                                 end=t1, extra_db=14.0)],
+                observe_nodes=degraded_nodes,
+                metric=metric,
+            )
+            checks.append(_check("link_degradation", metric, clean, faulty,
+                                 min_amplification=1.5))
+
+        # Node failure: children of a dead relay retransmit without ACKs
+        # and eventually change parent.  Probe the formed tree first so the
+        # killed node really is somebody's parent.
+        probe = _fresh_network(seed)
+        probe.run(t0)
+        children_of: Dict[int, List[int]] = {}
+        for node in probe.nodes.values():
+            parent = node.routing.parent
+            if parent is not None and parent != probe.topology.sink_id:
+                children_of.setdefault(parent, []).append(node.node_id)
+        dead = max(children_of, key=lambda nid: len(children_of[nid]))
+        children_zone = children_of[dead]
+        # Children notice quickly and re-parent, so the NOACK surge is a
+        # short burst on top of normal chatter: a modest amplification is
+        # the physically correct signature here.
+        for metric, min_amp in (
+            ("noack_retransmit_counter", 1.2),
+            ("parent_change_counter", 1.5),
+        ):
+            clean, faulty = _run_pair(
+                seed,
+                [NodeFailure(dead, at=t0)],
+                observe_nodes=children_zone,
+                metric=metric,
+            )
+            checks.append(_check("node_failure", metric, clean, faulty,
+                                 min_amplification=min_amp, min_absolute=1.0))
+
+        # Key node: killing the node with the largest subtree causes far
+        # more packet loss than killing a leaf (Table I's NeighborNum row).
+        leafs = [
+            nid
+            for nid in probe.topology.sensor_ids
+            if nid not in children_of
+        ]
+        leaf = leafs[0] if leafs else probe.topology.sensor_ids[-1]
+
+        def _delivery_with_failure(victim: int) -> float:
+            network = _fresh_network(seed)
+            FaultInjector([NodeFailure(victim, at=t0)]).install(network)
+            network.run(t1)
+            return network.delivery_ratio()
+
+        loss_key = 1.0 - _delivery_with_failure(dead)
+        loss_leaf = 1.0 - _delivery_with_failure(leaf)
+        checks.append(
+            HazardCheck(
+                hazard="key_node",
+                metric="delivery_loss",
+                clean_delta=loss_leaf,
+                faulty_delta=loss_key,
+                amplification=(loss_key / loss_leaf) if loss_leaf > 0 else 999.0,
+                passed=loss_key > loss_leaf,
+            )
+        )
+
+        # Severe wide-band interference: packets dropped after 30 retries.
+        clean, faulty = _run_pair(
+            seed,
+            [Interference(center=(18.0, 18.0), radius=60.0, start=t0, end=t1,
+                          delta_db=40.0)],
+            observe_nodes=list(range(25)),
+            metric="drop_packet_counter",
+            window_s=1800.0,
+        )
+        checks.append(_check("link_disconnection", "drop_packet_counter",
+                             clean, faulty, min_absolute=1.0))
+
+        # Battery drain: radio-on time unaffected but voltage sags — checked
+        # via the battery model directly (voltage is a gauge, not a counter).
+        from repro.simnet.hardware import Battery, EnergyParams
+
+        rng = np.random.default_rng(seed)
+        battery = Battery(EnergyParams(), rng)
+        v_before = battery.voltage()
+        battery.drain_multiplier = 60.0
+        # ~1 fault-day of heavy transmit activity under the drain multiplier.
+        for _ in range(20000):
+            battery.consume(0.004)
+        v_after = battery.voltage()
+        checks.append(
+            HazardCheck(
+                hazard="energy_drain",
+                metric="voltage",
+                clean_delta=v_before,
+                faulty_delta=v_after,
+                amplification=1.0,
+                passed=v_after < v_before - 0.01,
+            )
+        )
+
+        # Clock instability: temperature bends the reporting period.
+        hw_params = ClockParams()
+        drift_25 = hw_params.base_ppm
+        skew_cold = 1.0 + (hw_params.base_ppm + hw_params.curvature_ppm * 625) * 1e-6
+        checks.append(
+            HazardCheck(
+                hazard="clock_instability",
+                metric="temperature",
+                clean_delta=1.0 + drift_25 * 1e-6,
+                faulty_delta=skew_cold,
+                amplification=skew_cold,
+                passed=skew_cold > 1.0 + drift_25 * 1e-6,
+            )
+        )
+
+    return Table1Result(checks=checks)

@@ -1,0 +1,28 @@
+"""Comparison diagnosers.
+
+Three baselines bracket VN2's design space, mirroring the related work the
+paper positions itself against:
+
+* :mod:`repro.baselines.sympathy` — evidence-driven decision tree that
+  commits to **one** root cause per state (the drawback the paper calls
+  out: real failures are combinations);
+* :mod:`repro.baselines.agnostic` — Agnostic-Diagnosis-style correlation
+  graphs: knowledge-free but **coarse-grained** (only good/bad per node,
+  no explanation);
+* :mod:`repro.baselines.pca` — a PCA reconstruction-error detector, the
+  generic dimensionality-reduction alternative to NMF (components are
+  signed and dense, so attribution is much harder to read).
+"""
+
+from repro.baselines.sympathy import SympathyDiagnoser, SympathyVerdict
+from repro.baselines.agnostic import AgnosticDiagnoser, CorrelationVerdict
+from repro.baselines.pca import PCADetector, PCAVerdict
+
+__all__ = [
+    "SympathyDiagnoser",
+    "SympathyVerdict",
+    "AgnosticDiagnoser",
+    "CorrelationVerdict",
+    "PCADetector",
+    "PCAVerdict",
+]

@@ -1,0 +1,139 @@
+"""Agnostic-Diagnosis-style correlation-graph detection (Miao et al.,
+INFOCOM'11).
+
+Agnostic Diagnosis learns, per node, the *correlation graph* of its metrics
+during normal operation and flags windows whose correlation structure
+drifts.  It needs no expert knowledge — but, as the paper notes, it is
+coarse-grained: the output is "this node looks abnormal now", with no
+decomposition into root causes.
+
+The reproduction: a reference correlation matrix is fit per node over its
+training states; at test time a sliding window's correlation matrix is
+compared against the reference by mean absolute difference over metric
+pairs that were reliably correlated in training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.states import StateMatrix
+
+
+def _correlation_matrix(values: np.ndarray) -> np.ndarray:
+    """Pearson correlations with degenerate (constant) columns zeroed."""
+    values = np.asarray(values, dtype=float)
+    std = values.std(axis=0)
+    safe = np.where(std < 1e-12, 1.0, std)
+    z = (values - values.mean(axis=0)) / safe
+    corr = (z.T @ z) / max(values.shape[0] - 1, 1)
+    constant = std < 1e-12
+    corr[constant, :] = 0.0
+    corr[:, constant] = 0.0
+    np.fill_diagonal(corr, 1.0)
+    return np.clip(corr, -1.0, 1.0)
+
+
+@dataclass
+class CorrelationVerdict:
+    """Window-level verdict for one node."""
+
+    node_id: int
+    window_start_index: int
+    score: float
+    is_abnormal: bool
+
+
+@dataclass
+class AgnosticDiagnoser:
+    """Correlation-graph change detector.
+
+    Args:
+        window: States per sliding window (both for reference and test).
+        reliable_threshold: |corr| above which a training pair is part of
+            the node's "underlying rules" and is monitored for change.
+        anomaly_factor: A test window is abnormal when its score exceeds
+            ``anomaly_factor`` x the node's median training score.
+    """
+
+    window: int = 12
+    reliable_threshold: float = 0.5
+    anomaly_factor: float = 2.0
+    _references: Dict[int, np.ndarray] = field(default_factory=dict, repr=False)
+    _masks: Dict[int, np.ndarray] = field(default_factory=dict, repr=False)
+    _baseline_scores: Dict[int, float] = field(default_factory=dict, repr=False)
+    fitted: bool = False
+
+    def _score_window(self, node_id: int, values: np.ndarray) -> float:
+        reference = self._references[node_id]
+        mask = self._masks[node_id]
+        if not mask.any():
+            return 0.0
+        corr = _correlation_matrix(values)
+        return float(np.abs(corr - reference)[mask].mean())
+
+    def fit(self, states: StateMatrix) -> "AgnosticDiagnoser":
+        """Learn per-node reference correlation graphs."""
+        per_node: Dict[int, List[int]] = {}
+        for i, p in enumerate(states.provenance):
+            per_node.setdefault(p.node_id, []).append(i)
+        for node_id, idx in per_node.items():
+            values = states.values[idx]
+            if values.shape[0] < self.window:
+                continue
+            reference = _correlation_matrix(values)
+            mask = np.abs(reference) >= self.reliable_threshold
+            np.fill_diagonal(mask, False)
+            self._references[node_id] = reference
+            self._masks[node_id] = mask
+            # Baseline variability: score training windows against the
+            # reference to calibrate the anomaly threshold.
+            scores = []
+            for start in range(0, values.shape[0] - self.window + 1,
+                               max(1, self.window // 2)):
+                scores.append(
+                    self._score_window(
+                        node_id, values[start : start + self.window]
+                    )
+                )
+            self._baseline_scores[node_id] = float(np.median(scores)) if scores else 0.0
+        if not self._references:
+            raise ValueError(
+                f"no node had >= {self.window} training states; "
+                "use a longer trace or a smaller window"
+            )
+        self.fitted = True
+        return self
+
+    def diagnose_node(self, node_id: int, states: StateMatrix) -> List[CorrelationVerdict]:
+        """Score every sliding window of one node's test states."""
+        if not self.fitted:
+            raise RuntimeError("call fit() before diagnose_node()")
+        if node_id not in self._references:
+            return []
+        node_states = states.for_node(node_id)
+        values = node_states.values
+        verdicts: List[CorrelationVerdict] = []
+        baseline = max(self._baseline_scores.get(node_id, 0.0), 1e-6)
+        for start in range(0, values.shape[0] - self.window + 1):
+            score = self._score_window(node_id, values[start : start + self.window])
+            verdicts.append(
+                CorrelationVerdict(
+                    node_id=node_id,
+                    window_start_index=start,
+                    score=score,
+                    is_abnormal=score > self.anomaly_factor * baseline,
+                )
+            )
+        return verdicts
+
+    def diagnose_batch(self, states: StateMatrix) -> List[CorrelationVerdict]:
+        """Window verdicts for every node present in ``states``."""
+        node_ids = sorted({p.node_id for p in states.provenance})
+        verdicts: List[CorrelationVerdict] = []
+        for node_id in node_ids:
+            verdicts.extend(self.diagnose_node(node_id, states))
+        return verdicts

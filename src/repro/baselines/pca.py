@@ -1,0 +1,86 @@
+"""PCA reconstruction-error anomaly detection.
+
+The generic linear-subspace alternative to NMF: project states onto the
+top-k principal components of the training set and score each state by
+its reconstruction error.  PCA components are signed and dense, so while
+the detector finds outliers about as well as anything, its components do
+not decompose into additive, individually-interpretable root causes — the
+property NMF's non-negativity buys VN2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.states import StateMatrix
+
+
+@dataclass
+class PCAVerdict:
+    """Per-state verdict."""
+
+    score: float
+    is_abnormal: bool
+
+
+@dataclass
+class PCADetector:
+    """Top-k PCA subspace detector with quantile thresholding.
+
+    Args:
+        n_components: Subspace dimension.
+        threshold_quantile: Training-score quantile above which a state is
+            declared abnormal.
+    """
+
+    n_components: int = 10
+    threshold_quantile: float = 0.95
+    _mean: Optional[np.ndarray] = field(default=None, repr=False)
+    _scale: Optional[np.ndarray] = field(default=None, repr=False)
+    _components: Optional[np.ndarray] = field(default=None, repr=False)
+    _threshold: float = 0.0
+    fitted: bool = False
+
+    def _standardize(self, values: np.ndarray) -> np.ndarray:
+        return (values - self._mean) / self._scale
+
+    def _scores(self, values: np.ndarray) -> np.ndarray:
+        z = self._standardize(np.atleast_2d(values))
+        projected = z @ self._components.T @ self._components
+        return np.linalg.norm(z - projected, axis=1)
+
+    def fit(self, states: StateMatrix) -> "PCADetector":
+        """Fit the subspace and calibrate the anomaly threshold."""
+        values = np.asarray(states.values, dtype=float)
+        if values.shape[0] <= self.n_components:
+            raise ValueError(
+                f"need more than {self.n_components} states, got {values.shape[0]}"
+            )
+        self._mean = values.mean(axis=0)
+        scale = values.std(axis=0)
+        self._scale = np.where(scale < 1e-12, 1.0, scale)
+        z = self._standardize(values)
+        _u, _s, vt = np.linalg.svd(z, full_matrices=False)
+        self._components = vt[: self.n_components]
+        scores = self._scores(values)
+        self._threshold = float(np.quantile(scores, self.threshold_quantile))
+        self.fitted = True
+        return self
+
+    def diagnose(self, state: np.ndarray) -> PCAVerdict:
+        """Score one state against the fitted subspace."""
+        if not self.fitted:
+            raise RuntimeError("call fit() before diagnose()")
+        score = float(self._scores(state)[0])
+        return PCAVerdict(score=score, is_abnormal=score > self._threshold)
+
+    def diagnose_batch(self, states: StateMatrix) -> List[PCAVerdict]:
+        """Verdicts for every state row."""
+        scores = self._scores(states.values)
+        return [
+            PCAVerdict(score=float(s), is_abnormal=bool(s > self._threshold))
+            for s in scores
+        ]

@@ -1,0 +1,101 @@
+"""Sympathy-style decision-tree diagnosis (Ramanathan et al., SenSys'05).
+
+Sympathy ranks possible root causes in a fixed decision tree and stops at
+the first check that fires: each abnormal state gets exactly **one** root
+cause.  The tree below walks the classic ordering (most-specific evidence
+first), with thresholds calibrated on training data (mean + k·std per
+metric), standing in for Sympathy's hand-set constants.
+
+This is intentionally the strawman the paper criticises: when a loop, a
+jammer and a dead parent act at once, the tree reports only whichever
+check happens to sit highest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.states import StateMatrix
+from repro.metrics.catalog import METRIC_INDEX
+
+#: Decision-tree order: (cause name, metric checked, direction).
+_TREE: Tuple[Tuple[str, str, str], ...] = (
+    ("node_reboot", "transmit_counter", "below"),  # counters jumped backwards
+    ("no_route", "no_parent_counter", "above"),
+    ("routing_loop", "loop_counter", "above"),
+    ("queue_overflow", "overflow_drop_counter", "above"),
+    ("link_disconnection", "drop_packet_counter", "above"),
+    ("bad_link", "noack_retransmit_counter", "above"),
+    ("contention", "mac_backoff_counter", "above"),
+    ("parent_churn", "parent_change_counter", "above"),
+    ("low_battery", "voltage", "below"),
+)
+
+
+@dataclass
+class SympathyVerdict:
+    """Single-cause verdict for one state."""
+
+    cause: Optional[str]  # None = "everything looks fine"
+    metric: Optional[str]
+    value: float
+    threshold: float
+
+    @property
+    def is_abnormal(self) -> bool:
+        return self.cause is not None
+
+
+@dataclass
+class SympathyDiagnoser:
+    """Decision-tree diagnoser with data-calibrated thresholds.
+
+    Args:
+        sigma: Threshold distance from the training mean, in training
+            standard deviations (one-sided per the tree's direction).
+    """
+
+    sigma: float = 3.0
+    _upper: Dict[str, float] = field(default_factory=dict, repr=False)
+    _lower: Dict[str, float] = field(default_factory=dict, repr=False)
+    fitted: bool = False
+
+    def fit(self, states: StateMatrix) -> "SympathyDiagnoser":
+        """Calibrate per-metric thresholds on (assumed mostly-normal) data."""
+        values = states.values
+        if values.shape[0] < 2:
+            raise ValueError("need at least 2 training states")
+        mean = values.mean(axis=0)
+        std = values.std(axis=0)
+        std = np.where(std < 1e-12, 1.0, std)
+        for _cause, metric, _direction in _TREE:
+            idx = METRIC_INDEX[metric]
+            self._upper[metric] = float(mean[idx] + self.sigma * std[idx])
+            self._lower[metric] = float(mean[idx] - self.sigma * std[idx])
+        self.fitted = True
+        return self
+
+    def diagnose(self, state: np.ndarray) -> SympathyVerdict:
+        """Walk the tree; return the FIRST cause whose check fires."""
+        if not self.fitted:
+            raise RuntimeError("call fit() before diagnose()")
+        state = np.asarray(state, dtype=float).ravel()
+        for cause, metric, direction in _TREE:
+            idx = METRIC_INDEX[metric]
+            value = float(state[idx])
+            if direction == "above":
+                threshold = self._upper[metric]
+                if value > threshold:
+                    return SympathyVerdict(cause, metric, value, threshold)
+            else:
+                threshold = self._lower[metric]
+                if value < threshold:
+                    return SympathyVerdict(cause, metric, value, threshold)
+        return SympathyVerdict(None, None, 0.0, 0.0)
+
+    def diagnose_batch(self, states: StateMatrix) -> List[SympathyVerdict]:
+        """Verdicts for every state row."""
+        return [self.diagnose(row) for row in states.values]

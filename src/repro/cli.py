@@ -1,0 +1,357 @@
+"""Command-line interface: ``vn2 <command>`` (or ``python -m repro``).
+
+Commands:
+
+* ``vn2 simulate-testbed`` — run the 45-node testbed experiment, save the
+  trace.
+* ``vn2 simulate-citysee`` — run a CitySee-like deployment, save the trace.
+* ``vn2 train`` — fit a VN2 model from a saved trace, save the model.
+* ``vn2 diagnose`` — diagnose a saved trace (or window of it) with a saved
+  model.
+* ``vn2 experiment`` — run one of the paper's figure/table harnesses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+
+def _cmd_simulate_testbed(args: argparse.Namespace) -> int:
+    from repro.traces.io import save_trace_jsonl
+    from repro.traces.testbed import TestbedScenario, generate_testbed_trace
+
+    scenario = TestbedScenario(args.scenario)
+    trace = generate_testbed_trace(
+        scenario=scenario,
+        seed=args.seed,
+        duration_s=args.duration,
+    )
+    save_trace_jsonl(trace, args.output)
+    print(
+        f"testbed trace: {len(trace)} snapshots, "
+        f"delivery {trace.delivery_ratio():.3f} -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_simulate_citysee(args: argparse.Namespace) -> int:
+    from repro.traces.citysee import CitySeeProfile, generate_citysee_trace
+    from repro.traces.io import save_trace_jsonl
+
+    profile_factory = {
+        "tiny": CitySeeProfile.tiny,
+        "small": CitySeeProfile.small,
+        "medium": CitySeeProfile.medium,
+        "full": CitySeeProfile.full,
+    }[args.profile]
+    profile = profile_factory(seed=args.seed, days=args.days)
+    trace = generate_citysee_trace(
+        profile, episode=args.episode, use_cache=not args.no_cache
+    )
+    save_trace_jsonl(trace, args.output)
+    print(
+        f"citysee trace ({args.profile}): {len(trace)} snapshots, "
+        f"delivery {trace.delivery_ratio():.3f} -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.core.pipeline import VN2, VN2Config
+    from repro.traces.io import load_trace_jsonl
+
+    trace = load_trace_jsonl(args.trace)
+    config = VN2Config(
+        rank=args.rank,
+        filter_exceptions=not args.no_filter,
+        retention=args.retention,
+    )
+    tool = VN2(config).fit(trace)
+    tool.save(args.output)
+    print(f"trained r={tool.rank_} model on {len(tool.states_)} states -> {args.output}")
+    for label in tool.labels:
+        flag = " [baseline]" if label.is_baseline else ""
+        print(f"  Ψ{label.index + 1}: {label.primary_hazard or label.family}{flag}")
+    return 0
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    from repro.core.pipeline import VN2
+    from repro.core.states import build_states
+    from repro.traces.io import load_trace_jsonl
+
+    tool = VN2.load(args.model)
+    trace = load_trace_jsonl(args.trace)
+    if args.start is not None or args.end is not None:
+        trace = trace.window(args.start or 0.0, args.end or float("inf"))
+    states = build_states(trace)
+    if len(states) == 0:
+        print("no states in the requested window", file=sys.stderr)
+        return 1
+    shown = 0
+    for i in range(len(states)):
+        report = tool.diagnose(states.values[i])
+        if not report.ranked:
+            continue
+        p = states.provenance[i]
+        print(f"node {p.node_id} @ {p.time_to:.0f}s: {report.summary()}")
+        shown += 1
+        if shown >= args.limit:
+            break
+    print(f"({shown} diagnoses shown of {len(states)} states)")
+    return 0
+
+
+def _cmd_incidents(args: argparse.Namespace) -> int:
+    from repro.analysis.performance import estimate_cause_costs
+    from repro.core.incidents import incidents_from_trace
+    from repro.core.pipeline import VN2, VN2Config
+    from repro.traces.io import load_trace_jsonl
+
+    trace = load_trace_jsonl(args.trace)
+    tool = VN2(VN2Config(rank=args.rank)).fit(trace)
+    incidents = incidents_from_trace(
+        tool, trace, min_observations=args.min_observations
+    )
+    if not incidents:
+        print("no incidents found")
+    for rank, incident in enumerate(incidents[: args.limit], start=1):
+        print(f"{rank}. {incident.describe()}")
+    if args.costs:
+        try:
+            model = estimate_cause_costs(tool, trace)
+            print()
+            print(model.to_text())
+        except ValueError as exc:
+            print(f"(cost model unavailable: {exc})")
+    return 0
+
+
+def _cmd_node_report(args: argparse.Namespace) -> int:
+    from repro.analysis.node_report import node_health_report
+    from repro.core.pipeline import VN2, VN2Config
+    from repro.traces.io import load_trace_jsonl
+
+    trace = load_trace_jsonl(args.trace)
+    tool = VN2(VN2Config(rank=args.rank)).fit(trace)
+    report = node_health_report(tool, trace)
+    print(report.to_text(limit=args.limit))
+    unhealthy = [h.node_id for h in report.nodes if not h.healthy]
+    print(
+        f"\n{len(report.nodes)} nodes; "
+        f"{len(unhealthy)} need attention: {unhealthy[:20]}"
+    )
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.analysis.evaluation import evaluate_diagnoses, threshold_sweep
+    from repro.core.pipeline import VN2, VN2Config
+    from repro.traces.io import load_trace_jsonl
+
+    trace = load_trace_jsonl(args.trace)
+    if not trace.ground_truth:
+        print("trace has no ground-truth fault schedule; nothing to score",
+              file=sys.stderr)
+        return 1
+    tool = VN2(VN2Config(rank=args.rank)).fit(trace)
+    result = evaluate_diagnoses(tool, trace, min_strength=args.min_strength)
+    print(result.to_text())
+    if args.sweep:
+        print("\nthreshold sweep (threshold, precision, recall):")
+        for threshold, precision, recall in threshold_sweep(tool, trace):
+            print(f"  {threshold:.2f}  P={precision:.2f}  R={recall:.2f}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    name = args.name
+    if name == "table1":
+        from repro.analysis.table1 import exp_table1
+
+        result = exp_table1(quick=args.quick)
+        print(result.to_text())
+        return 0 if result.all_passed else 1
+    if name == "baselines":
+        from repro.analysis.baseline_comparison import exp_baselines
+
+        print(exp_baselines().to_text())
+        return 0
+    if name in ("fig5b", "fig5g", "fig5h", "fig5i"):
+        from repro.analysis.testbed_experiments import (
+            exp_fig5b,
+            exp_fig5g,
+            exp_fig5hi,
+        )
+        from repro.traces.testbed import TestbedScenario, generate_testbed_trace
+
+        if name in ("fig5b", "fig5g"):
+            trace = generate_testbed_trace(TestbedScenario.EXPANSIVE, seed=args.seed)
+            fig5b = exp_fig5b(trace)
+            if name == "fig5b":
+                print(fig5b.to_text())
+            else:
+                print(exp_fig5g(fig5b.tool, trace).to_text())
+        else:
+            scenario = (
+                TestbedScenario.LOCAL if name == "fig5h" else TestbedScenario.EXPANSIVE
+            )
+            print(exp_fig5hi(scenario, seed=args.seed).to_text())
+        return 0
+    if name in ("fig3a", "fig3b", "fig3c", "fig4", "fig6", "ablation-filter",
+                "ablation-sparsify"):
+        from repro.traces.citysee import CitySeeProfile, generate_citysee_trace
+
+        profile = {
+            "tiny": CitySeeProfile.tiny,
+            "small": CitySeeProfile.small,
+            "medium": CitySeeProfile.medium,
+            "full": CitySeeProfile.full,
+        }[args.profile](seed=args.seed)
+        if name == "fig6":
+            from repro.analysis.citysee_experiments import run_citysee_study
+
+            _tool, _trace, f6a, f6b, f6c = run_citysee_study(profile)
+            print(f6a.to_text(), "\n")
+            print(f6b.to_text(), "\n")
+            print(f6c.to_text())
+            return 0
+        trace = generate_citysee_trace(profile, episode=False)
+        if name == "fig3a":
+            from repro.analysis.figures34 import exp_fig3a
+
+            print(exp_fig3a(trace).to_text())
+        elif name == "fig3b":
+            from repro.analysis.figures34 import exp_fig3b
+
+            print(exp_fig3b(trace).to_text())
+        elif name == "fig3c":
+            from repro.analysis.figures34 import exp_fig3c
+
+            print(exp_fig3c(trace).to_text())
+        elif name == "fig4":
+            from repro.analysis.figures34 import exp_fig3c, exp_fig4
+
+            fig3c = exp_fig3c(trace)
+            print(exp_fig4(fig3c.tool).to_text())
+        elif name == "ablation-filter":
+            from repro.analysis.ablations import exp_ablation_filter
+
+            print(exp_ablation_filter(trace).to_text())
+        elif name == "ablation-sparsify":
+            from repro.analysis.ablations import exp_ablation_sparsify
+
+            print(exp_ablation_sparsify(trace).to_text())
+        return 0
+    print(f"unknown experiment {name!r}", file=sys.stderr)
+    return 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="vn2",
+        description="VN2: NMF-based root-cause diagnosis for sensor networks",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("simulate-testbed", help="run the 45-node testbed experiment")
+    p.add_argument("--scenario", choices=["local", "expansive"], default="expansive")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--duration", type=float, default=7200.0)
+    p.add_argument("--output", default="testbed_trace.jsonl")
+    p.set_defaults(func=_cmd_simulate_testbed)
+
+    p = sub.add_parser("simulate-citysee", help="run a CitySee-like deployment")
+    p.add_argument("--profile", choices=["tiny", "small", "medium", "full"],
+                   default="small")
+    p.add_argument("--days", type=float, default=3.0)
+    p.add_argument("--seed", type=int, default=2011)
+    p.add_argument("--episode", action="store_true",
+                   help="include the PRR-degradation episode")
+    p.add_argument("--no-cache", action="store_true")
+    p.add_argument("--output", default="citysee_trace.jsonl")
+    p.set_defaults(func=_cmd_simulate_citysee)
+
+    p = sub.add_parser("train", help="fit a VN2 model from a saved trace")
+    p.add_argument("trace")
+    p.add_argument("--rank", type=int, default=None,
+                   help="compression factor r (default: automatic)")
+    p.add_argument("--no-filter", action="store_true",
+                   help="skip the exception filter (testbed-style training)")
+    p.add_argument("--retention", type=float, default=0.9)
+    p.add_argument("--output", default="vn2_model")
+    p.set_defaults(func=_cmd_train)
+
+    p = sub.add_parser("diagnose", help="diagnose a saved trace with a model")
+    p.add_argument("model")
+    p.add_argument("trace")
+    p.add_argument("--start", type=float, default=None)
+    p.add_argument("--end", type=float, default=None)
+    p.add_argument("--limit", type=int, default=20)
+    p.set_defaults(func=_cmd_diagnose)
+
+    p = sub.add_parser(
+        "incidents",
+        help="train on a trace and print network-level incidents",
+    )
+    p.add_argument("trace")
+    p.add_argument("--rank", type=int, default=None)
+    p.add_argument("--min-observations", type=int, default=2)
+    p.add_argument("--limit", type=int, default=10)
+    p.add_argument("--costs", action="store_true",
+                   help="also fit and print the per-cause PRR cost model")
+    p.set_defaults(func=_cmd_incidents)
+
+    p = sub.add_parser(
+        "node-report",
+        help="per-node health summary of a trace",
+    )
+    p.add_argument("trace")
+    p.add_argument("--rank", type=int, default=None)
+    p.add_argument("--limit", type=int, default=10)
+    p.set_defaults(func=_cmd_node_report)
+
+    p = sub.add_parser(
+        "evaluate",
+        help="score a trace's diagnoses against its fault schedule",
+    )
+    p.add_argument("trace")
+    p.add_argument("--rank", type=int, default=None)
+    p.add_argument("--min-strength", type=float, default=0.2)
+    p.add_argument("--sweep", action="store_true",
+                   help="also print the threshold operating curve")
+    p.set_defaults(func=_cmd_evaluate)
+
+    p = sub.add_parser("experiment", help="run one of the paper's harnesses")
+    p.add_argument(
+        "name",
+        choices=[
+            "table1", "fig3a", "fig3b", "fig3c", "fig4", "fig5b", "fig5g",
+            "fig5h", "fig5i", "fig6", "ablation-filter", "ablation-sparsify",
+            "baselines",
+        ],
+    )
+    p.add_argument("--profile", choices=["tiny", "small", "medium", "full"],
+                   default="small")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--quick", action="store_true")
+    p.set_defaults(func=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

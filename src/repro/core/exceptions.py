@@ -1,0 +1,102 @@
+"""Exception detection: which states feed the NMF.
+
+Most of a healthy network's states are boring; feeding them all to NMF
+makes normal behaviour "conceal representability of network exceptions"
+(paper, Section IV-B).  The paper's rule: compute each metric's mean,
+measure every state's deviation ``ε_u`` from the mean, and flag the state
+as an exception when ``ε_u / max(ε) >= 0.01``.
+
+Deviation here is the squared z-score sum (deviation from the mean in
+units of each metric's own spread) — without per-metric scaling, a large-
+magnitude metric such as ``light`` would drown out every counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.states import StateMatrix
+
+
+@dataclass
+class ExceptionSet:
+    """The detected exception states.
+
+    Attributes:
+        states: The exception rows (a view-like :class:`StateMatrix`).
+        indices: Row indices into the original state matrix.
+        epsilon: Deviation score of every original state (not just
+            exceptions), for plotting Fig 3(a)-style series.
+        threshold_ratio: The ``ε/max(ε)`` cutoff used.
+    """
+
+    states: StateMatrix
+    indices: np.ndarray
+    epsilon: np.ndarray
+    threshold_ratio: float
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    @property
+    def exception_fraction(self) -> float:
+        """Share of all states flagged as exceptions."""
+        if self.epsilon.size == 0:
+            return 0.0
+        return len(self.states) / self.epsilon.size
+
+
+def deviation_scores(values: np.ndarray) -> np.ndarray:
+    """Per-state deviation ``ε_u``: sum of squared z-scores vs column means."""
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 2:
+        raise ValueError("expected a 2-D state matrix")
+    if values.shape[0] == 0:
+        return np.zeros(0)
+    mean = values.mean(axis=0)
+    std = values.std(axis=0)
+    std = np.where(std < 1e-12, 1.0, std)
+    z = (values - mean) / std
+    return (z * z).sum(axis=1)
+
+
+def detect_exceptions(
+    states: StateMatrix,
+    threshold_ratio: float = 0.01,
+    min_exceptions: int = 2,
+) -> ExceptionSet:
+    """Flag exception states by the paper's ``ε/max(ε)`` rule.
+
+    Args:
+        states: All network states.
+        threshold_ratio: A state is an exception when its deviation is at
+            least this fraction of the maximum deviation (paper: 0.01).
+        min_exceptions: If the rule selects fewer rows than this, the
+            top-``min_exceptions`` states by deviation are taken instead
+            (degenerate traces otherwise produce an empty training set).
+    """
+    epsilon = deviation_scores(states.values)
+    if epsilon.size == 0:
+        return ExceptionSet(
+            states=states,
+            indices=np.zeros(0, dtype=int),
+            epsilon=epsilon,
+            threshold_ratio=threshold_ratio,
+        )
+    max_eps = float(epsilon.max())
+    if max_eps <= 0.0:
+        indices = np.zeros(0, dtype=int)
+    else:
+        indices = np.flatnonzero(epsilon / max_eps >= threshold_ratio)
+    if len(indices) < min_exceptions:
+        indices = np.argsort(epsilon)[::-1][:min_exceptions]
+        indices = np.sort(indices)
+    return ExceptionSet(
+        states=states.select(indices.tolist()),
+        indices=indices,
+        epsilon=epsilon,
+        threshold_ratio=threshold_ratio,
+    )

@@ -1,0 +1,88 @@
+"""Root-cause inference for new states (the paper's Problem 3).
+
+Given the representative matrix Ψ and an incoming state ``s``, find the
+non-negative correlation strengths ``w`` minimising ``‖s - wΨ‖`` — a convex
+non-negative least-squares problem, solved exactly with Lawson-Hanson NNLS
+(scipy).  ``w_j > 0`` means root cause j is active; its magnitude
+quantifies influence, which is what lets an exception be attributed to
+*several* root causes at once (the paper's core claim against
+single-cause diagnosis trees).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+from scipy.optimize import nnls
+
+
+def infer_single(Psi: np.ndarray, state: np.ndarray) -> Tuple[np.ndarray, float]:
+    """Solve ``argmin_w ‖s - wΨ‖  s.t. w >= 0`` for one state.
+
+    Args:
+        Psi: (r, m) representative matrix.
+        state: Length-m state vector (same normalization as Ψ's training).
+
+    Returns:
+        (w, residual): the length-r weight vector and the Euclidean
+        residual ``‖s - wΨ‖``.
+    """
+    Psi = np.asarray(Psi, dtype=float)
+    state = np.asarray(state, dtype=float).ravel()
+    if Psi.ndim != 2:
+        raise ValueError(f"Psi must be 2-D, got shape {Psi.shape}")
+    if state.shape[0] != Psi.shape[1]:
+        raise ValueError(
+            f"state has {state.shape[0]} metrics but Psi has {Psi.shape[1]}"
+        )
+    weights, residual = nnls(Psi.T, state)
+    return weights, float(residual)
+
+
+def infer_weights(Psi: np.ndarray, states: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Batch NNLS: one weight vector per state row.
+
+    Args:
+        Psi: (r, m) representative matrix.
+        states: (n, m) states.
+
+    Returns:
+        (W, residuals): (n, r) weights and length-n residuals.
+    """
+    states = np.atleast_2d(np.asarray(states, dtype=float))
+    n = states.shape[0]
+    r = Psi.shape[0]
+    W = np.zeros((n, r))
+    residuals = np.zeros(n)
+    for i in range(n):
+        W[i], residuals[i] = infer_single(Psi, states[i])
+    return W, residuals
+
+
+def sparsify_inferred(weights: np.ndarray, retention: float = 0.9) -> np.ndarray:
+    """Row-wise Algorithm 2 applied to inferred weights.
+
+    Keeps, per state, only the largest weights covering ``retention`` of
+    that state's explanation mass — the same Occam's-razor step the paper
+    applies to the training W, reused at inference time so diagnoses stay
+    sparse.
+    """
+    from repro.core.sparsify import sparsify_weights
+
+    weights = np.atleast_2d(np.asarray(weights, dtype=float))
+    return sparsify_weights(weights, retention=retention, row_normalize=True).W_sparse
+
+
+def active_causes(
+    weights: np.ndarray, min_fraction: float = 0.1
+) -> np.ndarray:
+    """Indices of causes whose weight is >= ``min_fraction`` of the max.
+
+    A simple significance filter for reporting: NNLS often assigns tiny
+    residual-mopping weights that are not diagnostically meaningful.
+    """
+    weights = np.asarray(weights, dtype=float).ravel()
+    if weights.size == 0 or weights.max() <= 0:
+        return np.zeros(0, dtype=int)
+    return np.flatnonzero(weights >= min_fraction * weights.max())

@@ -1,0 +1,263 @@
+"""Interpretation of Ψ rows: from root-cause vectors to explanations.
+
+The paper labels every representative vector by hand ("Problem 2 ... label
+these root causes with comprehensive network interpretation"), using the
+metric/hazard knowledge of Table I.  This module mechanises that step:
+
+* each Ψ row is displayed in signed [-1, 1] units (via the normalizer),
+* its dominant metrics are extracted,
+* hazards from the Table I knowledge base are scored by how strongly
+  their trigger metrics move in the row,
+* the row is assigned a *family* — environment (C1 metrics dominate),
+  link (C2) or protocol (C3) — reproducing Fig 4's three categories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.metrics.catalog import (
+    HAZARDS,
+    METRIC_NAMES,
+    METRICS,
+    PacketClass,
+)
+
+FAMILY_BY_PACKET = {
+    PacketClass.C1: "environment",
+    PacketClass.C2: "link",
+    PacketClass.C3: "protocol",
+}
+
+
+@dataclass
+class RootCauseLabel:
+    """Human-readable interpretation of one Ψ row.
+
+    Attributes:
+        index: Row index in Ψ.
+        family: ``environment`` / ``link`` / ``protocol`` (Fig 4's types).
+        top_metrics: (metric, displayed value) pairs, strongest first.
+        hazards: (hazard name, score) pairs, strongest first.
+        explanation: Text built from the best-matching hazard.
+        energy: Unnormalized row magnitude (low = near-baseline vector).
+        is_baseline: True when the row mostly encodes normal behaviour.
+    """
+
+    index: int
+    family: str
+    top_metrics: List[Tuple[str, float]]
+    hazards: List[Tuple[str, float]]
+    explanation: str
+    energy: float
+    is_baseline: bool
+
+    @property
+    def primary_hazard(self) -> Optional[str]:
+        """Name of the best-matching hazard, if any."""
+        return self.hazards[0][0] if self.hazards else None
+
+
+class RootCauseInterpreter:
+    """Scores Ψ rows against the Table I hazard knowledge base."""
+
+    def __init__(
+        self,
+        metric_names: Sequence[str] = METRIC_NAMES,
+        top_k: int = 5,
+        dominance: float = 0.35,
+        baseline_quantile: float = 0.25,
+    ):
+        """
+        Args:
+            metric_names: Metric order of the Ψ columns.
+            top_k: Max dominant metrics reported per row.
+            dominance: A metric is "dominant" if its |displayed value| is at
+                least this fraction of the row's maximum.
+            baseline_quantile: Rows whose energy falls below this quantile
+                of all rows' energies are flagged as baseline/normal.
+        """
+        self.metric_names = list(metric_names)
+        self.top_k = top_k
+        self.dominance = dominance
+        self.baseline_quantile = baseline_quantile
+        self._family_of_metric = {
+            m.name: FAMILY_BY_PACKET[m.packet] for m in METRICS
+        }
+
+    # ------------------------------------------------------------------
+    # scoring primitives
+    # ------------------------------------------------------------------
+
+    def dominant_metrics(self, display_row: np.ndarray) -> List[Tuple[str, float]]:
+        """Strongest metrics of a displayed ([-1, 1]) Ψ row."""
+        magnitudes = np.abs(display_row)
+        max_mag = float(magnitudes.max()) if magnitudes.size else 0.0
+        if max_mag <= 0:
+            return []
+        order = np.argsort(magnitudes)[::-1]
+        picked = [
+            (self.metric_names[i], float(display_row[i]))
+            for i in order[: self.top_k]
+            if magnitudes[i] >= self.dominance * max_mag
+        ]
+        return picked
+
+    def family_of(self, display_row: np.ndarray) -> str:
+        """Which metric family (C1/C2/C3) carries most of the row's energy."""
+        sums: Dict[str, float] = {"environment": 0.0, "link": 0.0, "protocol": 0.0}
+        for name, value in zip(self.metric_names, display_row):
+            sums[self._family_of_metric[name]] += abs(float(value))
+        return max(sums, key=sums.get)
+
+    def counter_reset_score(self, display_row: np.ndarray) -> float:
+        """How strongly the row looks like a reboot's counter reset.
+
+        A reboot zeroes every cumulative counter at once, so its state
+        delta has *all* C3 counters strongly negative — and distinctly
+        more negative than the gauge metrics, which a reboot barely moves.
+        (The second condition guards against "dark" NMF rows where every
+        metric sits below the rest point equally.)  Returns a positive
+        reset score, or 0 when the row is not reset-like.
+        """
+        counter_idx = [
+            i
+            for i, name in enumerate(self.metric_names)
+            if self._family_of_metric[name] == "protocol"
+        ]
+        gauge_idx = [
+            i
+            for i, name in enumerate(self.metric_names)
+            if self._family_of_metric[name] != "protocol"
+        ]
+        if not counter_idx or not gauge_idx:
+            return 0.0
+        counter_mean = float(np.mean(display_row[counter_idx]))
+        gauge_mean = float(np.mean(display_row[gauge_idx]))
+        if counter_mean < -0.5 and counter_mean < gauge_mean - 0.25:
+            return -counter_mean
+        return 0.0
+
+    def hazard_scores(self, display_row: np.ndarray) -> List[Tuple[str, float]]:
+        """Hazards ranked by mean |movement| of their trigger metrics.
+
+        A strong whole-counter reset overrides trigger matching: the row
+        is a reboot signature, and per-counter hazards (which also see
+        "movement" in the reset) would otherwise shadow it.
+        """
+        index_of = {name: i for i, name in enumerate(self.metric_names)}
+        scored: List[Tuple[str, float]] = []
+        for hazard in HAZARDS:
+            contributions: List[float] = []
+            for position, trigger in enumerate(hazard.triggers):
+                idx = index_of.get(trigger)
+                if idx is None:
+                    continue
+                value = float(display_row[idx])
+                direction = hazard.direction_of(position)
+                if direction == 0:
+                    contributions.append(abs(value))
+                else:
+                    # Directional trigger: only movement in the expected
+                    # direction counts as evidence.
+                    contributions.append(max(0.0, value * direction))
+            if not contributions:
+                continue
+            score = float(np.mean(contributions))
+            # Specificity weighting: consistent movement across many
+            # trigger metrics is far stronger evidence than one large
+            # metric (which any noisy row can produce by chance).
+            specificity = np.sqrt(min(len(contributions), 5) / 5.0)
+            score *= float(specificity)
+            if score > 0:
+                scored.append((hazard.name, score))
+        reset = self.counter_reset_score(display_row)
+        if reset > 0.0:
+            scored = [(n, s) for n, s in scored if n != "node_reboot"]
+            scored.append(("node_reboot", 1.0 + reset))
+        scored.sort(key=lambda pair: pair[1], reverse=True)
+        return scored
+
+    # ------------------------------------------------------------------
+    # labelling
+    # ------------------------------------------------------------------
+
+    def label_row(
+        self,
+        index: int,
+        display_row: np.ndarray,
+        energy: float,
+        is_baseline: bool,
+    ) -> RootCauseLabel:
+        """Build the label for one displayed Ψ row."""
+        hazards = self.hazard_scores(display_row)
+        top_metrics = self.dominant_metrics(display_row)
+        if is_baseline:
+            explanation = (
+                "Near-baseline vector: it mostly reassembles normal network "
+                "states rather than a fault."
+            )
+        elif hazards:
+            best = next(h for h in HAZARDS if h.name == hazards[0][0])
+            explanation = f"{best.event} {best.impact}"
+        else:
+            explanation = "No known hazard signature matches this vector."
+        return RootCauseLabel(
+            index=index,
+            family=self.family_of(display_row),
+            top_metrics=top_metrics,
+            hazards=hazards,
+            explanation=explanation,
+            energy=energy,
+            is_baseline=is_baseline,
+        )
+
+    def interpret(
+        self,
+        psi_display: np.ndarray,
+        energies: Optional[np.ndarray] = None,
+        usage: Optional[np.ndarray] = None,
+        baseline_usage_factor: float = 2.0,
+    ) -> List[RootCauseLabel]:
+        """Label every row of a displayed Ψ matrix.
+
+        Args:
+            psi_display: (r, m) matrix in signed display units.
+            energies: Optional unnormalized row magnitudes (reported on the
+                labels for reference).
+            usage: Optional per-row mean correlation strength over the
+                training states.  The paper identifies the *normal states*
+                vector by usage ("Ψ7 is used much more times than any other
+                feature"): a row whose usage share exceeds
+                ``baseline_usage_factor / r`` is flagged as baseline.
+            baseline_usage_factor: Multiple of the uniform share (1/r) a
+                row's usage must exceed to be considered baseline.
+        """
+        psi_display = np.atleast_2d(np.asarray(psi_display, dtype=float))
+        r = psi_display.shape[0]
+        if energies is None:
+            energies = np.linalg.norm(psi_display, axis=1)
+        energies = np.asarray(energies, dtype=float).ravel()
+
+        baseline_flags = np.zeros(r, dtype=bool)
+        if usage is not None and r > 1:
+            usage = np.asarray(usage, dtype=float).ravel()
+            total = usage.sum()
+            if total > 0:
+                share = usage / total
+                baseline_flags = share > baseline_usage_factor / r
+
+        labels = []
+        for j in range(r):
+            labels.append(
+                self.label_row(
+                    index=j,
+                    display_row=psi_display[j],
+                    energy=float(energies[j]),
+                    is_baseline=bool(baseline_flags[j]),
+                )
+            )
+        return labels

@@ -1,0 +1,258 @@
+"""Non-negative matrix factorization: the paper's Algorithm 1.
+
+Multiplicative updates for the Euclidean (Frobenius) objective, exactly the
+Lee-Seung rules the paper cites ([17]):
+
+    Ψ <- Ψ * (WᵀV) / (WᵀWΨ)        W <- W * (VΨᵀ) / (WΨΨᵀ)
+
+Theorem 1 (Lee-Seung) guarantees ``‖V - WΨ‖`` is non-increasing under
+these updates — :func:`nmf` tracks the loss every iteration and the test
+suite asserts monotonicity.
+
+Lee-Seung's *other* objective — generalized Kullback-Leibler divergence —
+is also implemented (``objective="kl"``):
+
+    Ψ <- Ψ * (Wᵀ(V/WΨ)) / (Wᵀ1)    W <- W * ((V/WΨ)Ψᵀ) / (1Ψᵀ)
+
+The divergence objective weights small entries relatively more, which can
+matter for sparse counter columns; the ablation bench compares the two on
+real exception data.
+
+Written from scratch on numpy; no sklearn.  Two initialisations are
+provided: scaled ``random`` (the paper's choice in Algorithm 1 step 1) and
+``nndsvd`` (SVD-seeded, deterministic, usually converging in far fewer
+iterations — used by the ablation benches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+_EPS = 1e-10
+
+
+@dataclass
+class NMFResult:
+    """Outcome of a factorization ``V ≈ W @ Psi``.
+
+    Attributes:
+        W: (n, r) correlation strengths.
+        Psi: (r, m) representative matrix (rows = root-cause vectors).
+        loss_history: Frobenius loss after each iteration.
+        n_iter: Iterations actually performed.
+        converged: True if the relative-improvement tolerance was hit.
+    """
+
+    W: np.ndarray
+    Psi: np.ndarray
+    loss_history: List[float]
+    n_iter: int
+    converged: bool
+
+    @property
+    def rank(self) -> int:
+        return self.Psi.shape[0]
+
+    @property
+    def loss(self) -> float:
+        """Final Frobenius loss ``‖V - W Psi‖_F`` (Definition 1's α)."""
+        return self.loss_history[-1] if self.loss_history else float("nan")
+
+    def reconstruct(self) -> np.ndarray:
+        """The rank-r approximation ``W @ Psi``."""
+        return self.W @ self.Psi
+
+
+def _validate_input(V: np.ndarray, r: int) -> np.ndarray:
+    V = np.asarray(V, dtype=float)
+    if V.ndim != 2:
+        raise ValueError(f"V must be 2-D, got shape {V.shape}")
+    if V.shape[0] == 0 or V.shape[1] == 0:
+        raise ValueError("V must be non-empty")
+    if np.any(V < 0):
+        raise ValueError(
+            "NMF input must be non-negative; normalize signed deltas first "
+            "(see repro.core.normalization.MinMaxNormalizer)"
+        )
+    if not np.all(np.isfinite(V)):
+        raise ValueError("V contains NaN or infinite entries")
+    if not (1 <= r <= min(V.shape)):
+        raise ValueError(
+            f"rank r must be in [1, min(n, m)] = [1, {min(V.shape)}], got {r}"
+        )
+    return V
+
+
+def _init_random(
+    V: np.ndarray, r: int, rng: np.random.Generator
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Algorithm 1 step 1: random positive factors, scaled to V's energy."""
+    n, m = V.shape
+    scale = np.sqrt(max(V.mean(), _EPS) / r)
+    W = rng.uniform(0.1, 1.0, size=(n, r)) * scale
+    Psi = rng.uniform(0.1, 1.0, size=(r, m)) * scale
+    return W, Psi
+
+
+def _init_nndsvd(V: np.ndarray, r: int) -> "tuple[np.ndarray, np.ndarray]":
+    """Boutsidis-Gallopoulos NNDSVD: deterministic SVD-based seeding."""
+    U, S, Vt = np.linalg.svd(V, full_matrices=False)
+    n, m = V.shape
+    W = np.zeros((n, r))
+    Psi = np.zeros((r, m))
+    # Leading factor: the sign-corrected first singular triplet.
+    W[:, 0] = np.sqrt(S[0]) * np.abs(U[:, 0])
+    Psi[0, :] = np.sqrt(S[0]) * np.abs(Vt[0, :])
+    for j in range(1, r):
+        u, v = U[:, j], Vt[j, :]
+        u_pos, u_neg = np.maximum(u, 0), np.maximum(-u, 0)
+        v_pos, v_neg = np.maximum(v, 0), np.maximum(-v, 0)
+        pos_norm = np.linalg.norm(u_pos) * np.linalg.norm(v_pos)
+        neg_norm = np.linalg.norm(u_neg) * np.linalg.norm(v_neg)
+        if pos_norm >= neg_norm:
+            uu = u_pos / max(np.linalg.norm(u_pos), _EPS)
+            vv = v_pos / max(np.linalg.norm(v_pos), _EPS)
+            sigma = pos_norm
+        else:
+            uu = u_neg / max(np.linalg.norm(u_neg), _EPS)
+            vv = v_neg / max(np.linalg.norm(v_neg), _EPS)
+            sigma = neg_norm
+        W[:, j] = np.sqrt(S[j] * sigma) * uu
+        Psi[j, :] = np.sqrt(S[j] * sigma) * vv
+    # Zeros stall multiplicative updates; lift them to a small floor.
+    mean = max(V.mean(), _EPS)
+    W[W < _EPS] = mean * 0.01
+    Psi[Psi < _EPS] = mean * 0.01
+    return W, Psi
+
+
+def frobenius_loss(V: np.ndarray, W: np.ndarray, Psi: np.ndarray) -> float:
+    """``‖V - W Psi‖_F`` — the paper's approximation accuracy α."""
+    return float(np.linalg.norm(V - W @ Psi))
+
+
+def kl_divergence(V: np.ndarray, W: np.ndarray, Psi: np.ndarray) -> float:
+    """Generalized KL divergence ``D(V ‖ WΨ)`` (Lee-Seung's second
+    objective): ``Σ V log(V/WΨ) - V + WΨ``, with 0·log 0 := 0."""
+    approx = W @ Psi + _EPS
+    V = np.asarray(V, dtype=float)
+    log_term = np.where(V > 0, V * np.log((V + _EPS) / approx), 0.0)
+    return float((log_term - V + approx).sum())
+
+
+def nmf_best_of(
+    V: np.ndarray,
+    r: int,
+    restarts: int = 5,
+    seed: int = 0,
+    **kwargs,
+) -> NMFResult:
+    """Best-of-N random-restart NMF (lowest final loss wins).
+
+    Multiplicative updates converge to local optima; on data with strongly
+    correlated planted components the restart with the lowest loss also
+    recovers the components best, so a handful of restarts is the cheap
+    way to buy quality.  ``kwargs`` are forwarded to :func:`nmf` (init is
+    forced to ``random``).
+    """
+    if restarts < 1:
+        raise ValueError("need at least one restart")
+    kwargs.pop("init", None)
+    kwargs.pop("rng", None)
+    best: Optional[NMFResult] = None
+    for k in range(restarts):
+        result = nmf(
+            V, r, init="random", rng=np.random.default_rng(seed + k), **kwargs
+        )
+        if best is None or result.loss < best.loss:
+            best = result
+    return best
+
+
+def nmf(
+    V: np.ndarray,
+    r: int,
+    n_iter: int = 300,
+    tol: float = 1e-5,
+    init: str = "random",
+    rng: Optional[np.random.Generator] = None,
+    track_loss: bool = True,
+    objective: str = "frobenius",
+) -> NMFResult:
+    """Factorize ``V ≈ W Psi`` with multiplicative updates (Algorithm 1).
+
+    Args:
+        V: (n, m) non-negative data matrix (exception states x metrics).
+        r: Compression factor — the number of root-cause vectors.
+        n_iter: Maximum update sweeps.
+        tol: Stop when the relative loss improvement over one sweep falls
+            below this.
+        init: ``"random"`` (paper) or ``"nndsvd"`` (deterministic).
+        rng: Random generator for ``init="random"``; a fixed default seed
+            is used when omitted, keeping results reproducible.
+        track_loss: Record the loss each sweep (small extra cost).
+        objective: ``"frobenius"`` (the paper's Algorithm 1) or ``"kl"``
+            (Lee-Seung's generalized KL divergence).
+
+    Returns:
+        An :class:`NMFResult`; ``result.Psi`` is the representative matrix.
+        ``loss_history`` tracks the chosen objective.
+    """
+    V = _validate_input(V, r)
+    if objective not in ("frobenius", "kl"):
+        raise ValueError(
+            f"unknown objective {objective!r}; use 'frobenius' or 'kl'"
+        )
+    if init == "random":
+        if rng is None:
+            rng = np.random.default_rng(0)
+        W, Psi = _init_random(V, r, rng)
+    elif init == "nndsvd":
+        W, Psi = _init_nndsvd(V, r)
+    else:
+        raise ValueError(f"unknown init {init!r}; use 'random' or 'nndsvd'")
+
+    loss_of = frobenius_loss if objective == "frobenius" else kl_divergence
+
+    loss_history: List[float] = []
+    previous_loss = loss_of(V, W, Psi)
+    converged = False
+    iterations = 0
+    for iterations in range(1, n_iter + 1):
+        if objective == "frobenius":
+            # Ψ update (Algorithm 1, step 4)
+            numerator = W.T @ V
+            denominator = W.T @ W @ Psi + _EPS
+            Psi *= numerator / denominator
+            # W update (Algorithm 1, step 9)
+            numerator = V @ Psi.T
+            denominator = W @ (Psi @ Psi.T) + _EPS
+            W *= numerator / denominator
+        else:
+            # KL updates: Ψ <- Ψ * (Wᵀ(V/WΨ)) / (Wᵀ1)
+            ratio = V / (W @ Psi + _EPS)
+            Psi *= (W.T @ ratio) / (W.sum(axis=0)[:, None] + _EPS)
+            ratio = V / (W @ Psi + _EPS)
+            W *= (ratio @ Psi.T) / (Psi.sum(axis=1)[None, :] + _EPS)
+
+        if track_loss or tol > 0:
+            loss = loss_of(V, W, Psi)
+            if track_loss:
+                loss_history.append(loss)
+            if previous_loss > 0 and (previous_loss - loss) / max(previous_loss, _EPS) < tol:
+                converged = True
+                previous_loss = loss
+                break
+            previous_loss = loss
+    if not loss_history:
+        loss_history = [previous_loss]
+    return NMFResult(
+        W=W,
+        Psi=Psi,
+        loss_history=loss_history,
+        n_iter=iterations,
+        converged=converged,
+    )

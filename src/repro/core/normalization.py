@@ -1,0 +1,121 @@
+"""Min-max normalization of state matrices for NMF.
+
+NMF requires a non-negative input, but network-state vectors are *signed*
+deltas (voltage can fall, RSSI can drop, counters reset on reboot).  The
+paper glosses over this ("all metrics are positively grown over time");
+its own Ψ plots nevertheless span [-1, 1].  We make the step explicit: an
+affine per-metric map onto [0, 1], fit on the training exceptions, with an
+exact inverse for display and interpretation.
+
+Under this map a zero delta lands at a metric-specific *rest point* in
+[0, 1]; Ψ rows are displayed re-centred at that rest point and scaled to
+[-1, 1] (:meth:`MinMaxNormalizer.display`), which is the convention of the
+paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class MinMaxNormalizer:
+    """Per-column affine map onto [0, 1] with exact inverse.
+
+    Attributes:
+        lo: Per-metric minimum seen at fit time.
+        hi: Per-metric maximum seen at fit time.
+    """
+
+    lo: np.ndarray
+    hi: np.ndarray
+
+    _MIN_SPAN = 1e-9
+
+    @classmethod
+    def fit(
+        cls,
+        matrix: np.ndarray,
+        pad_fraction: float = 0.0,
+        method: str = "robust",
+        robust_quantile: float = 0.98,
+    ) -> "MinMaxNormalizer":
+        """Fit column ranges on a (n, m) matrix.
+
+        Args:
+            matrix: Training data (signed deltas).
+            pad_fraction: Widen each range by this fraction on both sides,
+                so mildly out-of-range future states still map inside (0,1).
+            method: ``"robust"`` (default) centers each column at its
+                median and scales by the ``robust_quantile`` of absolute
+                deviations; extreme outliers clip to the range edges.
+                ``"minmax"`` uses the raw column min/max.
+
+                Robust scaling matters for counter metrics: a reboot's
+                counter reset is a delta of minus-everything-accumulated
+                (often 10^4-10^5), while a routing loop inflates the same
+                counter by a few thousand.  Raw min-max would let the
+                reset stretch the range so far that the inflation becomes
+                numerically invisible; robust scaling saturates both
+                tails instead.
+            robust_quantile: Which quantile of |x - median| sets the scale.
+        """
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] == 0:
+            raise ValueError("need a non-empty 2-D matrix to fit")
+        if method == "minmax":
+            lo = matrix.min(axis=0)
+            hi = matrix.max(axis=0)
+        elif method == "robust":
+            median = np.median(matrix, axis=0)
+            deviations = np.abs(matrix - median)
+            scale = np.quantile(deviations, robust_quantile, axis=0)
+            # Floor the scale so constant-in-training columns still get a
+            # sane range (2 % of the most extreme deviation seen).
+            scale = np.maximum(scale, 0.02 * deviations.max(axis=0))
+            scale = np.maximum(scale, cls._MIN_SPAN)
+            lo = median - scale
+            hi = median + scale
+        else:
+            raise ValueError(f"unknown method {method!r}; use 'robust' or 'minmax'")
+        if pad_fraction:
+            span = hi - lo
+            lo = lo - pad_fraction * span
+            hi = hi + pad_fraction * span
+        return cls(lo=lo, hi=hi)
+
+    def _span(self) -> np.ndarray:
+        return np.maximum(self.hi - self.lo, self._MIN_SPAN)
+
+    def transform(self, matrix: np.ndarray, clip: bool = True) -> np.ndarray:
+        """Map signed deltas into [0, 1] (clipping out-of-range values)."""
+        matrix = np.asarray(matrix, dtype=float)
+        scaled = (matrix - self.lo) / self._span()
+        if clip:
+            scaled = np.clip(scaled, 0.0, 1.0)
+        return scaled
+
+    def inverse(self, matrix: np.ndarray) -> np.ndarray:
+        """Map normalized values back to signed-delta units."""
+        return np.asarray(matrix, dtype=float) * self._span() + self.lo
+
+    def rest_point(self) -> np.ndarray:
+        """Where a zero delta lands in normalized space, per metric."""
+        zero = np.zeros((1, self.lo.shape[0]))
+        return self.transform(zero, clip=True)[0]
+
+    def display(self, psi: np.ndarray) -> np.ndarray:
+        """Re-centre Ψ rows at the zero-delta rest point, scaled to [-1, 1].
+
+        This is the paper's figure convention: a metric that does not move
+        under a root cause sits at 0; positive/negative excursions keep
+        their sign and are scaled by the largest excursion in the row.
+        """
+        psi = np.atleast_2d(np.asarray(psi, dtype=float))
+        centred = psi - self.rest_point()
+        max_abs = np.abs(centred).max(axis=1, keepdims=True)
+        max_abs = np.maximum(max_abs, self._MIN_SPAN)
+        return centred / max_abs

@@ -1,0 +1,509 @@
+"""The VN2 facade: train the representative matrix, diagnose new states.
+
+Typical use::
+
+    from repro import VN2, VN2Config
+    from repro.traces import generate_citysee_trace
+
+    trace = generate_citysee_trace()
+    tool = VN2(VN2Config(rank=25)).fit(trace)
+
+    report = tool.diagnose(state_vector)   # one 43-metric delta
+    for cause in report.ranked:
+        print(cause.strength, cause.label.explanation)
+
+``fit`` performs the whole training pipeline of the paper's Fig 1:
+states -> exception extraction -> normalization -> NMF -> sparsification,
+with the compression factor chosen automatically from a rank sweep when
+``config.rank`` is None.  Models can be saved and re-loaded.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.exceptions import ExceptionSet, detect_exceptions
+from repro.core.inference import active_causes, infer_single, infer_weights
+from repro.core.interpretation import RootCauseInterpreter, RootCauseLabel
+from repro.core.nmf import NMFResult, nmf
+from repro.core.normalization import MinMaxNormalizer
+from repro.core.rank_selection import RankSweepResult, choose_rank, rank_sweep
+from repro.core.sparsify import SparsifyResult, sparsify_weights
+from repro.core.states import StateMatrix, build_states
+from repro.metrics.catalog import NUM_METRICS
+from repro.traces.records import Trace
+
+
+@dataclass
+class VN2Config:
+    """Training configuration.
+
+    Attributes:
+        rank: Compression factor r; ``None`` selects it automatically via a
+            rank sweep (the paper picked 25 for CitySee, 10 for the
+            testbed).
+        rank_candidates: Ranks tried when ``rank is None``.
+        filter_exceptions: Run the ε-based exception filter before NMF.
+            The paper skips it for the small testbed trace ("the normal
+            statuses are not large enough to conceal the representation"),
+            so testbed experiments set this to False.
+        exception_threshold: The ``ε/max(ε)`` ratio (paper: 0.01).
+        retention: Algorithm 2 mass retention for sparsifying W.
+        nmf_iterations: Maximum multiplicative-update sweeps.
+        nmf_init: ``"nndsvd"`` (deterministic) or ``"random"`` (paper).
+        seed: Seed for random NMF initialisation.
+        normalizer_pad: Range padding when fitting the min-max normalizer.
+        min_weight_fraction: Causes below this fraction of the strongest
+            cause are dropped from ranked diagnosis output.
+    """
+
+    rank: Optional[int] = None
+    rank_candidates: Sequence[int] = tuple(range(5, 41, 5))
+    filter_exceptions: bool = True
+    exception_threshold: float = 0.01
+    retention: float = 0.9
+    nmf_iterations: int = 300
+    nmf_init: str = "nndsvd"
+    seed: int = 0
+    normalizer_pad: float = 0.05
+    min_weight_fraction: float = 0.1
+
+
+@dataclass
+class RankedCause:
+    """One root cause in a diagnosis, with quantified influence."""
+
+    index: int
+    strength: float
+    label: RootCauseLabel
+
+
+@dataclass
+class DiagnosisReport:
+    """Outcome of diagnosing one network state.
+
+    Attributes:
+        weights: Full length-r NNLS weight vector.
+        ranked: Significant causes, strongest first.
+        residual: ``‖s - wΨ‖`` in normalized units.
+        relative_residual: Residual over the state's norm (0 = perfect
+            reconstruction; near 1 = the model cannot explain this state).
+    """
+
+    weights: np.ndarray
+    ranked: List[RankedCause]
+    residual: float
+    relative_residual: float
+
+    @property
+    def primary(self) -> Optional[RankedCause]:
+        """The strongest cause, if any is significant."""
+        return self.ranked[0] if self.ranked else None
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        if not self.ranked:
+            return "no significant root cause (state is near normal)"
+        parts = [
+            f"Ψ{c.index + 1} ({c.label.primary_hazard or c.label.family}, "
+            f"w={c.strength:.3f})"
+            for c in self.ranked
+        ]
+        return "; ".join(parts)
+
+
+class VN2:
+    """The measurement-and-analysis tool (paper Sections III-IV)."""
+
+    def __init__(self, config: Optional[VN2Config] = None):
+        self.config = config or VN2Config()
+        # fitted state (populated by fit / fit_states)
+        self.states_: Optional[StateMatrix] = None
+        self.exceptions_: Optional[ExceptionSet] = None
+        self.normalizer_: Optional[MinMaxNormalizer] = None
+        self.nmf_: Optional[NMFResult] = None
+        self.sparsify_: Optional[SparsifyResult] = None
+        self.rank_sweep_: Optional[RankSweepResult] = None
+        self.rank_: Optional[int] = None
+        self.labels_: Optional[List[RootCauseLabel]] = None
+        self._interpreter = RootCauseInterpreter()
+        # online exception-scoring statistics (set by fit_states)
+        self._train_mean: Optional[np.ndarray] = None
+        self._train_std: Optional[np.ndarray] = None
+        self._train_max_eps: float = 0.0
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+
+    def fit(self, trace: Trace) -> "VN2":
+        """Train from a trace (differencing is performed internally)."""
+        return self.fit_states(build_states(trace))
+
+    def fit_states(self, states: StateMatrix) -> "VN2":
+        """Train from pre-built network states."""
+        if len(states) < 2:
+            raise ValueError(
+                f"need at least 2 states to train, got {len(states)}"
+            )
+        self.states_ = states
+
+        # Deviation statistics for online exception scoring: mean/std of
+        # every metric over the training states and the largest training
+        # deviation, so ``exception_score`` reproduces the paper's
+        # ``ε/max(ε)`` ratio on states arriving after training.
+        values = states.values
+        self._train_mean = values.mean(axis=0)
+        std = values.std(axis=0)
+        self._train_std = np.where(std < 1e-12, 1.0, std)
+        z = (values - self._train_mean) / self._train_std
+        self._train_max_eps = float(np.max((z * z).sum(axis=1)))
+
+        if self.config.filter_exceptions:
+            self.exceptions_ = detect_exceptions(
+                states, threshold_ratio=self.config.exception_threshold
+            )
+            training = self.exceptions_.states
+        else:
+            self.exceptions_ = None
+            training = states
+        if len(training) < 2:
+            raise ValueError(
+                "exception filter left fewer than 2 states; lower the "
+                "threshold or disable filter_exceptions"
+            )
+
+        self.normalizer_ = MinMaxNormalizer.fit(
+            training.values, pad_fraction=self.config.normalizer_pad
+        )
+        E = self.normalizer_.transform(training.values)
+
+        rank = self.config.rank
+        if rank is None:
+            candidates = [
+                r for r in self.config.rank_candidates if r <= min(E.shape)
+            ]
+            if not candidates:
+                candidates = [min(E.shape)]
+            self.rank_sweep_ = rank_sweep(
+                E,
+                candidates,
+                retention=self.config.retention,
+                n_iter=self.config.nmf_iterations,
+                init=self.config.nmf_init,
+                rng=np.random.default_rng(self.config.seed),
+            )
+            rank = choose_rank(self.rank_sweep_)
+        rank = int(min(rank, min(E.shape)))
+        self.rank_ = rank
+
+        self.nmf_ = nmf(
+            E,
+            rank,
+            n_iter=self.config.nmf_iterations,
+            init=self.config.nmf_init,
+            rng=np.random.default_rng(self.config.seed),
+        )
+        self.sparsify_ = sparsify_weights(
+            self.nmf_.W, retention=self.config.retention
+        )
+        # Usage-based baseline detection mirrors the paper's testbed
+        # reasoning ("Ψ7 is used much more than any other feature, so it
+        # must represent normal states") — which is only sound when the
+        # training set contains the normal states, i.e. when the exception
+        # filter is off.  A filtered training set is all-exceptional, and
+        # its most-used row is the dominant *fault*, not normality.
+        usage = (
+            self.sparsify_.W_sparse.mean(axis=0)
+            if not self.config.filter_exceptions
+            else None
+        )
+        self.labels_ = self._interpreter.interpret(
+            self.psi_display(),
+            energies=self._row_energies(),
+            usage=usage,
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    # fitted accessors
+    # ------------------------------------------------------------------
+
+    def _require_fitted(self) -> None:
+        if self.nmf_ is None or self.normalizer_ is None:
+            raise RuntimeError("VN2 model is not fitted yet; call fit() first")
+
+    @property
+    def psi(self) -> np.ndarray:
+        """The representative matrix Ψ (r x 43), in normalized units."""
+        self._require_fitted()
+        return self.nmf_.Psi
+
+    def psi_display(self) -> np.ndarray:
+        """Ψ in the paper's display convention (signed, scaled to [-1, 1])."""
+        self._require_fitted()
+        return self.normalizer_.display(self.nmf_.Psi)
+
+    def _row_energies(self) -> np.ndarray:
+        """Unnormalized magnitude of each Ψ row about the zero-delta point."""
+        self._require_fitted()
+        centred = self.nmf_.Psi - self.normalizer_.rest_point()
+        return np.linalg.norm(centred, axis=1)
+
+    @property
+    def labels(self) -> List[RootCauseLabel]:
+        """Interpretations of every Ψ row."""
+        self._require_fitted()
+        return list(self.labels_ or [])
+
+    def explain(self, index: int) -> RootCauseLabel:
+        """Interpretation of root-cause vector ``Ψ[index]`` (0-based)."""
+        self._require_fitted()
+        return self.labels_[index]
+
+    # ------------------------------------------------------------------
+    # diagnosis
+    # ------------------------------------------------------------------
+
+    def _normalize_states(self, states: np.ndarray) -> np.ndarray:
+        return self.normalizer_.transform(np.atleast_2d(states))
+
+    def exception_score(self, state: np.ndarray) -> float:
+        """The paper's ``ε/max(ε)`` ratio for a new state.
+
+        ``ε`` is the state's squared-z-score deviation from the training
+        states' per-metric mean, and ``max(ε)`` the largest deviation seen
+        in training.  A state scoring >= the training exception threshold
+        (0.01 in the paper) would have been flagged as an exception.
+        Only available on models fitted in-process (not after ``load``).
+        """
+        if getattr(self, "_train_mean", None) is None:
+            raise RuntimeError(
+                "exception_score needs training statistics; the model was "
+                "loaded from disk or not fitted"
+            )
+        state = np.asarray(state, dtype=float).ravel()
+        z = (state - self._train_mean) / self._train_std
+        eps = float((z * z).sum())
+        return eps / self._train_max_eps if self._train_max_eps > 0 else 0.0
+
+    def is_exception(self, state: np.ndarray, threshold_ratio: Optional[float] = None) -> bool:
+        """True if ``state`` deviates like a training exception."""
+        if threshold_ratio is None:
+            threshold_ratio = self.config.exception_threshold
+        return self.exception_score(state) >= threshold_ratio
+
+    def diagnose(self, state: np.ndarray) -> DiagnosisReport:
+        """Attribute one 43-metric state delta to root causes (Problem 3)."""
+        self._require_fitted()
+        state = np.asarray(state, dtype=float).ravel()
+        if state.shape[0] != NUM_METRICS:
+            raise ValueError(
+                f"state must have {NUM_METRICS} metrics, got {state.shape[0]}"
+            )
+        normalized = self._normalize_states(state)[0]
+        weights, residual = infer_single(self.nmf_.Psi, normalized)
+        state_norm = float(np.linalg.norm(normalized))
+        significant = active_causes(weights, self.config.min_weight_fraction)
+        ranked = sorted(
+            (
+                RankedCause(
+                    index=int(j),
+                    strength=float(weights[j]),
+                    label=self.labels_[int(j)],
+                )
+                for j in significant
+            ),
+            key=lambda c: c.strength,
+            reverse=True,
+        )
+        return DiagnosisReport(
+            weights=weights,
+            ranked=ranked,
+            residual=residual,
+            relative_residual=residual / state_norm if state_norm > 0 else 0.0,
+        )
+
+    def diagnose_exceptions(
+        self,
+        states: StateMatrix,
+        threshold_ratio: Optional[float] = None,
+    ) -> List[Tuple["StateProvenance", DiagnosisReport]]:
+        """Diagnose only the exceptional states of a batch.
+
+        The deployed loop (paper Fig 1): screen incoming states with the
+        ε rule against the training statistics, diagnose the survivors.
+        Returns (provenance, report) pairs in state order.
+        """
+        self._require_fitted()
+        results = []
+        for i in range(len(states)):
+            if not self.is_exception(states.values[i], threshold_ratio):
+                continue
+            results.append(
+                (states.provenance[i], self.diagnose(states.values[i]))
+            )
+        return results
+
+    def correlation_strengths(self, states: Union[StateMatrix, np.ndarray]) -> np.ndarray:
+        """NNLS weights for a batch of states: (n, r) matrix.
+
+        This is what the paper's correlation-scatter figures (3c, 5b, 6b)
+        plot: which Ψ rows each exception state activates.
+        """
+        self._require_fitted()
+        values = states.values if isinstance(states, StateMatrix) else states
+        normalized = self._normalize_states(values)
+        weights, _residuals = infer_weights(self.nmf_.Psi, normalized)
+        return weights
+
+    # ------------------------------------------------------------------
+    # incremental updates
+    # ------------------------------------------------------------------
+
+    def refit_with(self, new_states: StateMatrix, warm_iterations: int = 60) -> "VN2":
+        """Update the model with freshly collected states (warm start).
+
+        The combined state set is re-filtered and re-normalized, and NMF
+        resumes from the current Ψ: the existing root-cause vectors seed
+        the factorization (W for the new exception set is obtained by
+        NNLS), then a short run of multiplicative updates adapts both
+        factors.  This keeps root-cause identities stable across updates
+        while needing far fewer sweeps than a cold refit — the operational
+        mode of a long-running deployment ("retrain nightly").
+
+        The compression factor r is kept; call :meth:`fit_states` for a
+        full retrain with rank re-selection.
+        """
+        self._require_fitted()
+        from repro.core.inference import infer_weights
+        from repro.core.nmf import _EPS, frobenius_loss
+
+        combined = StateMatrix(
+            values=np.vstack([self.states_.values, new_states.values]),
+            provenance=[*self.states_.provenance, *new_states.provenance],
+        )
+        self.states_ = combined
+        values = combined.values
+        self._train_mean = values.mean(axis=0)
+        std = values.std(axis=0)
+        self._train_std = np.where(std < 1e-12, 1.0, std)
+        z = (values - self._train_mean) / self._train_std
+        self._train_max_eps = float(np.max((z * z).sum(axis=1)))
+
+        if self.config.filter_exceptions:
+            self.exceptions_ = detect_exceptions(
+                combined, threshold_ratio=self.config.exception_threshold
+            )
+            training = self.exceptions_.states
+        else:
+            self.exceptions_ = None
+            training = combined
+
+        self.normalizer_ = MinMaxNormalizer.fit(
+            training.values, pad_fraction=self.config.normalizer_pad
+        )
+        E = self.normalizer_.transform(training.values)
+
+        # Warm start: W from NNLS against the current Ψ, then a short run
+        # of multiplicative updates on both factors.
+        Psi = np.maximum(self.nmf_.Psi.copy(), 1e-6)
+        W, _residuals = infer_weights(Psi, E)
+        W = np.maximum(W, 1e-6)
+        loss_history = []
+        for _ in range(warm_iterations):
+            Psi *= (W.T @ E) / (W.T @ W @ Psi + _EPS)
+            W *= (E @ Psi.T) / (W @ (Psi @ Psi.T) + _EPS)
+            loss_history.append(frobenius_loss(E, W, Psi))
+        self.nmf_ = NMFResult(
+            W=W,
+            Psi=Psi,
+            loss_history=loss_history,
+            n_iter=warm_iterations,
+            converged=False,
+        )
+        self.sparsify_ = sparsify_weights(W, retention=self.config.retention)
+        usage = (
+            self.sparsify_.W_sparse.mean(axis=0)
+            if not self.config.filter_exceptions
+            else None
+        )
+        self.labels_ = self._interpreter.interpret(
+            self.psi_display(),
+            energies=self._row_energies(),
+            usage=usage,
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Persist the fitted model (npz next to a small json sidecar)."""
+        self._require_fitted()
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        np.savez_compressed(
+            path.with_suffix(".npz"),
+            W=self.nmf_.W,
+            Psi=self.nmf_.Psi,
+            W_sparse=self.sparsify_.W_sparse,
+            lo=self.normalizer_.lo,
+            hi=self.normalizer_.hi,
+        )
+        sidecar = {
+            "rank": self.rank_,
+            "config": {
+                "rank": self.config.rank,
+                "filter_exceptions": self.config.filter_exceptions,
+                "exception_threshold": self.config.exception_threshold,
+                "retention": self.config.retention,
+                "nmf_iterations": self.config.nmf_iterations,
+                "nmf_init": self.config.nmf_init,
+                "seed": self.config.seed,
+                "normalizer_pad": self.config.normalizer_pad,
+                "min_weight_fraction": self.config.min_weight_fraction,
+            },
+        }
+        path.with_suffix(".json").write_text(json.dumps(sidecar, indent=2))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "VN2":
+        """Load a model saved with :meth:`save`."""
+        path = Path(path)
+        sidecar = json.loads(path.with_suffix(".json").read_text())
+        arrays = np.load(path.with_suffix(".npz"))
+        config_kwargs = dict(sidecar["config"])
+        tool = cls(VN2Config(**config_kwargs))
+        tool.rank_ = sidecar["rank"]
+        tool.normalizer_ = MinMaxNormalizer(lo=arrays["lo"], hi=arrays["hi"])
+        tool.nmf_ = NMFResult(
+            W=arrays["W"],
+            Psi=arrays["Psi"],
+            loss_history=[],
+            n_iter=0,
+            converged=True,
+        )
+        tool.sparsify_ = SparsifyResult(
+            W_sparse=arrays["W_sparse"],
+            mask=arrays["W_sparse"] > 0,
+            kept_fraction=float((arrays["W_sparse"] > 0).mean()),
+            retained_mass=1.0,
+        )
+        usage = (
+            tool.sparsify_.W_sparse.mean(axis=0)
+            if not tool.config.filter_exceptions
+            else None
+        )
+        tool.labels_ = tool._interpreter.interpret(
+            tool.psi_display(),
+            energies=tool._row_energies(),
+            usage=usage,
+        )
+        return tool

@@ -1,0 +1,51 @@
+"""The 43-metric instrumentation layer.
+
+This package defines the metric catalog (which metrics exist, how they are
+grouped into the C1/C2/C3 report packets, and which hazard events they
+correlate with — the paper's Table I), the report-packet records, and the
+sink-side collector that merges packet streams into per-node metric
+snapshots.
+"""
+
+from repro.metrics.catalog import (
+    METRICS,
+    METRIC_NAMES,
+    METRIC_INDEX,
+    NUM_METRICS,
+    Metric,
+    MetricKind,
+    PacketClass,
+    HAZARDS,
+    Hazard,
+    metrics_in_packet,
+)
+from repro.metrics.packets import (
+    C1Packet,
+    C2Packet,
+    C3Packet,
+    ReportPacket,
+    snapshot_to_packets,
+    merge_packets,
+)
+from repro.metrics.collector import SinkCollector, NodeTimeline
+
+__all__ = [
+    "METRICS",
+    "METRIC_NAMES",
+    "METRIC_INDEX",
+    "NUM_METRICS",
+    "Metric",
+    "MetricKind",
+    "PacketClass",
+    "HAZARDS",
+    "Hazard",
+    "metrics_in_packet",
+    "C1Packet",
+    "C2Packet",
+    "C3Packet",
+    "ReportPacket",
+    "snapshot_to_packets",
+    "merge_packets",
+    "SinkCollector",
+    "NodeTimeline",
+]

@@ -1,0 +1,330 @@
+"""Catalog of the 43 injected metrics and their hazard knowledge base.
+
+The paper instruments every node with M = 43 performance-correlated metrics,
+reported to the sink in three packet classes:
+
+* **C1** — sensor readings and routing summary (environmental state),
+* **C2** — the neighbor table: RSSI and link-ETX for up to 10 neighbors,
+* **C3** — protocol counters (cumulative, monotonically non-decreasing).
+
+Table I of the paper maps a sample of these metrics to the hazard events
+they correlate with; :data:`HAZARDS` encodes that table so the
+interpretation engine (:mod:`repro.core.interpretation`) can turn an NMF
+root-cause vector into a human-readable explanation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+MAX_NEIGHBORS = 10
+"""Maximum neighbor-table entries carried in a C2 packet (per the paper)."""
+
+
+class PacketClass(enum.Enum):
+    """Which report packet carries a metric."""
+
+    C1 = "C1"
+    C2 = "C2"
+    C3 = "C3"
+
+
+class MetricKind(enum.Enum):
+    """How a metric evolves over time.
+
+    ``GAUGE`` metrics are instantaneous samples (temperature, RSSI);
+    ``COUNTER`` metrics are cumulative and non-decreasing between reboots
+    (the paper calls them "time increasing").  The distinction matters when
+    building state vectors: a counter's delta is its activity in the
+    interval, while a gauge's delta is its drift.
+    """
+
+    GAUGE = "gauge"
+    COUNTER = "counter"
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One injected metric.
+
+    Attributes:
+        name: Canonical snake_case identifier.
+        packet: Which report packet (C1/C2/C3) carries it.
+        kind: Gauge or cumulative counter.
+        description: What the metric measures.
+    """
+
+    name: str
+    packet: PacketClass
+    kind: MetricKind
+    description: str
+
+
+def _c1(name: str, description: str) -> Metric:
+    return Metric(name, PacketClass.C1, MetricKind.GAUGE, description)
+
+
+def _c2(name: str, description: str) -> Metric:
+    return Metric(name, PacketClass.C2, MetricKind.GAUGE, description)
+
+
+def _c3(name: str, description: str) -> Metric:
+    return Metric(name, PacketClass.C3, MetricKind.COUNTER, description)
+
+
+# --------------------------------------------------------------------------
+# The 43 metrics:  7 (C1)  +  21 (C2)  +  15 (C3)
+# --------------------------------------------------------------------------
+
+METRICS: Tuple[Metric, ...] = (
+    # --- C1: sensors + routing summary (7) ---
+    _c1("temperature", "Ambient temperature at the node (deg C)."),
+    _c1("humidity", "Relative humidity at the node (%)."),
+    _c1("light", "Ambient light level (lux, normalised)."),
+    _c1("co2", "CO2 concentration (ppm) — CitySee's primary sensing target."),
+    _c1("voltage", "Battery voltage (V); nodes stop working below 2.8 V."),
+    _c1("path_etx", "Path-ETX estimate from this node to the sink."),
+    _c1("path_length", "Hop count of the current routing path to the sink."),
+    # --- C2: neighbor table (1 + 10 + 10 = 21) ---
+    _c2("neighbor_num", "Number of entries in the neighbor/routing table."),
+    *[
+        _c2(f"rssi_{i}", f"RSSI (dBm) of neighbor-table entry {i}.")
+        for i in range(1, MAX_NEIGHBORS + 1)
+    ],
+    *[
+        _c2(f"etx_{i}", f"Link-ETX estimate of neighbor-table entry {i}.")
+        for i in range(1, MAX_NEIGHBORS + 1)
+    ],
+    # --- C3: protocol counters (15) ---
+    _c3("parent_change_counter", "Times the node changed its CTP parent."),
+    _c3("no_parent_counter", "Times the node had no valid parent to route to."),
+    _c3("transmit_counter", "Packets transmitted (forwarded + self)."),
+    _c3("self_transmit_counter", "Self-generated packets transmitted."),
+    _c3("receive_counter", "Packets received for forwarding."),
+    _c3("overflow_drop_counter", "Packets dropped because the receive queue overflowed."),
+    _c3("noack_retransmit_counter", "Retransmissions because no ACK was received."),
+    _c3("drop_packet_counter", "Packets dropped after 30 failed retransmissions."),
+    _c3("duplicate_counter", "Duplicate packets received (seen sequence numbers)."),
+    _c3("loop_counter", "Routing loops detected (own ID seen in a packet's path)."),
+    _c3("mac_backoff_counter", "CSMA backoffs taken before channel access."),
+    _c3("radio_on_time", "Cumulative radio-on time (seconds)."),
+    _c3("beacon_counter", "Routing beacons transmitted."),
+    _c3("ack_counter", "Link-layer ACKs transmitted."),
+    _c3("retransmit_counter", "All link-layer retransmissions (any cause)."),
+)
+
+METRIC_NAMES: Tuple[str, ...] = tuple(m.name for m in METRICS)
+METRIC_INDEX: Dict[str, int] = {m.name: i for i, m in enumerate(METRICS)}
+NUM_METRICS: int = len(METRICS)
+
+assert NUM_METRICS == 43, f"metric catalog must have 43 entries, got {NUM_METRICS}"
+
+
+def metrics_in_packet(packet: PacketClass) -> List[Metric]:
+    """All metrics carried by the given packet class, in catalog order."""
+    return [m for m in METRICS if m.packet is packet]
+
+
+# --------------------------------------------------------------------------
+# Table I: hazard knowledge base
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Hazard:
+    """A hazard event from the paper's Table I (plus companions).
+
+    Attributes:
+        name: Short identifier of the hazard (e.g. ``"routing_loop"``).
+        triggers: Metric names whose *variation* signals this hazard.
+        event: The paper's "potential hazard event" description.
+        impact: The paper's "related network performance" description.
+        directions: Expected sign of each trigger's movement, parallel to
+            ``triggers``: +1 the metric rises, -1 it falls, 0 either way.
+            Empty means "any direction" for every trigger.
+    """
+
+    name: str
+    triggers: Tuple[str, ...]
+    event: str
+    impact: str
+    directions: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.directions and len(self.directions) != len(self.triggers):
+            raise ValueError(
+                f"hazard {self.name}: directions must match triggers"
+            )
+
+    def direction_of(self, position: int) -> int:
+        """Expected sign of trigger ``position`` (0 = any)."""
+        if not self.directions:
+            return 0
+        return self.directions[position]
+
+
+HAZARDS: Tuple[Hazard, ...] = (
+    Hazard(
+        name="clock_instability",
+        triggers=("temperature",),
+        event="Hardware clocks are unstable due to temperature variation.",
+        impact=(
+            "Sending rate is controlled by the hardware clock; an unstable "
+            "clock makes a node send too fast or too slow, which can lead "
+            "to network contention."
+        ),
+    ),
+    Hazard(
+        name="low_voltage",
+        triggers=("voltage",),
+        directions=(-1,),
+        event="A node stops working if its voltage drops below 2.8 V.",
+        impact=(
+            "The node can no longer send or forward packets; if it is a key "
+            "node, part of the subnetwork breaks down."
+        ),
+    ),
+    Hazard(
+        name="node_reboot",
+        triggers=("voltage", "neighbor_num"),
+        directions=(1, 0),
+        event="A node reboots: counters reset and neighbors rediscover it.",
+        impact=(
+            "All cumulative counters jump back to zero and neighbors see a "
+            "new node join, perturbing parent selection."
+        ),
+    ),
+    Hazard(
+        name="key_node",
+        triggers=("neighbor_num",),
+        directions=(1,),
+        event="A node has large subtrees (many nodes use it as parent).",
+        impact=(
+            "The node becomes a key node; its breakdown causes great packet "
+            "loss downstream."
+        ),
+    ),
+    Hazard(
+        name="noise_increase",
+        triggers=tuple(f"rssi_{i}" for i in range(1, MAX_NEIGHBORS + 1)),
+        event="A node detects that its neighbors' noise levels are rising.",
+        impact=(
+            "Noise degrades packet receive ratio and indicates bad link "
+            "quality."
+        ),
+    ),
+    Hazard(
+        name="link_dynamics",
+        triggers=tuple(f"etx_{i}" for i in range(1, MAX_NEIGHBORS + 1))
+        + tuple(f"rssi_{i}" for i in range(1, MAX_NEIGHBORS + 1)),
+        event="Link quality to neighbors fluctuates (environment change, "
+        "mobile obstacles, or co-existing signals).",
+        impact="Routing cost estimates churn; parents may change often.",
+    ),
+    Hazard(
+        name="queue_overflow",
+        triggers=("overflow_drop_counter",),
+        directions=(1,),
+        event="A node's receiving queue overflows.",
+        impact=(
+            "Queue overflow loses both incoming and self-generated packets."
+        ),
+    ),
+    Hazard(
+        name="noack_retransmit",
+        triggers=("noack_retransmit_counter", "retransmit_counter"),
+        directions=(1, 1),
+        event="Packets are retransmitted because no ACK is received.",
+        impact=(
+            "Either the link between sender and receiver is poor, or the "
+            "receiver cannot handle the incoming packets (buffer overflow)."
+        ),
+    ),
+    Hazard(
+        name="parent_churn",
+        triggers=("parent_change_counter",),
+        directions=(1,),
+        event="A node changes its parent frequently.",
+        impact=(
+            "Frequent parent change indicates great link dynamics, often "
+            "correlated with environmental conditions."
+        ),
+    ),
+    Hazard(
+        name="routing_loop",
+        triggers=(
+            "loop_counter",
+            "transmit_counter",
+            "self_transmit_counter",
+            "duplicate_counter",
+            "overflow_drop_counter",
+        ),
+        directions=(1, 1, 1, 1, 1),
+        event="A loop appears in the network.",
+        impact=(
+            "A loop causes great packet loss and energy consumption in an "
+            "area: packets are repeatedly sent and received until dropped, "
+            "queues overflow, and duplicates proliferate."
+        ),
+    ),
+    Hazard(
+        name="link_disconnection",
+        triggers=("drop_packet_counter",),
+        directions=(1,),
+        event="A packet is dropped after 30 retransmissions.",
+        impact=(
+            "The link between sender and receiver is very poor, or they "
+            "are disconnected entirely."
+        ),
+    ),
+    Hazard(
+        name="duplicate_storm",
+        triggers=("duplicate_counter",),
+        directions=(1,),
+        event="Too many duplicate packets in the network.",
+        impact=(
+            "Duplicates waste energy and storage, and indicate poor link "
+            "quality (ACKs lost on the reverse link)."
+        ),
+    ),
+    Hazard(
+        name="contention",
+        triggers=("mac_backoff_counter", "noack_retransmit_counter"),
+        directions=(1, 1),
+        event="Severe channel contention: nodes back off repeatedly and "
+        "cannot send or receive successfully.",
+        impact=(
+            "Link-quality degradation, often caused by environmental "
+            "factors (interference)."
+        ),
+    ),
+    Hazard(
+        name="node_failure",
+        triggers=("no_parent_counter", "parent_change_counter",
+                  "noack_retransmit_counter"),
+        directions=(1, 1, 1),
+        event="A neighbor (often the parent) fails and becomes unreachable.",
+        impact=(
+            "Children retransmit without ACKs, then change parent; if no "
+            "alternative parent exists they are cut off from the sink."
+        ),
+    ),
+    Hazard(
+        name="energy_drain",
+        triggers=("voltage", "radio_on_time"),
+        directions=(-1, 1),
+        event="A node consumes too much energy during the interval.",
+        impact="Voltage sags; sustained drain leads to node death.",
+    ),
+)
+
+HAZARD_INDEX: Dict[str, Hazard] = {h.name: h for h in HAZARDS}
+
+
+def hazards_for_metric(metric_name: str) -> List[Hazard]:
+    """All hazards whose trigger set contains ``metric_name``."""
+    if metric_name not in METRIC_INDEX:
+        raise KeyError(f"unknown metric: {metric_name!r}")
+    return [h for h in HAZARDS if metric_name in h.triggers]

@@ -1,0 +1,132 @@
+"""Sink-side collection of report packets into per-node metric timelines.
+
+The sink receives C1/C2/C3 packets out of order and with losses.  The
+collector groups them by (node, epoch); once all three classes of an epoch
+have arrived, the epoch is *complete* and a full 43-metric snapshot is
+appended to that node's timeline.  Incomplete epochs are dropped (the paper
+differences *successive packets*, so a snapshot with a missing third is
+useless for state construction).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.metrics.catalog import PacketClass
+from repro.metrics.packets import ReportPacket, merge_packets
+
+
+@dataclass
+class SnapshotRecord:
+    """One complete snapshot as seen at the sink.
+
+    Attributes:
+        node_id: Originating node.
+        epoch: Reporting-epoch index at the origin.
+        generated_at: When the node took the snapshot.
+        received_at: When the last of the three packets arrived at the sink.
+        values: Length-43 metric vector in catalog order.
+    """
+
+    node_id: int
+    epoch: int
+    generated_at: float
+    received_at: float
+    values: np.ndarray
+
+
+class NodeTimeline:
+    """Epoch-ordered sequence of complete snapshots for a single node.
+
+    Epochs can *complete* out of order at the sink (a retransmitted C3 of
+    epoch 8 may arrive after all of epoch 9 during heavy loss), so append
+    inserts by epoch rather than trusting completion order.
+    """
+
+    def __init__(self, node_id: int):
+        self.node_id = node_id
+        self.snapshots: List[SnapshotRecord] = []
+
+    def append(self, record: SnapshotRecord) -> None:
+        position = bisect.bisect_left(
+            [s.epoch for s in self.snapshots], record.epoch
+        )
+        self.snapshots.insert(position, record)
+
+    def __len__(self) -> int:
+        return len(self.snapshots)
+
+    def matrix(self) -> np.ndarray:
+        """All snapshots stacked into an (n_snapshots, 43) array."""
+        if not self.snapshots:
+            return np.zeros((0, 0))
+        return np.vstack([s.values for s in self.snapshots])
+
+
+class SinkCollector:
+    """Accumulates report packets arriving at the sink.
+
+    Also keeps delivery statistics (packets received per class, per node)
+    that feed the PRR analysis.
+    """
+
+    def __init__(self):
+        self._pending: Dict[Tuple[int, int], List[ReportPacket]] = {}
+        self.timelines: Dict[int, NodeTimeline] = {}
+        self.packets_received = 0
+        self.packets_by_class: Dict[PacketClass, int] = {
+            PacketClass.C1: 0,
+            PacketClass.C2: 0,
+            PacketClass.C3: 0,
+        }
+        #: (node_id, epoch, packet_class, received_at) tuples, in arrival order.
+        self.arrival_log: List[Tuple[int, int, PacketClass, float]] = []
+
+    def deliver(self, packet: ReportPacket, received_at: float) -> Optional[SnapshotRecord]:
+        """Register an arriving packet.
+
+        Returns:
+            The completed :class:`SnapshotRecord` if this packet finished
+            its epoch, else ``None``.
+        """
+        self.packets_received += 1
+        self.packets_by_class[packet.PACKET_CLASS] += 1
+        self.arrival_log.append(
+            (packet.node_id, packet.epoch, packet.PACKET_CLASS, received_at)
+        )
+
+        key = (packet.node_id, packet.epoch)
+        bucket = self._pending.setdefault(key, [])
+        if any(p.PACKET_CLASS is packet.PACKET_CLASS for p in bucket):
+            return None  # duplicate delivery of the same class; ignore
+        bucket.append(packet)
+        if len(bucket) < 3:
+            return None
+
+        values = merge_packets(bucket)
+        record = SnapshotRecord(
+            node_id=packet.node_id,
+            epoch=packet.epoch,
+            generated_at=bucket[0].generated_at,
+            received_at=received_at,
+            values=values,
+        )
+        del self._pending[key]
+        timeline = self.timelines.get(packet.node_id)
+        if timeline is None:
+            timeline = NodeTimeline(packet.node_id)
+            self.timelines[packet.node_id] = timeline
+        timeline.append(record)
+        return record
+
+    def incomplete_epochs(self) -> int:
+        """Number of (node, epoch) buckets still missing packet classes."""
+        return len(self._pending)
+
+    def total_snapshots(self) -> int:
+        """Total complete snapshots across all nodes."""
+        return sum(len(t) for t in self.timelines.values())

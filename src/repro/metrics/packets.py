@@ -1,0 +1,156 @@
+"""Report packets C1/C2/C3 and conversions to/from 43-metric snapshots.
+
+Every reporting period a node splits its current metric snapshot into the
+three packet classes the paper describes and hands them to the collection
+layer.  At the sink, :func:`merge_packets` reassembles packets from the same
+reporting epoch into one full snapshot vector.  A snapshot is a length-43
+``numpy`` array in :data:`repro.metrics.catalog.METRIC_NAMES` order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import ClassVar, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.metrics.catalog import (
+    METRIC_INDEX,
+    METRIC_NAMES,
+    NUM_METRICS,
+    PacketClass,
+    metrics_in_packet,
+)
+
+_C1_NAMES: Tuple[str, ...] = tuple(m.name for m in metrics_in_packet(PacketClass.C1))
+_C2_NAMES: Tuple[str, ...] = tuple(m.name for m in metrics_in_packet(PacketClass.C2))
+_C3_NAMES: Tuple[str, ...] = tuple(m.name for m in metrics_in_packet(PacketClass.C3))
+
+
+@dataclass
+class ReportPacket:
+    """Base class for the three report packet types.
+
+    Attributes:
+        node_id: Originating node.
+        epoch: Reporting-epoch index at the origin (ties the three packet
+            classes of one snapshot together).
+        generated_at: Simulation time the snapshot was taken.
+        values: Metric name -> value for the metrics this class carries.
+    """
+
+    node_id: int
+    epoch: int
+    generated_at: float
+    values: Dict[str, float] = field(default_factory=dict)
+
+    #: Metric names this packet class carries, in catalog order.
+    FIELD_NAMES: ClassVar[Tuple[str, ...]] = ()
+    #: Which packet class this is.
+    PACKET_CLASS: ClassVar[Optional[PacketClass]] = None
+
+    def __post_init__(self) -> None:
+        unknown = set(self.values) - set(self.FIELD_NAMES)
+        if unknown:
+            raise ValueError(
+                f"{type(self).__name__} cannot carry metrics {sorted(unknown)}"
+            )
+
+
+@dataclass
+class C1Packet(ReportPacket):
+    """Sensor readings + routing summary (temperature ... path_length)."""
+
+    FIELD_NAMES: ClassVar[Tuple[str, ...]] = _C1_NAMES
+    PACKET_CLASS: ClassVar[PacketClass] = PacketClass.C1
+
+
+@dataclass
+class C2Packet(ReportPacket):
+    """Neighbor table: neighbor count, per-entry RSSI and link-ETX."""
+
+    FIELD_NAMES: ClassVar[Tuple[str, ...]] = _C2_NAMES
+    PACKET_CLASS: ClassVar[PacketClass] = PacketClass.C2
+
+
+@dataclass
+class C3Packet(ReportPacket):
+    """Cumulative protocol counters."""
+
+    FIELD_NAMES: ClassVar[Tuple[str, ...]] = _C3_NAMES
+    PACKET_CLASS: ClassVar[PacketClass] = PacketClass.C3
+
+
+_PACKET_TYPES = (C1Packet, C2Packet, C3Packet)
+
+
+def snapshot_to_packets(
+    node_id: int, epoch: int, generated_at: float, snapshot: np.ndarray
+) -> Tuple[C1Packet, C2Packet, C3Packet]:
+    """Split a full 43-metric snapshot into its three report packets.
+
+    Args:
+        node_id: Originating node id.
+        epoch: Reporting-epoch index at the origin.
+        generated_at: Simulation time of the snapshot.
+        snapshot: Length-43 array in catalog order.
+
+    Returns:
+        The (C1, C2, C3) packets carrying the corresponding slices.
+    """
+    snapshot = np.asarray(snapshot, dtype=float)
+    if snapshot.shape != (NUM_METRICS,):
+        raise ValueError(
+            f"snapshot must have shape ({NUM_METRICS},), got {snapshot.shape}"
+        )
+    packets = []
+    for cls in _PACKET_TYPES:
+        values = {
+            name: float(snapshot[METRIC_INDEX[name]]) for name in cls.FIELD_NAMES
+        }
+        packets.append(cls(node_id, epoch, generated_at, values))
+    return tuple(packets)  # type: ignore[return-value]
+
+
+def merge_packets(packets: Iterable[ReportPacket]) -> np.ndarray:
+    """Reassemble one epoch's packets into a full snapshot vector.
+
+    All packets must come from the same node and epoch, and together must
+    cover every metric exactly once (i.e. one C1, one C2 and one C3).
+
+    Returns:
+        Length-43 array in catalog order.
+
+    Raises:
+        ValueError: On node/epoch mismatch, duplicates, or missing classes.
+    """
+    packets = list(packets)
+    if not packets:
+        raise ValueError("no packets to merge")
+    node_ids = {p.node_id for p in packets}
+    epochs = {p.epoch for p in packets}
+    if len(node_ids) != 1 or len(epochs) != 1:
+        raise ValueError(
+            f"packets span nodes {sorted(node_ids)} / epochs {sorted(epochs)}; "
+            "merge takes one node-epoch at a time"
+        )
+    seen_classes = [p.PACKET_CLASS for p in packets]
+    if len(set(seen_classes)) != len(seen_classes):
+        raise ValueError("duplicate packet class in merge input")
+    if set(seen_classes) != {PacketClass.C1, PacketClass.C2, PacketClass.C3}:
+        missing = {PacketClass.C1, PacketClass.C2, PacketClass.C3} - set(seen_classes)
+        raise ValueError(
+            f"incomplete snapshot: missing {sorted(c.value for c in missing)}"
+        )
+    snapshot = np.zeros(NUM_METRICS, dtype=float)
+    for packet in packets:
+        for name, value in packet.values.items():
+            snapshot[METRIC_INDEX[name]] = value
+    return snapshot
+
+
+def packet_class_of(packet: ReportPacket) -> PacketClass:
+    """The :class:`PacketClass` of a packet instance."""
+    if packet.PACKET_CLASS is None:
+        raise TypeError("bare ReportPacket has no packet class")
+    return packet.PACKET_CLASS

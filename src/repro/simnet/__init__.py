@@ -1,0 +1,39 @@
+"""Discrete-event wireless sensor network simulator.
+
+The simulator is the substrate that stands in for the paper's CitySee
+deployment and TelosB testbed.  It produces the same observable artifact the
+paper's tool consumes: a stream of C1/C2/C3 report packets carrying 43
+metrics, collected at a single sink over a CTP-like collection tree.
+"""
+
+from repro.simnet.kernel import Simulator, Event
+from repro.simnet.network import Network, NetworkConfig
+from repro.simnet.topology import Topology, grid_topology, random_geometric_topology
+from repro.simnet.faults import (
+    FaultInjector,
+    NodeFailure,
+    NodeReboot,
+    LinkDegradation,
+    Interference,
+    ForcedLoop,
+    TrafficBurst,
+    BatteryDrain,
+)
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Network",
+    "NetworkConfig",
+    "Topology",
+    "grid_topology",
+    "random_geometric_topology",
+    "FaultInjector",
+    "NodeFailure",
+    "NodeReboot",
+    "LinkDegradation",
+    "Interference",
+    "ForcedLoop",
+    "TrafficBurst",
+    "BatteryDrain",
+]

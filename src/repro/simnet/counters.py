@@ -1,0 +1,44 @@
+"""The C3 protocol counters a node maintains.
+
+Plain attributes (not a dict) for speed — these are bumped millions of
+times in a long simulation.  All counters are cumulative and reset to zero
+on node reboot, which is precisely what produces the large negative deltas
+the paper's reboot signature (Ψ4-style) keys on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class CounterSet:
+    """Cumulative protocol counters for one node."""
+
+    __slots__ = (
+        "parent_change_counter",
+        "no_parent_counter",
+        "transmit_counter",
+        "self_transmit_counter",
+        "receive_counter",
+        "overflow_drop_counter",
+        "noack_retransmit_counter",
+        "drop_packet_counter",
+        "duplicate_counter",
+        "loop_counter",
+        "mac_backoff_counter",
+        "beacon_counter",
+        "ack_counter",
+        "retransmit_counter",
+    )
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero every counter (node reboot)."""
+        for name in self.__slots__:
+            setattr(self, name, 0.0)
+
+    def as_dict(self) -> Dict[str, float]:
+        """All counters as a name -> value mapping."""
+        return {name: getattr(self, name) for name in self.__slots__}

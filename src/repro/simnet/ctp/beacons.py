@@ -1,0 +1,53 @@
+"""Trickle-style adaptive beacon timer.
+
+CTP beacons follow the Trickle discipline: the interval doubles while the
+topology is quiet (saving energy and airtime) and snaps back to the minimum
+whenever something interesting happens — a parent change, a detected loop,
+or a brand-new neighbor.  The timer here reproduces that behaviour; the
+node layer asks :meth:`next_delay` after each beacon and calls
+:meth:`reset` on topology events.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class TrickleTimer:
+    """Doubling beacon interval with jitter.
+
+    Args:
+        min_interval_s: Interval after a reset.
+        max_interval_s: Interval ceiling.
+        rng: Source of jitter (+-25 % around the nominal interval).
+    """
+
+    def __init__(
+        self,
+        min_interval_s: float = 30.0,
+        max_interval_s: float = 480.0,
+        rng: "np.random.Generator" = None,
+    ):
+        if min_interval_s <= 0 or max_interval_s < min_interval_s:
+            raise ValueError("need 0 < min_interval_s <= max_interval_s")
+        self.min_interval_s = min_interval_s
+        self.max_interval_s = max_interval_s
+        self._rng = rng
+        self._interval = min_interval_s
+
+    def next_delay(self) -> float:
+        """Delay until the next beacon; doubles the interval afterwards."""
+        interval = self._interval
+        self._interval = min(self.max_interval_s, self._interval * 2.0)
+        if self._rng is not None:
+            return interval * float(self._rng.uniform(0.75, 1.25))
+        return interval
+
+    def reset(self) -> None:
+        """Snap back to the minimum interval (topology changed)."""
+        self._interval = self.min_interval_s
+
+    @property
+    def current_interval(self) -> float:
+        """The interval the *next* call to :meth:`next_delay` will use."""
+        return self._interval

@@ -1,0 +1,275 @@
+"""Forwarding engine: queueing, dedup, loop detection, retransmission policy.
+
+Receiver-side behaviour (``on_frame_received``) implements the causal chains
+the paper's Table I describes:
+
+* a frame whose path already contains this node signals a **routing loop**
+  (``loop_counter``), but the frame is still forwarded until its THL
+  expires — which is exactly why loops inflate ``Transmit_counter`` and
+  ``Duplicate_counter`` together;
+* an exact retransmission (same origin/seqno/THL) is a **link-layer
+  duplicate** (``duplicate_counter``): it is ACKed but not re-enqueued;
+* a full queue causes an **overflow drop** (``overflow_drop_counter``) and
+  *no ACK* — so the sender's ``NOACK_retransmit_counter`` rises, matching
+  the paper's observation that NOACK retransmits can mean either bad links
+  or receiver overflow.
+
+Sender-side policy (max 30 retransmissions, then drop) lives in the node's
+transmit loop; this module supplies the bookkeeping primitives.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Optional, Set, Tuple
+
+from repro.metrics.packets import ReportPacket
+from repro.simnet.counters import CounterSet
+from repro.simnet.queuebuf import PacketQueue
+
+MAX_RETRANSMISSIONS = 30
+"""Per the paper: a packet is dropped after 30 failed transmissions."""
+
+INITIAL_THL = 32
+"""Time-has-lived budget; looped frames die when it reaches zero."""
+
+DEDUP_CACHE_SIZE = 256
+"""Recently-seen (origin, seqno) entries kept per node."""
+
+
+class TxResult(enum.Enum):
+    """Outcome of one unicast transmission attempt (ground truth).
+
+    The sender can only distinguish ACKED from not-ACKED; the other values
+    record *why* no ACK arrived, for ground-truth analysis.
+    """
+
+    ACKED = "acked"
+    NOACK_LOST = "noack_lost"  # data frame not decoded at receiver
+    NOACK_OVERFLOW = "noack_overflow"  # receiver queue full, no ACK sent
+    NOACK_ACK_LOST = "noack_ack_lost"  # accepted, but the ACK was lost
+    CHANNEL_FAIL = "channel_fail"  # CSMA never acquired the channel
+
+
+@dataclass
+class DataFrame:
+    """A data packet travelling the collection tree.
+
+    Attributes:
+        origin: Node that generated the report.
+        seqno: Origin-scoped sequence number.
+        report: The C1/C2/C3 report packet being carried.
+        path: Node ids that have held this frame, origin first.
+        thl: Remaining time-has-lived (hops).
+        created_at: Simulation time of generation.
+    """
+
+    origin: int
+    seqno: int
+    report: ReportPacket
+    path: Tuple[int, ...]
+    thl: int
+    created_at: float
+
+    def received_copy(self, receiver_id: int) -> "DataFrame":
+        """The frame as stored by a node that accepted it (path grows,
+        THL shrinks)."""
+        return DataFrame(
+            origin=self.origin,
+            seqno=self.seqno,
+            report=self.report,
+            path=self.path + (receiver_id,),
+            thl=self.thl - 1,
+            created_at=self.created_at,
+        )
+
+
+@dataclass
+class ReceiveVerdict:
+    """What the receiver decided about an incoming frame."""
+
+    send_ack: bool
+    accepted: bool
+    was_duplicate: bool = False
+    loop_detected: bool = False
+    delivered_at_sink: bool = False
+
+
+class ForwardingEngine:
+    """Per-node forwarding state."""
+
+    def __init__(
+        self,
+        node_id: int,
+        counters: CounterSet,
+        is_sink: bool = False,
+        queue_capacity: int = 12,
+    ):
+        self.node_id = node_id
+        self.counters = counters
+        self.is_sink = is_sink
+        self.queue: PacketQueue[DataFrame] = PacketQueue(queue_capacity)
+        # (origin, seqno) -> set of THLs seen; OrderedDict for LRU eviction.
+        self._seen: "OrderedDict[Tuple[int, int], Set[int]]" = OrderedDict()
+        self._next_seqno = 0
+        #: Number of retransmissions already spent on the current head frame.
+        self.head_retx = 0
+
+    # ------------------------------------------------------------------
+    # origination
+    # ------------------------------------------------------------------
+
+    def submit_self_report(self, report: ReportPacket, now: float) -> Optional[DataFrame]:
+        """Queue a self-generated report.
+
+        Returns the created frame, or ``None`` if the queue overflowed
+        (which still counts as an overflow drop, per Table I).
+        """
+        frame = DataFrame(
+            origin=self.node_id,
+            seqno=self._next_seqno,
+            report=report,
+            path=(self.node_id,),
+            thl=INITIAL_THL,
+            created_at=now,
+        )
+        self._next_seqno += 1
+        self.counters.self_transmit_counter += 1
+        if not self.queue.push(frame):
+            self.counters.overflow_drop_counter += 1
+            return None
+        return frame
+
+    # ------------------------------------------------------------------
+    # reception
+    # ------------------------------------------------------------------
+
+    def _remember(self, key: Tuple[int, int], thl: int) -> None:
+        thls = self._seen.get(key)
+        if thls is None:
+            if len(self._seen) >= DEDUP_CACHE_SIZE:
+                self._seen.popitem(last=False)
+            thls = set()
+            self._seen[key] = thls
+        else:
+            self._seen.move_to_end(key)
+        thls.add(thl)
+
+    def on_frame_received(self, frame: DataFrame) -> ReceiveVerdict:
+        """Process an incoming, successfully-decoded data frame."""
+        loop_detected = self.node_id in frame.path
+        if loop_detected:
+            self.counters.loop_counter += 1
+
+        key = (frame.origin, frame.seqno)
+        thls = self._seen.get(key)
+        exact_duplicate = thls is not None and frame.thl in thls
+        looped_duplicate = thls is not None and frame.thl not in thls
+
+        if exact_duplicate:
+            # Link-layer retransmission of something already accepted:
+            # ACK it again, do not re-enqueue.
+            self.counters.duplicate_counter += 1
+            return ReceiveVerdict(
+                send_ack=True,
+                accepted=False,
+                was_duplicate=True,
+                loop_detected=loop_detected,
+            )
+
+        if self.is_sink:
+            # The sink consumes frames instead of forwarding them.
+            if looped_duplicate:
+                self.counters.duplicate_counter += 1
+                self._remember(key, frame.thl)
+                return ReceiveVerdict(
+                    send_ack=True,
+                    accepted=False,
+                    was_duplicate=True,
+                    loop_detected=loop_detected,
+                )
+            self._remember(key, frame.thl)
+            self.counters.receive_counter += 1
+            return ReceiveVerdict(
+                send_ack=True,
+                accepted=True,
+                loop_detected=loop_detected,
+                delivered_at_sink=True,
+            )
+
+        if looped_duplicate:
+            # Same packet on a second pass (routing loop): per CTP, it is
+            # still forwarded (THL will eventually kill it), and it counts
+            # as a duplicate in the metric layer.
+            self.counters.duplicate_counter += 1
+
+        if frame.thl <= 0:
+            # THL expired: ACK (the link worked) but silently discard.
+            self._remember(key, frame.thl)
+            return ReceiveVerdict(
+                send_ack=True, accepted=False, loop_detected=loop_detected,
+                was_duplicate=looped_duplicate,
+            )
+
+        if self.queue.is_full():
+            self.counters.overflow_drop_counter += 1
+            return ReceiveVerdict(
+                send_ack=False, accepted=False, loop_detected=loop_detected,
+                was_duplicate=looped_duplicate,
+            )
+
+        self._remember(key, frame.thl)
+        stored = frame.received_copy(self.node_id)
+        self.queue.push(stored)
+        self.counters.receive_counter += 1
+        return ReceiveVerdict(
+            send_ack=True,
+            accepted=True,
+            was_duplicate=looped_duplicate,
+            loop_detected=loop_detected,
+        )
+
+    # ------------------------------------------------------------------
+    # sender-side bookkeeping
+    # ------------------------------------------------------------------
+
+    def head(self) -> Optional[DataFrame]:
+        """The frame currently first in line, if any."""
+        return self.queue.peek()
+
+    def complete_head(self) -> DataFrame:
+        """Pop the head after a successful (ACKed) transmission."""
+        self.head_retx = 0
+        return self.queue.pop()
+
+    def retry_head(self) -> bool:
+        """Record a failed attempt on the head frame.
+
+        Returns:
+            True if the frame should be retried, False if it exhausted its
+            30 retransmissions and was dropped (``drop_packet_counter``).
+        """
+        self.head_retx += 1
+        if self.head_retx > MAX_RETRANSMISSIONS:
+            self.queue.pop()
+            self.head_retx = 0
+            self.counters.drop_packet_counter += 1
+            return False
+        return True
+
+    def drop_expired_head(self) -> None:
+        """Silently drop a head frame whose THL is exhausted."""
+        self.queue.pop()
+        self.head_retx = 0
+
+    def clear(self) -> None:
+        """Forget queue and dedup state (node reboot)."""
+        self.queue.clear()
+        self._seen.clear()
+        self.head_retx = 0
+        # seqno deliberately NOT reset: on real motes it lives in the
+        # packet layer and restarting from 0 would alias old cache entries
+        # at receivers.  (CTP uses random initial seqno after reboot; we
+        # just keep counting.)

@@ -1,0 +1,188 @@
+"""Routing engine: parent selection over the link estimator's table.
+
+CTP semantics:
+
+* Route cost is ``neighbor's advertised path-ETX + link-ETX to it``; the
+  node advertises its own cost in beacons.
+* Parent switches need a hysteresis margin (``switch_threshold``) so
+  marginal fluctuations don't churn the tree — but when the current parent
+  disappears or its cost diverges, the node re-parents immediately and
+  ``parent_change_counter`` increments.
+* Loop avoidance: a neighbor is not eligible if its advertised cost is not
+  smaller than the node's own current cost (no routing "uphill").
+
+The engine also supports a *forced parent* override used by the fault
+injector to create genuine routing loops (two nodes forced to adopt each
+other), the scenario behind the paper's Ψ6/Ψ16 loop signature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.simnet.counters import CounterSet
+from repro.simnet.ctp.etx import MAX_ETX, LinkEstimator
+
+
+@dataclass(frozen=True)
+class Beacon:
+    """A routing beacon: the sender's identity and advertised route cost."""
+
+    src: int
+    path_etx: float
+    path_length: int
+
+
+class RoutingEngine:
+    """Parent selection for one node."""
+
+    def __init__(
+        self,
+        node_id: int,
+        estimator: LinkEstimator,
+        counters: CounterSet,
+        is_sink: bool = False,
+        switch_threshold: float = 1.5,
+    ):
+        self.node_id = node_id
+        self.estimator = estimator
+        self.counters = counters
+        self.is_sink = is_sink
+        self.switch_threshold = switch_threshold
+        self.parent: Optional[int] = None
+        #: Advertised hop count of the current parent (from its beacon).
+        self._parent_path_length: int = 0
+        # fault-injected override
+        self._forced_parent: Optional[int] = None
+        self._forced_until: float = 0.0
+        #: Set when the parent changed since last consumed (beacon reset).
+        self.route_changed = False
+
+    # ------------------------------------------------------------------
+    # cost queries
+    # ------------------------------------------------------------------
+
+    def _cost_via(self, neighbor_id: int) -> float:
+        entry = self.estimator.entry(neighbor_id)
+        if entry is None:
+            return MAX_ETX
+        cost = entry.advertised_path_etx + entry.link_etx()
+        return min(MAX_ETX, cost)
+
+    def path_etx(self) -> float:
+        """The node's current route cost to the sink (0 at the sink)."""
+        if self.is_sink:
+            return 0.0
+        if self.parent is None:
+            return MAX_ETX
+        return self._cost_via(self.parent)
+
+    def path_length(self) -> int:
+        """Estimated hop count to the sink (0 at the sink)."""
+        if self.is_sink:
+            return 0
+        if self.parent is None:
+            return 0
+        entry = self.estimator.entry(self.parent)
+        if entry is not None:
+            return entry.advertised_path_length + 1
+        return self._parent_path_length + 1
+
+    def make_beacon(self) -> Beacon:
+        """The beacon this node would broadcast right now."""
+        return Beacon(
+            src=self.node_id,
+            path_etx=self.path_etx(),
+            path_length=self.path_length(),
+        )
+
+    def current_parent(self, now: float) -> Optional[int]:
+        """The active parent (honouring any live forced override)."""
+        if self.is_sink:
+            return None
+        if self._forced_parent is not None and now < self._forced_until:
+            return self._forced_parent
+        return self.parent
+
+    # ------------------------------------------------------------------
+    # route maintenance
+    # ------------------------------------------------------------------
+
+    def update_route(self, now: float) -> None:
+        """Re-evaluate the parent choice against the estimator table."""
+        if self.is_sink:
+            return
+        if self._forced_parent is not None and now >= self._forced_until:
+            self._forced_parent = None
+
+        own_cost = self.path_etx()
+        best_id: Optional[int] = None
+        best_cost = MAX_ETX
+        for entry in self.estimator.entries.values():
+            if entry.advertised_path_etx >= MAX_ETX:
+                continue
+            # Loop avoidance: never route through a neighbor whose own cost
+            # is not strictly below ours (it could be a descendant).
+            if self.parent is not None and entry.advertised_path_etx >= own_cost:
+                continue
+            cost = self._cost_via(entry.neighbor_id)
+            if cost < best_cost:
+                best_cost = cost
+                best_id = entry.neighbor_id
+
+        if best_id is None:
+            if self.parent is not None and self._cost_via(self.parent) >= MAX_ETX:
+                self._set_parent(None)
+            return
+
+        if self.parent is None:
+            self._set_parent(best_id)
+            return
+
+        current_cost = self._cost_via(self.parent)
+        if best_id != self.parent and best_cost + self.switch_threshold < current_cost:
+            self._set_parent(best_id)
+
+    def _set_parent(self, new_parent: Optional[int]) -> None:
+        old = self.parent
+        self.parent = new_parent
+        if new_parent is not None:
+            entry = self.estimator.entry(new_parent)
+            self._parent_path_length = (
+                entry.advertised_path_length if entry is not None else 0
+            )
+        if old is not None and new_parent != old:
+            self.counters.parent_change_counter += 1
+            self.route_changed = True
+        elif old is None and new_parent is not None:
+            self.route_changed = True
+
+    def on_parent_lost(self) -> None:
+        """Called when the parent aged out of the neighbor table."""
+        if self.parent is not None:
+            self._set_parent(None)
+
+    def force_parent(self, parent_id: Optional[int], until: float) -> None:
+        """Fault hook: pin the parent to ``parent_id`` until ``until``."""
+        self._forced_parent = parent_id
+        self._forced_until = until
+        self.route_changed = True
+
+    def on_loop_detected(self) -> None:
+        """React to a detected loop: beacon fast and recompute."""
+        self.route_changed = True
+
+    def consume_route_changed(self) -> bool:
+        """Return-and-clear the 'route changed' flag (beacon reset)."""
+        flag = self.route_changed
+        self.route_changed = False
+        return flag
+
+    def clear(self) -> None:
+        """Forget routing state (node reboot)."""
+        self.parent = None
+        self._parent_path_length = 0
+        self._forced_parent = None
+        self._forced_until = 0.0
+        self.route_changed = False

@@ -1,0 +1,156 @@
+"""Node hardware: battery/voltage, temperature-dependent clock, radio energy.
+
+The hardware model supplies three things the metric layer reports:
+
+* ``voltage`` — battery voltage, declining with consumed energy.  The paper
+  notes a TelosB node stops working below 2.8 V; :meth:`Battery.is_dead`
+  encodes that cutoff.
+* clock skew — TelosB's crystal drifts quadratically with temperature,
+  which modulates the reporting period (Table I: clock instability makes a
+  node send too fast or too slow).
+* ``radio_on_time`` — cumulative seconds of radio activity, the energy
+  proxy the paper's ``Radio_on_time`` metric reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class EnergyParams:
+    """Energy accounting constants (loosely TelosB/CC2420-scaled).
+
+    The absolute scale is tuned so a default node survives multi-week runs
+    while heavy activity (loops, contention) produces a visible voltage sag
+    within hours — the behaviour VN2's Ψ2 "energy drain" signature needs.
+    """
+
+    battery_capacity_j: float = 20000.0
+    tx_energy_j: float = 0.004
+    rx_energy_j: float = 0.003
+    idle_power_w: float = 0.00015
+    tx_duration_s: float = 0.004
+    rx_duration_s: float = 0.004
+    listen_duty_cycle: float = 0.05
+
+
+@dataclass
+class ClockParams:
+    """Crystal-drift constants.
+
+    Drift is ``base_ppm + curvature_ppm * (T - turnover_c)^2`` parts per
+    million — the standard tuning-fork crystal model.
+    """
+
+    base_ppm: float = 10.0
+    curvature_ppm: float = 0.035
+    turnover_c: float = 25.0
+
+
+class Battery:
+    """Battery with voltage derived from remaining charge.
+
+    Voltage follows a mildly non-linear discharge curve from
+    ``v_full`` (3.0 V, fresh AAs) to ``v_empty`` (2.6 V); the node is dead
+    below ``v_cutoff`` (2.8 V per the paper).
+    """
+
+    V_FULL = 3.0
+    V_EMPTY = 2.6
+    V_CUTOFF = 2.8
+
+    def __init__(self, params: EnergyParams, rng: np.random.Generator,
+                 initial_fraction: float = 1.0):
+        self.params = params
+        self._rng = rng
+        self.capacity_j = params.battery_capacity_j
+        self.used_j = (1.0 - initial_fraction) * self.capacity_j
+        self.drain_multiplier = 1.0
+
+    def consume(self, joules: float) -> None:
+        """Drain ``joules`` (scaled by any fault-injected drain multiplier)."""
+        self.used_j += joules * self.drain_multiplier
+
+    def depletion(self) -> float:
+        """Fraction of capacity consumed, clamped to [0, 1]."""
+        return min(1.0, max(0.0, self.used_j / self.capacity_j))
+
+    def voltage(self) -> float:
+        """Current voltage (V), with small measurement noise."""
+        d = self.depletion()
+        # Slightly convex discharge: flat at first, sagging near empty.
+        v = self.V_FULL - (self.V_FULL - self.V_EMPTY) * (d ** 1.5)
+        return v + float(self._rng.normal(0.0, 0.004))
+
+    def is_dead(self) -> bool:
+        """True once the voltage (noise-free) is below the 2.8 V cutoff."""
+        d = self.depletion()
+        v = self.V_FULL - (self.V_FULL - self.V_EMPTY) * (d ** 1.5)
+        return v < self.V_CUTOFF
+
+    def recharge(self) -> None:
+        """Reset to a full battery (battery swap on reboot)."""
+        self.used_j = 0.0
+        self.drain_multiplier = 1.0
+
+
+class Hardware:
+    """Per-node hardware aggregate: battery, clock skew, radio-on time."""
+
+    def __init__(
+        self,
+        energy: EnergyParams,
+        clock: ClockParams,
+        rng: np.random.Generator,
+        initial_battery_fraction: float = 1.0,
+    ):
+        self.energy_params = energy
+        self.clock_params = clock
+        self.battery = Battery(energy, rng, initial_battery_fraction)
+        self.radio_on_time = 0.0
+        self._last_idle_accrual = 0.0
+
+    # -- energy events ---------------------------------------------------
+
+    def on_transmit(self) -> None:
+        """Account one frame transmission."""
+        self.battery.consume(self.energy_params.tx_energy_j)
+        self.radio_on_time += self.energy_params.tx_duration_s
+
+    def on_receive(self) -> None:
+        """Account one frame reception."""
+        self.battery.consume(self.energy_params.rx_energy_j)
+        self.radio_on_time += self.energy_params.rx_duration_s
+
+    def accrue_idle(self, now: float) -> None:
+        """Account idle listening between ``_last_idle_accrual`` and now."""
+        dt = now - self._last_idle_accrual
+        if dt <= 0:
+            return
+        self._last_idle_accrual = now
+        self.battery.consume(self.energy_params.idle_power_w * dt)
+        self.radio_on_time += dt * self.energy_params.listen_duty_cycle
+
+    # -- clock -----------------------------------------------------------
+
+    def clock_skew(self, temperature_c: float) -> float:
+        """Multiplicative period skew at the given die temperature.
+
+        Returns a factor near 1.0; e.g. 1.0001 means timers fire 100 ppm
+        late.
+        """
+        p = self.clock_params
+        drift_ppm = p.base_ppm + p.curvature_ppm * (temperature_c - p.turnover_c) ** 2
+        return 1.0 + drift_ppm * 1e-6
+
+    # -- lifecycle -------------------------------------------------------
+
+    def reboot(self, now: float, fresh_battery: bool = False) -> None:
+        """Reset volatile hardware state (radio-on time restarts at zero)."""
+        self.radio_on_time = 0.0
+        self._last_idle_accrual = now
+        if fresh_battery:
+            self.battery.recharge()

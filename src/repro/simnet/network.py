@@ -1,0 +1,275 @@
+"""Network assembly: nodes + medium + MAC arbitration + sink collection.
+
+:class:`Network` wires the substrate together and implements the two radio
+primitives the nodes use:
+
+* :meth:`transmit_data` — a unicast data frame with CSMA, PRR-drawn frame
+  loss, receiver-side processing and an ACK on the reverse link;
+* :meth:`broadcast_beacon` — a routing beacon delivered independently to
+  every in-range neighbor.
+
+It also owns delivery statistics (for PRR analysis) and the ground-truth
+event log the evaluation harnesses compare diagnoses against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.metrics.collector import SinkCollector
+from repro.simnet.ctp.forwarding import DataFrame, TxResult
+from repro.simnet.environment import Environment
+from repro.simnet.hardware import ClockParams, EnergyParams
+from repro.simnet.kernel import Simulator
+from repro.simnet.link import Medium
+from repro.simnet.mac import ChannelActivity, CsmaMac, MacParams
+from repro.simnet.node import Node
+from repro.simnet.radio import RadioParams
+from repro.simnet.rng import RngRegistry
+from repro.simnet.topology import Topology
+
+#: Airtime of one data frame + ACK turnaround (CC2420, ~133 bytes max).
+FRAME_AIRTIME_S = 0.004
+ACK_AIRTIME_S = 0.001
+
+
+@dataclass
+class NetworkConfig:
+    """All tunables of a simulation run.
+
+    Defaults match the CitySee-style deployment (10-minute reports); the
+    testbed generator overrides ``report_period_s`` to 180 s as in the
+    paper's experiments.
+    """
+
+    report_period_s: float = 600.0
+    beacon_min_s: float = 30.0
+    beacon_max_s: float = 480.0
+    maintenance_period_s: float = 60.0
+    queue_capacity: int = 12
+    neighbor_timeout_s: float = 1800.0
+    tx_spacing_s: float = 0.05
+    retry_delay_s: float = 0.15
+    no_parent_retry_s: float = 10.0
+    max_range_m: float = 150.0
+    day_seconds: float = 86400.0
+    seed: int = 0
+    radio: RadioParams = field(default_factory=RadioParams)
+    mac: MacParams = field(default_factory=MacParams)
+    energy: EnergyParams = field(default_factory=EnergyParams)
+    clock: ClockParams = field(default_factory=ClockParams)
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate delivery statistics."""
+
+    packets_generated: int = 0
+    data_tx_attempts: int = 0
+    data_tx_acked: int = 0
+    beacons_sent: int = 0
+
+
+@dataclass
+class GroundTruthEvent:
+    """One injected (or emergent) fault episode, for evaluation."""
+
+    kind: str
+    node_ids: Tuple[int, ...]
+    start: float
+    end: float
+
+
+class Network:
+    """A running sensor network simulation."""
+
+    def __init__(self, topology: Topology, config: Optional[NetworkConfig] = None):
+        self.topology = topology
+        self.config = config or NetworkConfig()
+        self.sim = Simulator()
+        self.rngs = RngRegistry(self.config.seed)
+        self.environment = Environment(
+            rng=self.rngs.stream("environment"),
+            day_seconds=self.config.day_seconds,
+        )
+        self.medium = Medium(
+            topology=topology,
+            environment=self.environment,
+            params=self.config.radio,
+            rng=self.rngs.stream("radio"),
+            max_range=self.config.max_range_m,
+        )
+        self.mac = CsmaMac(self.config.mac, self.rngs.stream("mac"))
+        self._loss_rng = self.rngs.stream("loss")
+        self.collector = SinkCollector()
+        self.stats = NetworkStats()
+        self.ground_truth: List[GroundTruthEvent] = []
+
+        self._activity: Dict[int, ChannelActivity] = {
+            nid: ChannelActivity(self.config.mac.activity_decay_s)
+            for nid in topology.node_ids
+        }
+        # Cache neighbor lists once: O(1) activity bumps per transmission.
+        self._neighbor_cache: Dict[int, List[int]] = {
+            nid: self.medium.neighbors(nid) for nid in topology.node_ids
+        }
+
+        self.nodes: Dict[int, Node] = {}
+        for node_id in topology.node_ids:
+            self.nodes[node_id] = Node(
+                node_id, self, is_sink=(node_id == topology.sink_id)
+            )
+
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def sink(self) -> Node:
+        """The sink node."""
+        return self.nodes[self.topology.sink_id]
+
+    def start(self) -> None:
+        """Arm every node's timers (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for node in self.nodes.values():
+            node.start()
+
+    def run(self, duration: float) -> None:
+        """Start (if needed) and advance the simulation by ``duration`` s."""
+        self.start()
+        self.sim.run(duration)
+
+    def run_until(self, end_time: float) -> None:
+        """Start (if needed) and advance the simulation to ``end_time``."""
+        self.start()
+        self.sim.run_until(end_time)
+
+    def record_ground_truth(
+        self, kind: str, node_ids: Tuple[int, ...], start: float, end: float
+    ) -> None:
+        """Append an event to the ground-truth log."""
+        self.ground_truth.append(GroundTruthEvent(kind, node_ids, start, end))
+
+    # ------------------------------------------------------------------
+    # radio primitives
+    # ------------------------------------------------------------------
+
+    def _noise_rise_at(self, node_id: int, now: float) -> float:
+        pos = self.topology.positions[node_id]
+        return (
+            self.environment.noise_floor(now, pos)
+            - self.environment.base_noise_floor
+        )
+
+    def _bump_activity_around(self, node_id: int, now: float) -> None:
+        amount = self.config.mac.activity_per_frame
+        for neighbor_id in self._neighbor_cache[node_id]:
+            self._activity[neighbor_id].bump(now, amount)
+
+    def transmit_data(
+        self,
+        sender: Node,
+        receiver_id: int,
+        frame: DataFrame,
+        callback: Callable[[int, TxResult], None],
+    ) -> None:
+        """One unicast attempt sender -> receiver with CSMA, loss and ACK.
+
+        All randomness is drawn immediately; the outcome is delivered to
+        ``callback(receiver_id, result)`` after the computed channel delay,
+        so each attempt costs a single scheduled event.
+        """
+        now = self.sim.now()
+        attempt = self.mac.attempt(
+            self._activity[sender.node_id].level(now),
+            self._noise_rise_at(sender.node_id, now),
+        )
+        sender.counters.mac_backoff_counter += attempt.backoffs
+        if not attempt.acquired:
+            self.sim.schedule(
+                attempt.delay_s, lambda: callback(receiver_id, TxResult.CHANNEL_FAIL)
+            )
+            return
+
+        self.stats.data_tx_attempts += 1
+        sender.counters.transmit_counter += 1
+        sender.hardware.on_transmit()
+        self._bump_activity_around(sender.node_id, now)
+
+        result = self._resolve_delivery(sender, receiver_id, frame, now)
+        if result is TxResult.ACKED:
+            self.stats.data_tx_acked += 1
+        total_delay = attempt.delay_s + FRAME_AIRTIME_S + ACK_AIRTIME_S
+        self.sim.schedule(total_delay, lambda: callback(receiver_id, result))
+
+    def _resolve_delivery(
+        self, sender: Node, receiver_id: int, frame: DataFrame, now: float
+    ) -> TxResult:
+        receiver = self.nodes.get(receiver_id)
+        if receiver is None or not receiver.alive:
+            return TxResult.NOACK_LOST
+        p_data = self.medium.frame_success_probability(
+            sender.node_id, receiver_id, now
+        )
+        if self._loss_rng.random() >= p_data:
+            return TxResult.NOACK_LOST
+
+        receiver.hardware.on_receive()
+        verdict = receiver.forwarding.on_frame_received(frame)
+        if verdict.loop_detected:
+            receiver.routing.on_loop_detected()
+        if verdict.delivered_at_sink:
+            self.collector.deliver(frame.report, received_at=now)
+        if verdict.accepted and not receiver.is_sink:
+            receiver.schedule_service()
+        if not verdict.send_ack:
+            return TxResult.NOACK_OVERFLOW
+
+        receiver.counters.ack_counter += 1
+        receiver.hardware.on_transmit()
+        p_ack = self.medium.frame_success_probability(
+            receiver_id, sender.node_id, now
+        )
+        if self._loss_rng.random() >= p_ack:
+            return TxResult.NOACK_ACK_LOST
+        return TxResult.ACKED
+
+    def broadcast_beacon(self, sender: Node) -> None:
+        """Broadcast a routing beacon to every in-range, living neighbor."""
+        now = self.sim.now()
+        beacon = sender.routing.make_beacon()
+        self.stats.beacons_sent += 1
+        sender.hardware.on_transmit()
+        self._bump_activity_around(sender.node_id, now)
+        for neighbor_id in self._neighbor_cache[sender.node_id]:
+            receiver = self.nodes[neighbor_id]
+            if not receiver.alive:
+                continue
+            p = self.medium.frame_success_probability(
+                sender.node_id, neighbor_id, now
+            )
+            if self._loss_rng.random() < p:
+                rssi = self.medium.rssi(sender.node_id, neighbor_id, now)
+                receiver.on_beacon_received(beacon, rssi)
+
+    # ------------------------------------------------------------------
+    # derived statistics
+    # ------------------------------------------------------------------
+
+    def delivery_ratio(self) -> float:
+        """Fraction of generated report packets that reached the sink."""
+        if self.stats.packets_generated == 0:
+            return 0.0
+        return self.collector.packets_received / self.stats.packets_generated
+
+    def alive_node_count(self) -> int:
+        """Number of living nodes (including the sink if alive)."""
+        return sum(1 for n in self.nodes.values() if n.alive)

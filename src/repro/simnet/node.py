@@ -1,0 +1,330 @@
+"""A sensor node: hardware + sensors + CTP stack + metric snapshots.
+
+The node glues the substrate together and owns the three timers a TinyOS
+mote would run:
+
+* the **report timer** (every ``report_period_s`` x clock-skew) takes a
+  43-metric snapshot and submits it as C1/C2/C3 packets — clock skew is
+  temperature-dependent, so hot/cold nodes genuinely send too fast or too
+  slow (Table I's first row);
+* the **beacon timer** (trickle) broadcasts routing beacons;
+* the **maintenance timer** ages the neighbor table, accrues idle energy,
+  and notices battery death.
+
+Transmissions are asynchronous: the node hands the head frame to the
+network and continues when the completion callback fires.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.metrics.catalog import MAX_NEIGHBORS, METRIC_INDEX, NUM_METRICS
+from repro.metrics.packets import snapshot_to_packets
+from repro.simnet.counters import CounterSet
+from repro.simnet.ctp.beacons import TrickleTimer
+from repro.simnet.ctp.etx import MAX_ETX, LinkEstimator
+from repro.simnet.ctp.forwarding import DataFrame, ForwardingEngine, TxResult
+from repro.simnet.ctp.routing import Beacon, RoutingEngine
+from repro.simnet.hardware import Hardware
+from repro.simnet.sensors import SensorSuite
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simnet.network import Network
+
+EMPTY_RSSI_SLOT = -100.0
+"""Reported RSSI for an empty neighbor-table slot (below any real signal)."""
+
+EMPTY_ETX_SLOT = MAX_ETX
+"""Reported link-ETX for an empty neighbor-table slot."""
+
+
+class Node:
+    """One sensor node (or the sink) in the simulated network."""
+
+    def __init__(
+        self,
+        node_id: int,
+        network: "Network",
+        is_sink: bool = False,
+    ):
+        self.node_id = node_id
+        self.network = network
+        self.is_sink = is_sink
+        config = network.config
+        sim_rng = network.rngs
+
+        self.counters = CounterSet()
+        self.hardware = Hardware(
+            energy=config.energy,
+            clock=config.clock,
+            rng=sim_rng.stream(f"hardware.{node_id}"),
+            initial_battery_fraction=1.0,
+        )
+        self.sensors = SensorSuite(
+            environment=network.environment,
+            hardware=self.hardware,
+            position=network.topology.positions[node_id],
+            rng=sim_rng.stream(f"sensors.{node_id}"),
+        )
+        self.estimator = LinkEstimator(
+            table_size=MAX_NEIGHBORS,
+            entry_timeout_s=config.neighbor_timeout_s,
+        )
+        self.routing = RoutingEngine(
+            node_id=node_id,
+            estimator=self.estimator,
+            counters=self.counters,
+            is_sink=is_sink,
+        )
+        self.forwarding = ForwardingEngine(
+            node_id=node_id,
+            counters=self.counters,
+            is_sink=is_sink,
+            queue_capacity=config.queue_capacity,
+        )
+        self.trickle = TrickleTimer(
+            min_interval_s=config.beacon_min_s,
+            max_interval_s=config.beacon_max_s,
+            rng=sim_rng.stream(f"trickle.{node_id}"),
+        )
+
+        self.alive = True
+        self.epoch = 0
+        self._busy = False
+        self._service_scheduled = False
+        self._started = False
+        self._gen = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Arm the node's timers (called once by the network)."""
+        if self._started:
+            return
+        self._started = True
+        config = self.network.config
+        self._arm_timers(
+            beacon_delay=(0.0, config.beacon_min_s),
+            report_delay=(0.0, config.report_period_s),
+            maintenance_delay=(0.0, config.maintenance_period_s),
+        )
+
+    def _arm_timers(self, beacon_delay, report_delay, maintenance_delay) -> None:
+        """(Re)start the timer chains under a fresh generation number.
+
+        Timer callbacks carry the generation they were armed under; after a
+        reboot the generation advances and stale callbacks become no-ops, so
+        a reboot never leaves two live timer chains.
+        """
+        self._gen += 1
+        gen = self._gen
+        sim = self.network.sim
+        rng = self.network.rngs.stream(f"timers.{self.node_id}")
+        sim.schedule(
+            float(rng.uniform(*beacon_delay)), lambda: self._beacon_tick(gen)
+        )
+        if not self.is_sink:
+            sim.schedule(
+                float(rng.uniform(*report_delay)), lambda: self._report_tick(gen)
+            )
+        sim.schedule(
+            float(rng.uniform(*maintenance_delay)),
+            lambda: self._maintenance_tick(gen),
+        )
+
+    def die(self) -> None:
+        """Hard failure: the node goes silent (radio off, timers inert)."""
+        self.alive = False
+        self._busy = False
+        self._gen += 1  # invalidate any armed timers
+
+    def reboot(self, fresh_battery: bool = True) -> None:
+        """Restart the node: counters, tables and queues reset to zero."""
+        now = self.network.sim.now()
+        self.alive = True
+        self.counters.reset()
+        self.hardware.reboot(now, fresh_battery=fresh_battery)
+        self.estimator.clear()
+        self.routing.clear()
+        self.forwarding.clear()
+        self.trickle.reset()
+        self._busy = False
+        self._service_scheduled = False
+        config = self.network.config
+        self._arm_timers(
+            beacon_delay=(0.5, 3.0),
+            report_delay=(1.0, max(1.5, config.report_period_s * 0.5)),
+            maintenance_delay=(1.0, config.maintenance_period_s),
+        )
+
+    # ------------------------------------------------------------------
+    # metric snapshot
+    # ------------------------------------------------------------------
+
+    def build_snapshot(self, now: float) -> np.ndarray:
+        """The node's current 43-metric vector, in catalog order."""
+        vec = np.zeros(NUM_METRICS, dtype=float)
+        readings = self.sensors.read(now)
+        vec[METRIC_INDEX["temperature"]] = readings.temperature
+        vec[METRIC_INDEX["humidity"]] = readings.humidity
+        vec[METRIC_INDEX["light"]] = readings.light
+        vec[METRIC_INDEX["co2"]] = readings.co2
+        vec[METRIC_INDEX["voltage"]] = readings.voltage
+        vec[METRIC_INDEX["path_etx"]] = min(self.routing.path_etx(), MAX_ETX)
+        vec[METRIC_INDEX["path_length"]] = float(self.routing.path_length())
+
+        entries = self.estimator.sorted_entries()[:MAX_NEIGHBORS]
+        vec[METRIC_INDEX["neighbor_num"]] = float(len(self.estimator.entries))
+        for slot in range(MAX_NEIGHBORS):
+            if slot < len(entries):
+                vec[METRIC_INDEX[f"rssi_{slot + 1}"]] = entries[slot].rssi_ewma
+                vec[METRIC_INDEX[f"etx_{slot + 1}"]] = entries[slot].link_etx()
+            else:
+                vec[METRIC_INDEX[f"rssi_{slot + 1}"]] = EMPTY_RSSI_SLOT
+                vec[METRIC_INDEX[f"etx_{slot + 1}"]] = EMPTY_ETX_SLOT
+
+        for name, value in self.counters.as_dict().items():
+            vec[METRIC_INDEX[name]] = value
+        vec[METRIC_INDEX["radio_on_time"]] = self.hardware.radio_on_time
+        return vec
+
+    # ------------------------------------------------------------------
+    # timers
+    # ------------------------------------------------------------------
+
+    def _report_tick(self, gen: int) -> None:
+        if gen != self._gen or not self.alive or self.is_sink:
+            return
+        sim = self.network.sim
+        now = sim.now()
+        snapshot = self.build_snapshot(now)
+        packets = snapshot_to_packets(self.node_id, self.epoch, now, snapshot)
+        self.epoch += 1
+        self.network.stats.packets_generated += len(packets)
+        for packet in packets:
+            self.forwarding.submit_self_report(packet, now)
+        self.schedule_service()
+        # Temperature-dependent clock skew modulates the period.
+        skew = self.hardware.clock_skew(self.sensors.ambient_temperature(now))
+        sim.schedule(
+            self.network.config.report_period_s * skew,
+            lambda: self._report_tick(gen),
+        )
+
+    def _beacon_tick(self, gen: int) -> None:
+        if gen != self._gen or not self.alive:
+            return
+        sim = self.network.sim
+        if self.routing.consume_route_changed() or self.estimator.consume_new_neighbor_flag():
+            self.trickle.reset()
+        self.counters.beacon_counter += 1
+        self.network.broadcast_beacon(self)
+        sim.schedule(self.trickle.next_delay(), lambda: self._beacon_tick(gen))
+
+    def _maintenance_tick(self, gen: int) -> None:
+        if gen != self._gen or not self.alive:
+            return
+        sim = self.network.sim
+        now = sim.now()
+        self.hardware.accrue_idle(now)
+        removed = self.estimator.age_out(now)
+        if self.routing.parent in removed:
+            self.routing.on_parent_lost()
+        self.estimator.on_beacon_period(now)
+        self.routing.update_route(now)
+        if self.hardware.battery.is_dead():
+            self.network.record_ground_truth(
+                "battery_death", (self.node_id,), now, now
+            )
+            self.die()
+            return
+        sim.schedule(
+            self.network.config.maintenance_period_s,
+            lambda: self._maintenance_tick(gen),
+        )
+
+    # ------------------------------------------------------------------
+    # forwarding service loop
+    # ------------------------------------------------------------------
+
+    def schedule_service(self, delay: float = 0.0) -> None:
+        """Ask for the queue to be serviced after ``delay`` seconds."""
+        if self._service_scheduled or self._busy or not self.alive or self.is_sink:
+            return
+        self._service_scheduled = True
+        self.network.sim.schedule(delay, self._service_queue)
+
+    def _service_queue(self) -> None:
+        self._service_scheduled = False
+        if not self.alive or self._busy or self.is_sink:
+            return
+        frame = self.forwarding.head()
+        if frame is None:
+            return
+        now = self.network.sim.now()
+        if frame.thl <= 0:
+            self.forwarding.drop_expired_head()
+            self.schedule_service()
+            return
+        parent = self.routing.current_parent(now)
+        if parent is None:
+            self.counters.no_parent_counter += 1
+            self.routing.update_route(now)
+            self.schedule_service(self.network.config.no_parent_retry_s)
+            return
+        self._busy = True
+        self.network.transmit_data(self, parent, frame, self._on_tx_done)
+
+    def _on_tx_done(self, parent_id: int, result: TxResult) -> None:
+        self._busy = False
+        if not self.alive:
+            return
+        config = self.network.config
+        now = self.network.sim.now()
+        if result is TxResult.ACKED:
+            self.forwarding.complete_head()
+            self.estimator.on_data_attempt(parent_id, acked=True)
+            self.schedule_service(config.tx_spacing_s)
+            return
+        if result is TxResult.CHANNEL_FAIL:
+            self.counters.retransmit_counter += 1
+            if self.forwarding.retry_head():
+                self.schedule_service(config.retry_delay_s * 2.0)
+            else:
+                self.schedule_service(config.tx_spacing_s)
+            return
+        # All NOACK_* variants look identical to the sender.
+        self.counters.noack_retransmit_counter += 1
+        self.counters.retransmit_counter += 1
+        self.estimator.on_data_attempt(parent_id, acked=False)
+        self.routing.update_route(now)
+        if self.forwarding.retry_head():
+            self.schedule_service(config.retry_delay_s)
+        else:
+            self.schedule_service(config.tx_spacing_s)
+
+    # ------------------------------------------------------------------
+    # radio events (called by the network)
+    # ------------------------------------------------------------------
+
+    def on_beacon_received(self, beacon: Beacon, rssi: float) -> None:
+        """Handle a decoded routing beacon."""
+        if not self.alive:
+            return
+        now = self.network.sim.now()
+        self.hardware.on_receive()
+        self.estimator.on_beacon(
+            beacon.src, rssi, beacon.path_etx, now,
+            advertised_path_length=beacon.path_length,
+        )
+        self.routing.update_route(now)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        role = "sink" if self.is_sink else "node"
+        state = "up" if self.alive else "down"
+        return f"<{role} {self.node_id} {state} q={len(self.forwarding.queue)}>"

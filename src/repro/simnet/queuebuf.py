@@ -1,0 +1,63 @@
+"""Bounded FIFO packet queue (the CTP forwarding queue).
+
+TinyOS's CTP forwarder keeps a small message pool (12 entries on TelosB);
+when it is full, arriving packets are dropped and the paper's
+``Overflow_drop_counter`` increments.  The queue here is a plain bounded
+deque with an explicit rejection result so callers can count overflows.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generic, Iterator, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class PacketQueue(Generic[T]):
+    """Bounded FIFO with explicit overflow signalling."""
+
+    def __init__(self, capacity: int = 12):
+        if capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+        self.capacity = capacity
+        self._items: Deque[T] = deque()
+        self.total_enqueued = 0
+        self.total_rejected = 0
+
+    def push(self, item: T) -> bool:
+        """Append ``item``; returns False (and counts a rejection) if full."""
+        if len(self._items) >= self.capacity:
+            self.total_rejected += 1
+            return False
+        self._items.append(item)
+        self.total_enqueued += 1
+        return True
+
+    def pop(self) -> T:
+        """Remove and return the head; raises IndexError when empty."""
+        return self._items.popleft()
+
+    def peek(self) -> Optional[T]:
+        """The head without removing it, or ``None`` when empty."""
+        return self._items[0] if self._items else None
+
+    def requeue_head(self, item: T) -> None:
+        """Put an in-flight head item back at the front (retry later)."""
+        self._items.appendleft(item)
+
+    def clear(self) -> None:
+        """Drop everything (node reboot)."""
+        self._items.clear()
+
+    def is_full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)

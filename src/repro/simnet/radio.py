@@ -1,0 +1,61 @@
+"""Physical-layer model: path loss, RSSI and PRR-vs-SNR.
+
+The model is the standard log-distance path-loss model with log-normal
+shadowing, and a logistic packet-reception-rate curve against SNR — the
+usual abstraction for CC2420-class radios.  Absolute constants are tuned so
+that links inside ~0.6 x the communication radius are near-perfect and
+links near the edge are lossy, reproducing the gray-region behaviour that
+drives ETX churn in real deployments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass
+class RadioParams:
+    """Radio and propagation constants.
+
+    Attributes:
+        tx_power_dbm: Transmit power (CC2420 power level 2 is about -25 dBm
+            on the testbed; CitySee ran higher power, about 0 dBm).
+        path_loss_d0: Reference distance for the path-loss model (m).
+        path_loss_pl0: Path loss at the reference distance (dB).
+        path_loss_exponent: Log-distance exponent (2 free space .. 4 urban).
+        shadowing_sigma_db: Std-dev of static per-link log-normal shadowing.
+        fading_sigma_db: Std-dev of the temporal fading process.
+        fading_tau_s: Correlation time of the temporal fading process (s).
+        snr_half_db: SNR at which PRR = 50 %.
+        snr_slope_db: Logistic slope of the PRR curve.
+    """
+
+    tx_power_dbm: float = 0.0
+    path_loss_d0: float = 1.0
+    path_loss_pl0: float = 40.0
+    path_loss_exponent: float = 3.0
+    shadowing_sigma_db: float = 3.0
+    fading_sigma_db: float = 1.5
+    fading_tau_s: float = 600.0
+    snr_half_db: float = 5.0
+    snr_slope_db: float = 2.0
+
+
+def path_loss_db(distance: float, params: RadioParams) -> float:
+    """Deterministic log-distance path loss in dB."""
+    d = max(distance, params.path_loss_d0)
+    return params.path_loss_pl0 + 10.0 * params.path_loss_exponent * math.log10(
+        d / params.path_loss_d0
+    )
+
+
+def prr_from_snr(snr_db: float, params: RadioParams) -> float:
+    """Packet reception rate for a given SNR (logistic curve in [0, 1])."""
+    x = (snr_db - params.snr_half_db) / params.snr_slope_db
+    # clamp to avoid overflow in exp for extreme SNRs
+    if x > 30.0:
+        return 1.0
+    if x < -30.0:
+        return 0.0
+    return 1.0 / (1.0 + math.exp(-x))

@@ -1,0 +1,64 @@
+"""Sensor suite: samples the environment fields and the battery voltage.
+
+These readings populate the C1 report packet.  Each node adds a small fixed
+calibration offset per sensor, as real TelosB boards do, so per-node
+baselines differ while deltas stay environment-driven.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.simnet.environment import Environment
+from repro.simnet.hardware import Hardware
+
+
+@dataclass
+class SensorReadings:
+    """One C1-packet worth of sensor values."""
+
+    temperature: float
+    humidity: float
+    light: float
+    co2: float
+    voltage: float
+
+
+class SensorSuite:
+    """Per-node sensors with fixed calibration offsets."""
+
+    def __init__(
+        self,
+        environment: Environment,
+        hardware: Hardware,
+        position: Tuple[float, float],
+        rng: np.random.Generator,
+    ):
+        self._environment = environment
+        self._hardware = hardware
+        self._position = position
+        self._offsets = {
+            "temperature": float(rng.normal(0.0, 0.3)),
+            "humidity": float(rng.normal(0.0, 1.5)),
+            "light": float(rng.normal(0.0, 10.0)),
+            "co2": float(rng.normal(0.0, 8.0)),
+        }
+
+    def read(self, time: float) -> SensorReadings:
+        """Sample all sensors at simulation time ``time``."""
+        env = self._environment
+        pos = self._position
+        return SensorReadings(
+            temperature=env.temperature(time, pos) + self._offsets["temperature"],
+            humidity=env.humidity(time, pos) + self._offsets["humidity"],
+            light=max(0.0, env.light(time, pos) + self._offsets["light"]),
+            co2=env.co2(time, pos) + self._offsets["co2"],
+            voltage=self._hardware.battery.voltage(),
+        )
+
+    def ambient_temperature(self, time: float) -> float:
+        """Temperature without calibration offset (drives clock skew)."""
+        return self._environment.temperature(time, self._position)

@@ -1,0 +1,157 @@
+"""Node placement and topologies.
+
+Two generators matter for the reproduction:
+
+* :func:`grid_topology` — the paper's 9x5 TelosB testbed grid (45 nodes),
+* :func:`random_geometric_topology` — a CitySee-like urban deployment
+  (286 nodes by default) with the sink near one edge, as in the real
+  network where the sink sat at the gateway.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+Position = Tuple[float, float]
+
+
+@dataclass
+class Topology:
+    """Immutable node layout.
+
+    Attributes:
+        positions: node id -> (x, y) in meters.
+        sink_id: id of the sink (data-collection) node.
+    """
+
+    positions: Dict[int, Position]
+    sink_id: int
+
+    def __post_init__(self) -> None:
+        if self.sink_id not in self.positions:
+            raise ValueError(f"sink id {self.sink_id} not in topology")
+
+    @property
+    def node_ids(self) -> List[int]:
+        """All node ids in ascending order (includes the sink)."""
+        return sorted(self.positions)
+
+    @property
+    def sensor_ids(self) -> List[int]:
+        """All non-sink node ids in ascending order."""
+        return [n for n in self.node_ids if n != self.sink_id]
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+    def distance(self, a: int, b: int) -> float:
+        """Euclidean distance between nodes ``a`` and ``b`` in meters."""
+        xa, ya = self.positions[a]
+        xb, yb = self.positions[b]
+        return math.hypot(xa - xb, ya - yb)
+
+    def neighbors_within(self, node_id: int, radius: float) -> List[int]:
+        """Ids of other nodes within ``radius`` meters of ``node_id``."""
+        return [
+            other
+            for other in self.node_ids
+            if other != node_id and self.distance(node_id, other) <= radius
+        ]
+
+    def is_connected(self, radius: float) -> bool:
+        """True if the radius-``radius`` disk graph is connected."""
+        ids = self.node_ids
+        if not ids:
+            return True
+        seen = {ids[0]}
+        frontier = [ids[0]]
+        while frontier:
+            current = frontier.pop()
+            for other in self.neighbors_within(current, radius):
+                if other not in seen:
+                    seen.add(other)
+                    frontier.append(other)
+        return len(seen) == len(ids)
+
+
+def grid_topology(
+    rows: int = 9,
+    cols: int = 5,
+    spacing: float = 10.0,
+    jitter: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+    sink_id: int = 0,
+) -> Topology:
+    """A rows x cols grid with the sink at the (0, 0) corner.
+
+    The paper's testbed is 45 TelosB nodes in a 9x5 matrix area.  ``jitter``
+    adds uniform placement noise (fraction of spacing) so links are not all
+    identical.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("grid needs at least one row and one column")
+    if jitter and rng is None:
+        raise ValueError("jitter requires an rng")
+    positions: Dict[int, Position] = {}
+    node_id = 0
+    for r in range(rows):
+        for c in range(cols):
+            x = c * spacing
+            y = r * spacing
+            if jitter:
+                x += float(rng.uniform(-jitter, jitter)) * spacing
+                y += float(rng.uniform(-jitter, jitter)) * spacing
+            positions[node_id] = (x, y)
+            node_id += 1
+    return Topology(positions=positions, sink_id=sink_id)
+
+
+def random_geometric_topology(
+    n_nodes: int = 286,
+    area: Tuple[float, float] = (1000.0, 600.0),
+    comm_radius: float = 120.0,
+    rng: Optional[np.random.Generator] = None,
+    sink_id: int = 0,
+    max_tries: int = 200,
+) -> Topology:
+    """A connected random-geometric layout (CitySee-like deployment).
+
+    Nodes are placed uniformly in ``area``; the sink is pinned near the
+    west edge at mid-height (the CitySee gateway position).  Placement is
+    re-sampled until the ``comm_radius`` disk graph is connected, so the
+    collection tree can always form.
+
+    Raises:
+        RuntimeError: If no connected placement is found in ``max_tries``.
+    """
+    if rng is None:
+        raise ValueError("random_geometric_topology requires an rng")
+    if n_nodes < 2:
+        raise ValueError("need at least a sink and one sensor")
+    width, height = area
+    for _ in range(max_tries):
+        positions: Dict[int, Position] = {
+            sink_id: (width * 0.02, height * 0.5)
+        }
+        next_id = 0
+        while len(positions) < n_nodes:
+            if next_id == sink_id:
+                next_id += 1
+                continue
+            positions[next_id] = (
+                float(rng.uniform(0.0, width)),
+                float(rng.uniform(0.0, height)),
+            )
+            next_id += 1
+        topology = Topology(positions=positions, sink_id=sink_id)
+        if topology.is_connected(comm_radius):
+            return topology
+    raise RuntimeError(
+        f"could not generate a connected topology with n={n_nodes}, "
+        f"area={area}, radius={comm_radius} after {max_tries} tries; "
+        "increase comm_radius or decrease area"
+    )

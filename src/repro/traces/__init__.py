@@ -1,0 +1,32 @@
+"""Trace containers, IO and the synthetic CitySee / testbed generators."""
+
+from repro.traces.records import SnapshotRow, Trace, trace_from_network
+from repro.traces.io import save_trace_jsonl, load_trace_jsonl
+from repro.traces.prr import prr_series
+from repro.traces.testbed import TestbedScenario, generate_testbed_trace
+from repro.traces.citysee import CitySeeProfile, generate_citysee_trace
+from repro.traces.synthetic import (
+    PlantedDataset,
+    generate_planted_dataset,
+    match_components,
+    planted_psi,
+    recovery_score,
+)
+
+__all__ = [
+    "SnapshotRow",
+    "Trace",
+    "trace_from_network",
+    "save_trace_jsonl",
+    "load_trace_jsonl",
+    "prr_series",
+    "TestbedScenario",
+    "generate_testbed_trace",
+    "CitySeeProfile",
+    "generate_citysee_trace",
+    "PlantedDataset",
+    "generate_planted_dataset",
+    "match_components",
+    "planted_psi",
+    "recovery_score",
+]

@@ -1,0 +1,129 @@
+"""Trace persistence: JSONL (lossless) and CSV (snapshot matrix only).
+
+The JSONL layout is one header object followed by one object per snapshot;
+everything :class:`repro.traces.records.Trace` holds round-trips exactly.
+CSV export keeps just the snapshot matrix with named metric columns, for
+inspection in external tools.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import List, Union
+
+import numpy as np
+
+from repro.metrics.catalog import METRIC_NAMES
+from repro.traces.records import GroundTruth, SnapshotRow, Trace
+
+_FORMAT_VERSION = 1
+
+
+def save_trace_jsonl(trace: Trace, path: Union[str, Path]) -> None:
+    """Write a trace to ``path`` in JSONL format (gzip-free, diff-able)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as fh:
+        header = {
+            "format_version": _FORMAT_VERSION,
+            "metadata": trace.metadata,
+            "ground_truth": [
+                {
+                    "kind": g.kind,
+                    "node_ids": list(g.node_ids),
+                    "start": g.start,
+                    "end": g.end,
+                }
+                for g in trace.ground_truth
+            ],
+            "packets_generated": trace.packets_generated,
+            "packets_received": trace.packets_received,
+            "arrivals": [[t, n] for (t, n) in trace.arrivals],
+            "metric_names": list(METRIC_NAMES),
+        }
+        fh.write(json.dumps(header) + "\n")
+        for row in trace.rows:
+            fh.write(
+                json.dumps(
+                    {
+                        "node_id": row.node_id,
+                        "epoch": row.epoch,
+                        "generated_at": row.generated_at,
+                        "received_at": row.received_at,
+                        "values": [round(float(v), 6) for v in row.values],
+                    }
+                )
+                + "\n"
+            )
+
+
+def load_trace_jsonl(path: Union[str, Path]) -> Trace:
+    """Read a trace previously written by :func:`save_trace_jsonl`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as fh:
+        header_line = fh.readline()
+        if not header_line:
+            raise ValueError(f"{path} is empty")
+        header = json.loads(header_line)
+        version = header.get("format_version")
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format version {version!r} in {path}"
+            )
+        stored_names = header.get("metric_names", [])
+        if list(stored_names) != list(METRIC_NAMES):
+            raise ValueError(
+                f"{path} was written with a different metric catalog "
+                f"({len(stored_names)} metrics vs {len(METRIC_NAMES)})"
+            )
+        rows: List[SnapshotRow] = []
+        for line in fh:
+            obj = json.loads(line)
+            rows.append(
+                SnapshotRow(
+                    node_id=obj["node_id"],
+                    epoch=obj["epoch"],
+                    generated_at=obj["generated_at"],
+                    received_at=obj["received_at"],
+                    values=np.asarray(obj["values"], dtype=float),
+                )
+            )
+    return Trace(
+        rows=rows,
+        metadata=header.get("metadata", {}),
+        ground_truth=[
+            GroundTruth(
+                kind=g["kind"],
+                node_ids=tuple(g["node_ids"]),
+                start=g["start"],
+                end=g["end"],
+            )
+            for g in header.get("ground_truth", [])
+        ],
+        packets_generated=header.get("packets_generated", 0),
+        packets_received=header.get("packets_received", 0),
+        arrivals=[(t, n) for t, n in header.get("arrivals", [])],
+    )
+
+
+def export_snapshots_csv(trace: Trace, path: Union[str, Path]) -> None:
+    """Write the snapshot matrix as CSV with named metric columns."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            ["node_id", "epoch", "generated_at", "received_at", *METRIC_NAMES]
+        )
+        for row in trace.rows:
+            writer.writerow(
+                [
+                    row.node_id,
+                    row.epoch,
+                    f"{row.generated_at:.3f}",
+                    f"{row.received_at:.3f}",
+                    *[f"{v:.6g}" for v in row.values],
+                ]
+            )

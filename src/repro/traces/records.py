@@ -1,0 +1,169 @@
+"""Trace container: what VN2's back-end actually consumes.
+
+A :class:`Trace` is the sink-side record of a deployment: complete 43-metric
+snapshots per node (in epoch order), packet-arrival accounting for PRR
+analysis, the ground-truth fault log (for evaluation only — the algorithm
+never sees it), and the generation metadata needed to interpret timestamps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.metrics.catalog import NUM_METRICS
+
+
+@dataclass
+class SnapshotRow:
+    """One complete snapshot of one node, as received at the sink."""
+
+    node_id: int
+    epoch: int
+    generated_at: float
+    received_at: float
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=float)
+        if self.values.shape != (NUM_METRICS,):
+            raise ValueError(
+                f"snapshot values must have shape ({NUM_METRICS},), "
+                f"got {self.values.shape}"
+            )
+
+
+@dataclass
+class GroundTruth:
+    """An injected fault episode (copied from the network's log)."""
+
+    kind: str
+    node_ids: Tuple[int, ...]
+    start: float
+    end: float
+
+
+@dataclass
+class Trace:
+    """A full deployment trace.
+
+    Attributes:
+        rows: All complete snapshots, sorted by (node_id, epoch).
+        metadata: Generation parameters (report period, duration, seed ...).
+        ground_truth: Fault episodes, for evaluation harnesses only.
+        packets_generated: Report packets the nodes emitted.
+        packets_received: Report packets that reached the sink.
+        arrivals: (received_at, node_id) per received packet, arrival order.
+    """
+
+    rows: List[SnapshotRow]
+    metadata: Dict[str, object] = field(default_factory=dict)
+    ground_truth: List[GroundTruth] = field(default_factory=list)
+    packets_generated: int = 0
+    packets_received: int = 0
+    arrivals: List[Tuple[float, int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.rows.sort(key=lambda r: (r.node_id, r.epoch))
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+
+    @property
+    def node_ids(self) -> List[int]:
+        """Distinct node ids present in the trace, ascending."""
+        return sorted({r.node_id for r in self.rows})
+
+    def rows_for(self, node_id: int) -> List[SnapshotRow]:
+        """This node's snapshots in epoch order."""
+        return [r for r in self.rows if r.node_id == node_id]
+
+    def per_node(self) -> Dict[int, List[SnapshotRow]]:
+        """node_id -> its snapshots in epoch order."""
+        result: Dict[int, List[SnapshotRow]] = {}
+        for row in self.rows:
+            result.setdefault(row.node_id, []).append(row)
+        return result
+
+    def time_span(self) -> Tuple[float, float]:
+        """(first, last) snapshot generation time; (0, 0) when empty."""
+        if not self.rows:
+            return (0.0, 0.0)
+        times = [r.generated_at for r in self.rows]
+        return (min(times), max(times))
+
+    def window(self, start: float, end: float) -> "Trace":
+        """Sub-trace of snapshots generated in [start, end)."""
+        rows = [r for r in self.rows if start <= r.generated_at < end]
+        arrivals = [(t, n) for (t, n) in self.arrivals if start <= t < end]
+        return Trace(
+            rows=rows,
+            metadata=dict(self.metadata),
+            ground_truth=list(self.ground_truth),
+            packets_generated=self.packets_generated,
+            packets_received=self.packets_received,
+            arrivals=arrivals,
+        )
+
+    def delivery_ratio(self) -> float:
+        """Fraction of generated report packets that arrived at the sink."""
+        if self.packets_generated == 0:
+            return 0.0
+        return self.packets_received / self.packets_generated
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def ground_truth_in(self, start: float, end: float) -> List[GroundTruth]:
+        """Ground-truth episodes overlapping [start, end)."""
+        return [
+            g for g in self.ground_truth if g.start < end and g.end >= start
+        ]
+
+
+def trace_from_network(network, metadata: Optional[Dict[str, object]] = None) -> Trace:
+    """Extract a :class:`Trace` from a finished simulation.
+
+    Args:
+        network: A :class:`repro.simnet.network.Network` that has been run.
+        metadata: Extra metadata to record alongside the run parameters.
+    """
+    rows: List[SnapshotRow] = []
+    for timeline in network.collector.timelines.values():
+        for snap in timeline.snapshots:
+            rows.append(
+                SnapshotRow(
+                    node_id=snap.node_id,
+                    epoch=snap.epoch,
+                    generated_at=snap.generated_at,
+                    received_at=snap.received_at,
+                    values=snap.values,
+                )
+            )
+    meta: Dict[str, object] = {
+        "report_period_s": network.config.report_period_s,
+        "day_seconds": network.config.day_seconds,
+        "seed": network.config.seed,
+        "n_nodes": len(network.topology),
+        "sink_id": network.topology.sink_id,
+        "sim_end": network.sim.now(),
+    }
+    if metadata:
+        meta.update(metadata)
+    return Trace(
+        rows=rows,
+        metadata=meta,
+        ground_truth=[
+            GroundTruth(g.kind, tuple(g.node_ids), g.start, g.end)
+            for g in network.ground_truth
+        ],
+        packets_generated=network.stats.packets_generated,
+        packets_received=network.collector.packets_received,
+        arrivals=[
+            (received_at, node_id)
+            for (node_id, _epoch, _cls, received_at) in network.collector.arrival_log
+        ],
+    )

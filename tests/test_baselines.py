@@ -1,0 +1,186 @@
+"""Tests for the Sympathy, Agnostic-Diagnosis and PCA baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.agnostic import AgnosticDiagnoser, _correlation_matrix
+from repro.baselines.pca import PCADetector
+from repro.baselines.sympathy import SympathyDiagnoser
+from repro.core.states import StateMatrix, StateProvenance
+from repro.metrics.catalog import METRIC_INDEX, NUM_METRICS
+
+
+def make_states(values, node_ids=None):
+    values = np.asarray(values, dtype=float)
+    node_ids = node_ids or [1] * values.shape[0]
+    provenance = [
+        StateProvenance(node_id=node_ids[i], epoch_from=i, epoch_to=i + 1,
+                        time_from=float(i), time_to=float(i + 1))
+        for i in range(values.shape[0])
+    ]
+    return StateMatrix(values=values, provenance=provenance)
+
+
+def normal_states(n=60, seed=0):
+    rng = np.random.default_rng(seed)
+    values = rng.normal(1.0, 0.2, size=(n, NUM_METRICS))
+    return make_states(values)
+
+
+# ---------------------------------------------------------------------
+# Sympathy
+# ---------------------------------------------------------------------
+
+
+def test_sympathy_normal_state_passes():
+    diagnoser = SympathyDiagnoser().fit(normal_states())
+    verdict = diagnoser.diagnose(np.ones(NUM_METRICS))
+    assert not verdict.is_abnormal
+    assert verdict.cause is None
+
+
+def test_sympathy_single_cause_per_state():
+    diagnoser = SympathyDiagnoser().fit(normal_states())
+    state = np.ones(NUM_METRICS)
+    # BOTH a loop and contention are present...
+    state[METRIC_INDEX["loop_counter"]] = 500.0
+    state[METRIC_INDEX["mac_backoff_counter"]] = 5000.0
+    verdict = diagnoser.diagnose(state)
+    # ...but the tree reports only the first match (the paper's criticism)
+    assert verdict.cause == "routing_loop"
+
+
+def test_sympathy_tree_order():
+    diagnoser = SympathyDiagnoser().fit(normal_states())
+    state = np.ones(NUM_METRICS)
+    state[METRIC_INDEX["transmit_counter"]] = -1000.0  # reboot evidence
+    state[METRIC_INDEX["loop_counter"]] = 500.0
+    assert diagnoser.diagnose(state).cause == "node_reboot"
+
+
+def test_sympathy_detects_each_tree_cause():
+    diagnoser = SympathyDiagnoser().fit(normal_states())
+    cases = {
+        "no_route": ("no_parent_counter", 100.0),
+        "routing_loop": ("loop_counter", 100.0),
+        "queue_overflow": ("overflow_drop_counter", 100.0),
+        "link_disconnection": ("drop_packet_counter", 100.0),
+        "bad_link": ("noack_retransmit_counter", 100.0),
+        "contention": ("mac_backoff_counter", 1000.0),
+        "parent_churn": ("parent_change_counter", 100.0),
+        "low_battery": ("voltage", -10.0),
+    }
+    for expected, (metric, value) in cases.items():
+        state = np.ones(NUM_METRICS)
+        state[METRIC_INDEX[metric]] = value
+        assert diagnoser.diagnose(state).cause == expected, expected
+
+
+def test_sympathy_requires_fit():
+    with pytest.raises(RuntimeError):
+        SympathyDiagnoser().diagnose(np.zeros(NUM_METRICS))
+
+
+def test_sympathy_batch(testbed_trace):
+    from repro.core.states import build_states
+
+    states = build_states(testbed_trace)
+    diagnoser = SympathyDiagnoser().fit(states)
+    verdicts = diagnoser.diagnose_batch(states.select(range(100)))
+    assert len(verdicts) == 100
+
+
+# ---------------------------------------------------------------------
+# Agnostic Diagnosis
+# ---------------------------------------------------------------------
+
+
+def correlated_states(n=80, seed=0, node_id=1, break_after=None):
+    """Metrics 0 and 1 strongly correlated; optionally broken later."""
+    rng = np.random.default_rng(seed)
+    values = rng.normal(0, 0.1, size=(n, NUM_METRICS))
+    driver = rng.normal(0, 1, size=n)
+    values[:, 0] = driver
+    values[:, 1] = driver + rng.normal(0, 0.05, size=n)
+    if break_after is not None:
+        values[break_after:, 1] = rng.normal(0, 1, size=n - break_after)
+    return make_states(values, node_ids=[node_id] * n)
+
+
+def test_correlation_matrix_properties():
+    states = correlated_states()
+    corr = _correlation_matrix(states.values)
+    assert corr.shape == (NUM_METRICS, NUM_METRICS)
+    assert np.allclose(np.diag(corr), 1.0)
+    assert corr[0, 1] > 0.9
+    assert np.all(np.abs(corr) <= 1.0)
+
+
+def test_agnostic_learns_reference_and_stays_quiet():
+    diagnoser = AgnosticDiagnoser(window=20).fit(correlated_states())
+    verdicts = diagnoser.diagnose_node(1, correlated_states(seed=1))
+    assert verdicts
+    abnormal = np.mean([v.is_abnormal for v in verdicts])
+    assert abnormal < 0.5
+
+
+def test_agnostic_flags_broken_correlation():
+    diagnoser = AgnosticDiagnoser(window=20, anomaly_factor=1.5).fit(
+        correlated_states()
+    )
+    broken = correlated_states(seed=2, break_after=0)
+    verdicts = diagnoser.diagnose_node(1, broken)
+    assert any(v.is_abnormal for v in verdicts)
+    healthy_scores = [
+        v.score for v in diagnoser.diagnose_node(1, correlated_states(seed=3))
+    ]
+    broken_scores = [v.score for v in verdicts]
+    assert np.mean(broken_scores) > np.mean(healthy_scores)
+
+
+def test_agnostic_requires_enough_data():
+    with pytest.raises(ValueError):
+        AgnosticDiagnoser(window=50).fit(correlated_states(n=10))
+
+
+def test_agnostic_unknown_node_empty():
+    diagnoser = AgnosticDiagnoser(window=20).fit(correlated_states())
+    assert diagnoser.diagnose_node(99, correlated_states(node_id=99)) == []
+
+
+def test_agnostic_requires_fit():
+    with pytest.raises(RuntimeError):
+        AgnosticDiagnoser().diagnose_node(1, correlated_states())
+
+
+# ---------------------------------------------------------------------
+# PCA
+# ---------------------------------------------------------------------
+
+
+def test_pca_scores_outliers_higher():
+    detector = PCADetector(n_components=5).fit(normal_states())
+    normal = detector.diagnose(np.ones(NUM_METRICS))
+    outlier_state = np.ones(NUM_METRICS)
+    outlier_state[METRIC_INDEX["loop_counter"]] = 500.0
+    outlier = detector.diagnose(outlier_state)
+    assert outlier.score > normal.score
+    assert outlier.is_abnormal
+
+
+def test_pca_false_positive_rate_calibrated():
+    states = normal_states(n=200)
+    detector = PCADetector(n_components=5, threshold_quantile=0.95).fit(states)
+    verdicts = detector.diagnose_batch(states)
+    fp = np.mean([v.is_abnormal for v in verdicts])
+    assert fp == pytest.approx(0.05, abs=0.02)
+
+
+def test_pca_requires_enough_states():
+    with pytest.raises(ValueError):
+        PCADetector(n_components=10).fit(normal_states(n=5))
+
+
+def test_pca_requires_fit():
+    with pytest.raises(RuntimeError):
+        PCADetector().diagnose(np.zeros(NUM_METRICS))

@@ -1,0 +1,43 @@
+"""Unit tests for the trickle beacon timer."""
+
+import numpy as np
+import pytest
+
+from repro.simnet.ctp.beacons import TrickleTimer
+
+
+def test_interval_doubles_until_max():
+    timer = TrickleTimer(min_interval_s=10.0, max_interval_s=80.0)
+    delays = [timer.next_delay() for _ in range(5)]
+    assert delays == [10.0, 20.0, 40.0, 80.0, 80.0]
+
+
+def test_reset_snaps_back():
+    timer = TrickleTimer(min_interval_s=10.0, max_interval_s=80.0)
+    for _ in range(4):
+        timer.next_delay()
+    timer.reset()
+    assert timer.next_delay() == 10.0
+
+
+def test_jitter_within_bounds():
+    timer = TrickleTimer(
+        min_interval_s=10.0, max_interval_s=10.0, rng=np.random.default_rng(0)
+    )
+    for _ in range(100):
+        delay = timer.next_delay()
+        assert 7.5 <= delay <= 12.5
+
+
+def test_invalid_intervals_rejected():
+    with pytest.raises(ValueError):
+        TrickleTimer(min_interval_s=0.0, max_interval_s=10.0)
+    with pytest.raises(ValueError):
+        TrickleTimer(min_interval_s=20.0, max_interval_s=10.0)
+
+
+def test_current_interval_preview():
+    timer = TrickleTimer(min_interval_s=5.0, max_interval_s=40.0)
+    assert timer.current_interval == 5.0
+    timer.next_delay()
+    assert timer.current_interval == 10.0

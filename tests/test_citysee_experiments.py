@@ -1,0 +1,56 @@
+"""Tests for the Fig 6 harnesses (tiny profile; traces are disk-cached)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.citysee_experiments import (
+    EPISODE_FAMILIES,
+    exp_fig6a,
+    exp_fig6b,
+    exp_fig6c,
+    run_citysee_study,
+)
+from repro.traces.citysee import CitySeeProfile
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_citysee_study(CitySeeProfile.tiny(), rank=16)
+
+
+def test_fig6a_dip_detected(study):
+    _tool, _trace, fig6a, _b, _c = study
+    assert fig6a.dip_depth > 0.2
+    assert fig6a.episode_detected()
+    assert len(fig6a.prr) > 20
+
+
+def test_fig6b_concentration(study):
+    _tool, _trace, _a, fig6b, _c = study
+    assert fig6b.n_states > 50
+    assert fig6b.strengths.shape == (16,)
+    assert fig6b.concentration > 0.2
+    # top rows are sorted by strength
+    strengths = [fig6b.strengths[j] for j in fig6b.top_rows]
+    assert strengths == sorted(strengths, reverse=True)
+
+
+def test_fig6c_families(study):
+    _tool, _trace, _a, _b, fig6c = study
+    assert set(fig6c.families_found) == set(EPISODE_FAMILIES)
+    # at least two of the paper's three families recovered at tiny scale
+    assert sum(fig6c.families_found.values()) >= 2
+    assert all(label.explanation for _j, label in fig6c.rows)
+
+
+def test_fig6b_requires_states(study):
+    tool, trace, _a, _b, _c = study
+    with pytest.raises(ValueError):
+        exp_fig6b(tool, trace, window=(1e12, 2e12))
+
+
+def test_to_text_render(study):
+    _tool, _trace, fig6a, fig6b, fig6c = study
+    assert "episode window" in fig6a.to_text()
+    assert "concentration" in fig6b.to_text()
+    assert "episode families" in fig6c.to_text()

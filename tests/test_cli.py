@@ -1,0 +1,119 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_builds():
+    parser = build_parser()
+    args = parser.parse_args(["simulate-testbed", "--seed", "3"])
+    assert args.seed == 3
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_simulate_train_diagnose_flow(tmp_path, capsys):
+    trace_path = tmp_path / "trace.jsonl"
+    rc = main([
+        "simulate-testbed", "--seed", "3", "--duration", "2400",
+        "--output", str(trace_path),
+    ])
+    assert rc == 0
+    assert trace_path.exists()
+
+    model_path = tmp_path / "model"
+    rc = main([
+        "train", str(trace_path), "--rank", "6", "--no-filter",
+        "--output", str(model_path),
+    ])
+    assert rc == 0
+    assert model_path.with_suffix(".npz").exists()
+    assert model_path.with_suffix(".json").exists()
+    sidecar = json.loads(model_path.with_suffix(".json").read_text())
+    assert sidecar["rank"] == 6
+
+    rc = main([
+        "diagnose", str(model_path), str(trace_path), "--limit", "5",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "diagnoses shown" in out
+
+
+def test_incidents_command(tmp_path, capsys):
+    from repro.analysis.baseline_comparison import build_multicause_trace
+    from repro.traces.io import save_trace_jsonl
+
+    trace_path = tmp_path / "mc.jsonl"
+    save_trace_jsonl(build_multicause_trace(seed=21), trace_path)
+    rc = main(["incidents", str(trace_path), "--rank", "10", "--limit", "5"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "nodes" in out or "no incidents" in out
+
+
+def test_evaluate_command(tmp_path, capsys):
+    from repro.analysis.baseline_comparison import build_multicause_trace
+    from repro.traces.io import save_trace_jsonl
+
+    trace_path = tmp_path / "mc.jsonl"
+    save_trace_jsonl(build_multicause_trace(seed=21), trace_path)
+    rc = main(["evaluate", str(trace_path), "--rank", "10"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "micro:" in out
+
+
+def test_evaluate_rejects_gt_free_trace(tmp_path, capsys):
+    from repro.simnet.network import Network, NetworkConfig
+    from repro.simnet.topology import grid_topology
+    from repro.traces.io import save_trace_jsonl
+    from repro.traces.records import trace_from_network
+
+    net = Network(grid_topology(rows=3, cols=3, spacing=9.0),
+                  NetworkConfig(report_period_s=60.0, seed=1,
+                                max_range_m=40.0))
+    net.run(600.0)
+    trace_path = tmp_path / "clean.jsonl"
+    save_trace_jsonl(trace_from_network(net), trace_path)
+    rc = main(["evaluate", str(trace_path)])
+    assert rc == 1
+
+
+def test_experiment_table1_quick(capsys):
+    rc = main(["experiment", "table1", "--quick"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "routing_loop" in out
+
+
+def test_experiment_unknown_rejected():
+    with pytest.raises(SystemExit):
+        main(["experiment", "not-a-thing"])
+
+
+def test_experiment_fig3a_tiny(capsys):
+    rc = main(["experiment", "fig3a", "--profile", "tiny"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "exceptions" in out
+
+
+def test_experiment_ablation_sparsify_tiny(capsys):
+    rc = main(["experiment", "ablation-sparsify", "--profile", "tiny"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "retention" in out
+
+
+def test_experiment_baselines(capsys):
+    rc = main(["experiment", "baselines"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Sympathy" in out

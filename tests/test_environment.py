@@ -1,0 +1,74 @@
+"""Unit tests for the environment fields."""
+
+import numpy as np
+import pytest
+
+from repro.simnet.environment import Environment, NoiseRegion
+
+
+@pytest.fixture
+def env():
+    return Environment(rng=np.random.default_rng(0))
+
+
+def test_temperature_diurnal_cycle(env):
+    noon = env.temperature(43200.0, (0.0, 0.0))
+    midnight = env.temperature(0.0, (0.0, 0.0))
+    assert noon > midnight + 5.0
+
+
+def test_light_zero_at_night(env):
+    assert env.light(0.0, (0.0, 0.0)) <= 20.0
+    assert env.light(43200.0, (0.0, 0.0)) > 800.0
+
+
+def test_humidity_bounded(env):
+    for t in np.linspace(0, 86400, 25):
+        h = env.humidity(float(t), (50.0, 50.0))
+        assert 5.0 <= h <= 100.0
+
+
+def test_co2_traffic_bumps(env):
+    morning = np.mean([env.co2(8 * 3600.0, (0.0, 0.0)) for _ in range(20)])
+    night = np.mean([env.co2(2 * 3600.0, (0.0, 0.0)) for _ in range(20)])
+    assert morning > night + 20.0
+
+
+def test_scaled_day_compresses_cycle():
+    env = Environment(rng=np.random.default_rng(0), day_seconds=7200.0)
+    noon = env.temperature(3600.0, (0.0, 0.0))
+    midnight = env.temperature(0.0, (0.0, 0.0))
+    assert noon > midnight + 5.0
+
+
+def test_noise_floor_base(env):
+    assert env.noise_floor(0.0, (0.0, 0.0)) == pytest.approx(-96.0)
+
+
+def test_noise_region_raises_floor_inside_only(env):
+    env.add_noise_region(
+        NoiseRegion(center=(0.0, 0.0), radius=10.0, start=5.0, end=10.0,
+                    delta_db=15.0)
+    )
+    assert env.noise_floor(7.0, (1.0, 1.0)) == pytest.approx(-81.0)
+    assert env.noise_floor(7.0, (50.0, 50.0)) == pytest.approx(-96.0)
+    assert env.noise_floor(4.0, (1.0, 1.0)) == pytest.approx(-96.0)
+    assert env.noise_floor(10.0, (1.0, 1.0)) == pytest.approx(-96.0)
+
+
+def test_overlapping_noise_regions_stack(env):
+    for _ in range(2):
+        env.add_noise_region(
+            NoiseRegion(center=(0.0, 0.0), radius=10.0, start=0.0, end=10.0,
+                        delta_db=5.0)
+        )
+    assert env.noise_floor(1.0, (0.0, 0.0)) == pytest.approx(-86.0)
+
+
+def test_prune_noise_regions(env):
+    env.add_noise_region(
+        NoiseRegion(center=(0.0, 0.0), radius=10.0, start=0.0, end=10.0,
+                    delta_db=5.0)
+    )
+    env.prune_noise_regions(20.0)
+    assert env.noise_regions == []

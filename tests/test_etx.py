@@ -1,0 +1,103 @@
+"""Unit tests for the link estimator."""
+
+import pytest
+
+from repro.simnet.ctp.etx import MAX_ETX, LinkEstimator, NeighborEntry
+
+
+@pytest.fixture
+def estimator():
+    return LinkEstimator(table_size=3, entry_timeout_s=100.0)
+
+
+def test_beacon_inserts_entry(estimator):
+    estimator.on_beacon(5, rssi=-70.0, advertised_path_etx=2.0, now=1.0)
+    assert estimator.entry(5) is not None
+    assert estimator.consume_new_neighbor_flag()
+    assert not estimator.consume_new_neighbor_flag()  # flag clears
+
+
+def test_rssi_ewma_converges(estimator):
+    for _ in range(40):
+        estimator.on_beacon(5, rssi=-60.0, advertised_path_etx=2.0, now=1.0)
+    assert estimator.entry(5).rssi_ewma == pytest.approx(-60.0, abs=1.0)
+
+
+def test_beacon_quality_drives_etx(estimator):
+    for _ in range(60):
+        estimator.on_beacon(5, rssi=-60.0, advertised_path_etx=2.0, now=1.0)
+    # perfect beacon reception -> quality ~1 -> link ETX ~1
+    assert estimator.entry(5).link_etx() == pytest.approx(1.0, abs=0.3)
+
+
+def test_data_estimate_dominates(estimator):
+    for _ in range(10):
+        estimator.on_beacon(5, rssi=-60.0, advertised_path_etx=2.0, now=1.0)
+    # 8 attempts, 2 ACKs -> data ETX = 4
+    for i in range(8):
+        estimator.on_data_attempt(5, acked=(i % 4 == 0))
+    assert estimator.entry(5).link_etx() == pytest.approx(4.0, rel=0.1)
+
+
+def test_unknown_neighbor_has_max_etx():
+    entry = NeighborEntry(neighbor_id=1)
+    assert entry.link_etx() == MAX_ETX
+
+
+def test_data_window_halving(estimator):
+    estimator.data_window = 8
+    estimator.on_beacon(5, rssi=-60.0, advertised_path_etx=2.0, now=1.0)
+    for _ in range(8):
+        estimator.on_data_attempt(5, acked=True)
+    entry = estimator.entry(5)
+    assert entry.data_attempts == 4
+    assert entry.data_acks == 4
+
+
+def test_eviction_prefers_dropping_worst(estimator):
+    estimator.on_beacon(1, rssi=-60.0, advertised_path_etx=1.0, now=1.0)
+    estimator.on_beacon(2, rssi=-65.0, advertised_path_etx=1.0, now=1.0)
+    estimator.on_beacon(3, rssi=-70.0, advertised_path_etx=1.0, now=1.0)
+    # table full; a strong newcomer evicts the weakest entry
+    estimator.on_beacon(4, rssi=-50.0, advertised_path_etx=1.0, now=1.0)
+    assert len(estimator.entries) == 3
+    assert 4 in estimator.entries
+
+
+def test_weak_newcomer_rejected_when_full(estimator):
+    for nid, rssi in ((1, -55.0), (2, -60.0), (3, -65.0)):
+        for _ in range(20):
+            estimator.on_beacon(nid, rssi=rssi, advertised_path_etx=1.0, now=1.0)
+    estimator.on_beacon(9, rssi=-90.0, advertised_path_etx=1.0, now=1.0)
+    assert 9 not in estimator.entries
+
+
+def test_age_out(estimator):
+    estimator.on_beacon(5, rssi=-60.0, advertised_path_etx=2.0, now=0.0)
+    estimator.on_beacon(6, rssi=-60.0, advertised_path_etx=2.0, now=90.0)
+    removed = estimator.age_out(now=150.0)
+    assert removed == [5]
+    assert 6 in estimator.entries
+
+
+def test_quality_decays_when_silent(estimator):
+    for _ in range(60):
+        estimator.on_beacon(5, rssi=-60.0, advertised_path_etx=2.0, now=1.0)
+    q0 = estimator.entry(5).beacon_quality
+    for _ in range(10):
+        estimator.on_beacon_period(now=50.0)
+    assert estimator.entry(5).beacon_quality < q0 * 0.5
+
+
+def test_sorted_entries_best_first(estimator):
+    for _ in range(40):
+        estimator.on_beacon(1, rssi=-60.0, advertised_path_etx=1.0, now=1.0)
+    estimator.on_beacon(2, rssi=-85.0, advertised_path_etx=1.0, now=1.0)
+    best = estimator.sorted_entries()[0]
+    assert best.neighbor_id == 1
+
+
+def test_clear(estimator):
+    estimator.on_beacon(5, rssi=-60.0, advertised_path_etx=2.0, now=1.0)
+    estimator.clear()
+    assert estimator.entries == {}

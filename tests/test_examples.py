@@ -1,0 +1,53 @@
+"""Smoke tests: the fast examples run end to end.
+
+Each example is imported as a module and its ``main()`` executed; stdout
+is captured by pytest.  The two long-running examples (live monitoring,
+the CitySee study) are exercised indirectly by their underlying harness
+tests instead.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> None:
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        old_argv = sys.argv
+        sys.argv = [str(path)]
+        try:
+            module.main()
+        finally:
+            sys.argv = old_argv
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+def test_quickstart_runs(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "representative matrix" in out
+    assert "diagnosis of node 22" in out
+
+
+def test_incident_report_runs(capsys):
+    run_example("incident_report.py")
+    out = capsys.readouterr().out
+    assert "Incident report" in out
+    assert "PRR cost" in out
+
+
+def test_compare_baselines_runs(capsys):
+    run_example("compare_baselines.py")
+    out = capsys.readouterr().out
+    assert "scoreboard" in out
+    assert "VN2" in out and "Sympathy" in out

@@ -1,0 +1,94 @@
+"""Tests for exception detection (the paper's ε rule)."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import detect_exceptions, deviation_scores
+from repro.core.states import StateMatrix, StateProvenance
+from repro.metrics.catalog import NUM_METRICS
+
+
+def make_states(values):
+    values = np.asarray(values, dtype=float)
+    provenance = [
+        StateProvenance(node_id=1, epoch_from=i, epoch_to=i + 1,
+                        time_from=float(i), time_to=float(i + 1))
+        for i in range(values.shape[0])
+    ]
+    return StateMatrix(values=values, provenance=provenance)
+
+
+def embed(rows):
+    """Place small row vectors into full 43-wide states."""
+    out = np.zeros((len(rows), NUM_METRICS))
+    for i, row in enumerate(rows):
+        out[i, : len(row)] = row
+    return out
+
+
+def test_outlier_flagged():
+    base = [[1.0, 1.0]] * 50
+    states = make_states(embed(base + [[100.0, 1.0]]))
+    result = detect_exceptions(states, threshold_ratio=0.1)
+    assert 50 in result.indices
+
+
+def test_normal_states_not_flagged():
+    rng = np.random.default_rng(0)
+    values = embed(rng.normal(1.0, 0.01, size=(100, 3)).tolist())
+    values[7, 0] = 50.0  # one clear outlier
+    states = make_states(values)
+    result = detect_exceptions(states, threshold_ratio=0.1)
+    assert result.exception_fraction < 0.2
+    assert 7 in result.indices
+
+
+def test_epsilon_computed_for_every_state():
+    states = make_states(embed([[1.0], [2.0], [3.0]]))
+    result = detect_exceptions(states)
+    assert len(result.epsilon) == 3
+
+
+def test_deviation_uses_per_metric_scale():
+    # metric 0 varies by thousands, metric 1 by hundredths; an outlier in
+    # metric 1 must still be detected
+    rng = np.random.default_rng(1)
+    values = embed(
+        np.column_stack(
+            [rng.normal(0, 1000.0, 60), rng.normal(0, 0.01, 60)]
+        ).tolist()
+    )
+    values[10, 1] = 1.0  # 100 sigma in metric 1
+    scores = deviation_scores(values)
+    assert scores[10] > np.median(scores) * 10
+
+
+def test_min_exceptions_fallback():
+    states = make_states(embed([[1.0], [1.0], [1.0], [1.0]]))
+    result = detect_exceptions(states, min_exceptions=2)
+    assert len(result) == 2
+
+
+def test_threshold_ratio_effect():
+    rng = np.random.default_rng(2)
+    values = embed(rng.normal(0, 1, size=(200, 4)).tolist())
+    values[0] *= 50
+    states = make_states(values)
+    strict = detect_exceptions(states, threshold_ratio=0.5)
+    loose = detect_exceptions(states, threshold_ratio=0.001)
+    assert len(strict) <= len(loose)
+
+
+def test_empty_states():
+    states = make_states(np.zeros((0, NUM_METRICS)))
+    result = detect_exceptions(states)
+    assert len(result) == 0
+    assert result.exception_fraction == 0.0
+
+
+def test_exception_set_preserves_provenance():
+    base = [[1.0, 1.0]] * 20
+    states = make_states(embed(base + [[50.0, 1.0]]))
+    result = detect_exceptions(states, threshold_ratio=0.5)
+    flagged_epochs = [p.epoch_from for p in result.states.provenance]
+    assert 20 in flagged_epochs

@@ -1,0 +1,151 @@
+"""Unit tests for the forwarding engine (dedup, loops, overflow, retx)."""
+
+import pytest
+
+from repro.metrics.packets import C1Packet
+from repro.simnet.counters import CounterSet
+from repro.simnet.ctp.forwarding import (
+    INITIAL_THL,
+    MAX_RETRANSMISSIONS,
+    DataFrame,
+    ForwardingEngine,
+)
+
+
+def make_engine(is_sink=False, capacity=4):
+    counters = CounterSet()
+    engine = ForwardingEngine(
+        node_id=7, counters=counters, is_sink=is_sink, queue_capacity=capacity
+    )
+    return engine, counters
+
+
+def make_frame(origin=1, seqno=0, path=(1,), thl=INITIAL_THL):
+    report = C1Packet(node_id=origin, epoch=0, generated_at=0.0, values={})
+    return DataFrame(
+        origin=origin, seqno=seqno, report=report, path=tuple(path), thl=thl,
+        created_at=0.0,
+    )
+
+
+def test_submit_self_report_counts_and_queues():
+    engine, counters = make_engine()
+    frame = engine.submit_self_report(
+        C1Packet(node_id=7, epoch=0, generated_at=0.0, values={}), now=0.0
+    )
+    assert frame is not None
+    assert frame.path == (7,)
+    assert counters.self_transmit_counter == 1
+    assert len(engine.queue) == 1
+
+
+def test_self_report_overflow_counts():
+    engine, counters = make_engine(capacity=1)
+    for _ in range(2):
+        engine.submit_self_report(
+            C1Packet(node_id=7, epoch=0, generated_at=0.0, values={}), now=0.0
+        )
+    assert counters.overflow_drop_counter == 1
+    assert counters.self_transmit_counter == 2
+
+
+def test_fresh_frame_accepted_and_acked():
+    engine, counters = make_engine()
+    verdict = engine.on_frame_received(make_frame())
+    assert verdict.accepted and verdict.send_ack
+    assert counters.receive_counter == 1
+    stored = engine.queue.peek()
+    assert stored.path == (1, 7)
+    assert stored.thl == INITIAL_THL - 1
+
+
+def test_exact_duplicate_acked_not_requeued():
+    engine, counters = make_engine()
+    engine.on_frame_received(make_frame())
+    verdict = engine.on_frame_received(make_frame())
+    assert verdict.was_duplicate and verdict.send_ack and not verdict.accepted
+    assert counters.duplicate_counter == 1
+    assert len(engine.queue) == 1
+
+
+def test_looped_frame_detected_and_still_forwarded():
+    engine, counters = make_engine()
+    engine.on_frame_received(make_frame(seqno=5, path=(1,), thl=10))
+    # the same packet comes back after visiting 7 (this node) and 3
+    verdict = engine.on_frame_received(make_frame(seqno=5, path=(1, 7, 3), thl=8))
+    assert verdict.loop_detected
+    assert counters.loop_counter == 1
+    assert counters.duplicate_counter == 1  # looped copy counts as duplicate
+    assert verdict.accepted  # still enqueued, THL will kill it eventually
+    assert len(engine.queue) == 2
+
+
+def test_overflow_drops_without_ack():
+    engine, counters = make_engine(capacity=1)
+    engine.on_frame_received(make_frame(seqno=0))
+    verdict = engine.on_frame_received(make_frame(seqno=1))
+    assert not verdict.send_ack and not verdict.accepted
+    assert counters.overflow_drop_counter == 1
+
+
+def test_thl_expired_acked_but_discarded():
+    engine, counters = make_engine()
+    verdict = engine.on_frame_received(make_frame(thl=0))
+    assert verdict.send_ack and not verdict.accepted
+    assert len(engine.queue) == 0
+
+
+def test_sink_delivers_once():
+    engine, counters = make_engine(is_sink=True)
+    v1 = engine.on_frame_received(make_frame(seqno=3, thl=10))
+    assert v1.delivered_at_sink
+    # looped/different-THL copy of the same packet is not delivered again
+    v2 = engine.on_frame_received(make_frame(seqno=3, thl=8, path=(1, 2)))
+    assert not v2.delivered_at_sink
+    assert counters.duplicate_counter == 1
+    assert counters.receive_counter == 1
+
+
+def test_retry_head_drops_after_limit():
+    engine, counters = make_engine()
+    engine.submit_self_report(
+        C1Packet(node_id=7, epoch=0, generated_at=0.0, values={}), now=0.0
+    )
+    for _ in range(MAX_RETRANSMISSIONS):
+        assert engine.retry_head()
+    assert not engine.retry_head()  # the 31st failure drops the packet
+    assert counters.drop_packet_counter == 1
+    assert len(engine.queue) == 0
+
+
+def test_complete_head_resets_retx():
+    engine, _ = make_engine()
+    engine.submit_self_report(
+        C1Packet(node_id=7, epoch=0, generated_at=0.0, values={}), now=0.0
+    )
+    engine.retry_head()
+    engine.complete_head()
+    assert engine.head_retx == 0
+
+
+def test_dedup_cache_evicts_oldest():
+    engine, counters = make_engine(capacity=600)
+    from repro.simnet.ctp import forwarding
+
+    for seqno in range(forwarding.DEDUP_CACHE_SIZE + 10):
+        engine.on_frame_received(make_frame(seqno=seqno))
+    # seqno 0 has been evicted: replaying it is NOT flagged duplicate
+    engine.on_frame_received(make_frame(seqno=0))
+    assert counters.duplicate_counter == 0
+
+
+def test_clear_keeps_seqno_monotonic():
+    engine, _ = make_engine()
+    f1 = engine.submit_self_report(
+        C1Packet(node_id=7, epoch=0, generated_at=0.0, values={}), now=0.0
+    )
+    engine.clear()
+    f2 = engine.submit_self_report(
+        C1Packet(node_id=7, epoch=1, generated_at=0.0, values={}), now=0.0
+    )
+    assert f2.seqno > f1.seqno

@@ -1,0 +1,66 @@
+"""Paper-scale smoke test: the full 286-node CitySee profile runs.
+
+The benchmarks use scaled profiles for speed; this test demonstrates the
+full profile is genuinely runnable through the same code path — one
+simulated hour of the 286-node deployment with the paper's 10-minute
+reporting period.
+"""
+
+import numpy as np
+import pytest
+
+from repro.simnet.network import Network, NetworkConfig
+from repro.simnet.radio import RadioParams
+from repro.simnet.rng import RngRegistry
+from repro.simnet.topology import random_geometric_topology
+from repro.traces.citysee import CitySeeProfile
+
+
+@pytest.fixture(scope="module")
+def fullscale_network():
+    profile = CitySeeProfile.full()
+    rngs = RngRegistry(profile.seed)
+    topology = random_geometric_topology(
+        n_nodes=profile.n_nodes,
+        area=profile.area,
+        comm_radius=profile.comm_radius_m,
+        rng=rngs.stream("topology"),
+    )
+    network = Network(topology, NetworkConfig(
+        report_period_s=profile.report_period_s,
+        day_seconds=profile.day_seconds,
+        seed=profile.seed,
+        max_range_m=profile.comm_radius_m * 1.25,
+        radio=RadioParams(path_loss_exponent=profile.path_loss_exponent),
+    ))
+    network.run(3600.0)  # one simulated hour
+    return network
+
+
+def test_fullscale_topology_is_paper_sized(fullscale_network):
+    assert len(fullscale_network.topology) == 286
+
+
+def test_fullscale_tree_forms(fullscale_network):
+    with_parent = sum(
+        1
+        for node in fullscale_network.nodes.values()
+        if not node.is_sink and node.routing.parent is not None
+    )
+    assert with_parent > 230  # most of 285 sensors routed within an hour
+
+
+def test_fullscale_collection_works(fullscale_network):
+    # 285 sensors x 6 epochs x 3 packets = 5130 expected at most
+    assert fullscale_network.stats.packets_generated > 3000
+    assert fullscale_network.delivery_ratio() > 0.5
+    assert fullscale_network.collector.total_snapshots() > 800
+
+
+def test_fullscale_deep_paths_exist(fullscale_network):
+    lengths = [
+        node.routing.path_length()
+        for node in fullscale_network.nodes.values()
+        if not node.is_sink and node.routing.parent is not None
+    ]
+    assert max(lengths) >= 4  # genuinely multihop at CitySee scale

@@ -1,0 +1,94 @@
+"""Unit tests for battery, clock and hardware accounting."""
+
+import numpy as np
+import pytest
+
+from repro.simnet.hardware import Battery, ClockParams, EnergyParams, Hardware
+
+
+@pytest.fixture
+def battery():
+    return Battery(EnergyParams(), np.random.default_rng(0))
+
+
+def test_fresh_battery_voltage_near_full(battery):
+    assert battery.voltage() == pytest.approx(3.0, abs=0.05)
+    assert not battery.is_dead()
+
+
+def test_voltage_declines_with_consumption(battery):
+    v0 = battery.voltage()
+    battery.consume(battery.capacity_j * 0.5)
+    assert battery.voltage() < v0 - 0.05
+
+
+def test_battery_dies_below_cutoff(battery):
+    battery.consume(battery.capacity_j * 0.9)
+    assert battery.is_dead()
+
+
+def test_drain_multiplier_scales_consumption(battery):
+    battery.drain_multiplier = 10.0
+    battery.consume(1.0)
+    assert battery.used_j == pytest.approx(10.0)
+
+
+def test_recharge_restores(battery):
+    battery.consume(battery.capacity_j)
+    battery.drain_multiplier = 5.0
+    battery.recharge()
+    assert battery.used_j == 0.0
+    assert battery.drain_multiplier == 1.0
+    assert not battery.is_dead()
+
+
+def test_depletion_clamped(battery):
+    battery.consume(battery.capacity_j * 10)
+    assert battery.depletion() == 1.0
+
+
+@pytest.fixture
+def hardware():
+    return Hardware(EnergyParams(), ClockParams(), np.random.default_rng(0))
+
+
+def test_transmit_receive_account_energy_and_radio_time(hardware):
+    used0 = hardware.battery.used_j
+    hardware.on_transmit()
+    hardware.on_receive()
+    assert hardware.battery.used_j > used0
+    assert hardware.radio_on_time == pytest.approx(0.008)
+
+
+def test_idle_accrual(hardware):
+    hardware.accrue_idle(100.0)
+    assert hardware.radio_on_time == pytest.approx(100.0 * 0.05)
+    used = hardware.battery.used_j
+    hardware.accrue_idle(100.0)  # same time again: no double-charge
+    assert hardware.battery.used_j == used
+
+
+def test_clock_skew_minimal_at_turnover(hardware):
+    at_turnover = hardware.clock_skew(25.0)
+    hot = hardware.clock_skew(55.0)
+    cold = hardware.clock_skew(-5.0)
+    assert hot > at_turnover
+    assert cold > at_turnover
+    assert at_turnover == pytest.approx(1.0 + 10e-6)
+
+
+def test_clock_skew_is_tiny(hardware):
+    # even at extremes, drift stays within ~100 ppm
+    assert hardware.clock_skew(60.0) < 1.0002
+
+
+def test_reboot_resets_radio_time(hardware):
+    hardware.on_transmit()
+    hardware.reboot(now=50.0)
+    assert hardware.radio_on_time == 0.0
+
+
+def test_reboot_with_fresh_battery(hardware):
+    hardware.battery.consume(1000.0)
+    hardware.reboot(now=0.0, fresh_battery=True)
+    assert hardware.battery.used_j == 0.0

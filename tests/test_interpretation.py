@@ -1,0 +1,124 @@
+"""Tests for the root-cause interpretation engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.interpretation import RootCauseInterpreter
+from repro.metrics.catalog import METRIC_INDEX, NUM_METRICS
+
+
+@pytest.fixture
+def interpreter():
+    return RootCauseInterpreter()
+
+
+def row_with(values: dict) -> np.ndarray:
+    row = np.zeros(NUM_METRICS)
+    for name, value in values.items():
+        row[METRIC_INDEX[name]] = value
+    return row
+
+
+def test_loop_signature_scores_routing_loop(interpreter):
+    row = row_with({
+        "loop_counter": 0.9,
+        "transmit_counter": 0.8,
+        "self_transmit_counter": 0.7,
+        "duplicate_counter": 0.85,
+        "overflow_drop_counter": 0.5,
+    })
+    hazards = interpreter.hazard_scores(row)
+    assert hazards[0][0] == "routing_loop"
+
+
+def test_contention_signature(interpreter):
+    row = row_with({
+        "mac_backoff_counter": 0.95,
+        "noack_retransmit_counter": 0.8,
+    })
+    hazards = dict(interpreter.hazard_scores(row))
+    assert "contention" in hazards
+    top = interpreter.hazard_scores(row)[0][0]
+    assert top in ("contention", "noack_retransmit")
+
+
+def test_direction_matters(interpreter):
+    # counters *falling* is not a loop
+    row = row_with({
+        "loop_counter": -0.9,
+        "transmit_counter": -0.8,
+        "duplicate_counter": -0.85,
+    })
+    hazards = dict(interpreter.hazard_scores(row))
+    assert hazards.get("routing_loop", 0.0) == 0.0
+
+
+def test_counter_reset_flags_reboot(interpreter):
+    values = {"voltage": 0.3}
+    for name in (
+        "parent_change_counter", "no_parent_counter", "transmit_counter",
+        "self_transmit_counter", "receive_counter", "overflow_drop_counter",
+        "noack_retransmit_counter", "drop_packet_counter",
+        "duplicate_counter", "loop_counter", "mac_backoff_counter",
+        "radio_on_time", "beacon_counter", "ack_counter",
+        "retransmit_counter",
+    ):
+        values[name] = -0.9
+    row = row_with(values)
+    assert interpreter.counter_reset_score(row) > 0.5
+    assert interpreter.hazard_scores(row)[0][0] == "node_reboot"
+
+
+def test_dark_row_not_reset(interpreter):
+    # everything mildly negative (including gauges): not a reboot
+    row = -0.6 * np.ones(NUM_METRICS)
+    assert interpreter.counter_reset_score(row) == 0.0
+
+
+def test_family_classification(interpreter):
+    assert interpreter.family_of(row_with({"temperature": 1.0})) == "environment"
+    assert interpreter.family_of(row_with({"rssi_3": 1.0})) == "link"
+    assert interpreter.family_of(row_with({"loop_counter": 1.0})) == "protocol"
+
+
+def test_dominant_metrics_ordering(interpreter):
+    row = row_with({"voltage": -0.9, "temperature": 0.5, "light": 0.1})
+    dominant = interpreter.dominant_metrics(row)
+    assert dominant[0] == ("voltage", pytest.approx(-0.9))
+    names = [n for n, _v in dominant]
+    assert "light" not in names  # below the dominance fraction
+
+
+def test_dominant_metrics_empty_row(interpreter):
+    assert interpreter.dominant_metrics(np.zeros(NUM_METRICS)) == []
+
+
+def test_interpret_labels_every_row(interpreter):
+    psi = np.vstack([
+        row_with({"loop_counter": 0.9, "duplicate_counter": 0.9,
+                  "transmit_counter": 0.8}),
+        row_with({"mac_backoff_counter": 0.9,
+                  "noack_retransmit_counter": 0.7}),
+    ])
+    labels = interpreter.interpret(psi)
+    assert len(labels) == 2
+    assert labels[0].index == 0
+    assert labels[0].primary_hazard == "routing_loop"
+    assert not labels[0].is_baseline  # no usage given -> no baseline flags
+
+
+def test_usage_marks_baseline(interpreter):
+    psi = np.vstack([row_with({"temperature": 0.5})] * 4)
+    usage = np.array([10.0, 1.0, 1.0, 1.0])
+    labels = interpreter.interpret(psi, usage=usage)
+    assert labels[0].is_baseline
+    assert not labels[1].is_baseline
+    assert "baseline" in labels[0].explanation.lower() or "normal" in labels[0].explanation.lower()
+
+
+def test_explanation_text_from_table1(interpreter):
+    row = row_with({"loop_counter": 0.9, "duplicate_counter": 0.9,
+                    "transmit_counter": 0.9, "self_transmit_counter": 0.9,
+                    "overflow_drop_counter": 0.6})
+    label = interpreter.label_row(0, row, energy=1.0, is_baseline=False)
+    assert "loop" in label.explanation.lower()

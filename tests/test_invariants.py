@@ -1,0 +1,159 @@
+"""System invariants under randomized fault scenarios (hypothesis).
+
+Each example builds a small network, injects a random combination of
+faults at random times, runs it, and asserts invariants that must hold
+for *any* scenario — the failure-injection analogue of fuzzing.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.catalog import METRIC_INDEX
+from repro.simnet.faults import (
+    BatteryDrain,
+    FaultInjector,
+    ForcedLoop,
+    Interference,
+    LinkDegradation,
+    NodeFailure,
+    NodeReboot,
+    TrafficBurst,
+)
+from repro.simnet.network import Network, NetworkConfig
+from repro.simnet.radio import RadioParams
+from repro.simnet.topology import grid_topology
+
+SIM_END = 1500.0
+
+
+def _fault_strategy():
+    node = st.integers(1, 15)
+    time = st.floats(200.0, 1100.0)
+
+    failure = st.builds(NodeFailure, node_id=node, at=time)
+    reboot = st.builds(NodeReboot, node_id=node, at=time)
+    loop = st.builds(
+        ForcedLoop,
+        node_a=st.integers(1, 7),
+        node_b=st.integers(8, 15),
+        start=time,
+        end=st.floats(1100.0, 1400.0),
+    )
+    interference = st.builds(
+        Interference,
+        center=st.tuples(st.floats(0.0, 30.0), st.floats(0.0, 30.0)),
+        radius=st.floats(10.0, 30.0),
+        start=time,
+        end=st.floats(1100.0, 1400.0),
+        delta_db=st.floats(6.0, 25.0),
+    )
+    degradation = st.builds(
+        LinkDegradation,
+        center=st.tuples(st.floats(0.0, 30.0), st.floats(0.0, 30.0)),
+        radius=st.floats(10.0, 30.0),
+        start=time,
+        end=st.floats(1100.0, 1400.0),
+        extra_db=st.floats(5.0, 20.0),
+    )
+    burst = st.builds(
+        TrafficBurst,
+        node_ids=st.tuples(node, node),
+        start=time,
+        end=st.floats(1100.0, 1400.0),
+        interval_s=st.floats(0.5, 5.0),
+    )
+    drain = st.builds(
+        BatteryDrain,
+        node_id=node,
+        start=time,
+        end=st.floats(1100.0, 1400.0),
+        multiplier=st.floats(10.0, 5000.0),
+    )
+    return st.lists(
+        st.one_of(failure, reboot, loop, interference, degradation, burst,
+                  drain),
+        min_size=0,
+        max_size=3,
+    )
+
+
+@given(faults=_fault_strategy(), seed=st.integers(0, 50))
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_network_invariants_under_random_faults(faults, seed):
+    topology = grid_topology(rows=4, cols=4, spacing=9.0)
+    network = Network(topology, NetworkConfig(
+        report_period_s=120.0,
+        beacon_min_s=10.0,
+        beacon_max_s=120.0,
+        seed=seed,
+        radio=RadioParams(tx_power_dbm=-10.0),
+        max_range_m=40.0,
+    ))
+    FaultInjector(faults).install(network)
+    network.run(SIM_END)
+
+    # -- conservation: the sink never receives more than was generated
+    assert network.collector.packets_received <= network.stats.packets_generated
+
+    # -- per-node sanity
+    for node in network.nodes.values():
+        counters = node.counters.as_dict()
+        for name, value in counters.items():
+            assert value >= 0, (node.node_id, name, value)
+        # queue never exceeds capacity
+        assert len(node.forwarding.queue) <= node.forwarding.queue.capacity
+        # a node cannot have NOACK retransmits without transmissions
+        if counters["noack_retransmit_counter"] > 0:
+            assert counters["transmit_counter"] > 0
+        # energy accounting never goes negative
+        assert node.hardware.battery.used_j >= 0
+        assert node.hardware.radio_on_time >= 0
+        # snapshots are well-formed at any time
+        vec = node.build_snapshot(network.sim.now())
+        assert np.all(np.isfinite(vec))
+
+    # -- collector consistency: every complete snapshot has 43 metrics and
+    #    timeline epochs strictly increase
+    for timeline in network.collector.timelines.values():
+        epochs = [s.epoch for s in timeline.snapshots]
+        assert epochs == sorted(epochs)
+        assert len(set(epochs)) == len(epochs)
+
+    # -- dead nodes stay quiet
+    for node in network.nodes.values():
+        if not node.alive:
+            tx_before = node.counters.transmit_counter
+            network.sim.run(60.0)
+            assert node.counters.transmit_counter == tx_before
+
+
+def test_loop_fault_on_same_node_is_harmless():
+    """A degenerate forced loop (a == b) must not crash the simulator."""
+    topology = grid_topology(rows=3, cols=3, spacing=9.0)
+    network = Network(topology, NetworkConfig(
+        report_period_s=60.0, seed=0, radio=RadioParams(tx_power_dbm=-10.0),
+        max_range_m=40.0,
+    ))
+    FaultInjector([ForcedLoop(4, 4, start=100.0, end=400.0)]).install(network)
+    network.run(600.0)
+    assert network.collector.packets_received > 0
+
+
+def test_fault_on_sink_is_tolerated():
+    """Killing the sink stops collection but must not crash."""
+    topology = grid_topology(rows=3, cols=3, spacing=9.0)
+    network = Network(topology, NetworkConfig(
+        report_period_s=60.0, seed=0, radio=RadioParams(tx_power_dbm=-10.0),
+        max_range_m=40.0,
+    ))
+    FaultInjector([NodeFailure(0, at=300.0)]).install(network)
+    network.run(900.0)
+    received_at_death = network.collector.packets_received
+    network.run(300.0)
+    assert network.collector.packets_received == received_at_death

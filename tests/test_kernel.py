@@ -1,0 +1,126 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.simnet.kernel import Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now() == 0.0
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(3.0, lambda: fired.append("c"))
+    sim.schedule(1.0, lambda: fired.append("a"))
+    sim.schedule(2.0, lambda: fired.append("b"))
+    sim.run_until(10.0)
+    assert fired == ["a", "b", "c"]
+
+
+def test_ties_break_by_schedule_order():
+    sim = Simulator()
+    fired = []
+    for name in "abcde":
+        sim.schedule(1.0, lambda n=name: fired.append(n))
+    sim.run_until(1.0)
+    assert fired == list("abcde")
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(5.0, lambda: seen.append(sim.now()))
+    sim.run_until(100.0)
+    assert seen == [5.0]
+    assert sim.now() == 100.0
+
+
+def test_events_beyond_horizon_do_not_fire():
+    sim = Simulator()
+    fired = []
+    sim.schedule(50.0, lambda: fired.append(1))
+    sim.run_until(49.999)
+    assert fired == []
+    sim.run_until(50.0)
+    assert fired == [1]
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, lambda: fired.append(1))
+    event.cancel()
+    sim.run_until(2.0)
+    assert fired == []
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    sim.run_until(2.0)  # must not raise
+
+
+def test_events_scheduled_during_run_fire_same_run():
+    sim = Simulator()
+    fired = []
+
+    def first():
+        fired.append("first")
+        sim.schedule(1.0, lambda: fired.append("second"))
+
+    sim.schedule(1.0, first)
+    sim.run_until(5.0)
+    assert fired == ["first", "second"]
+
+
+def test_negative_delay_clamps_to_now():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: sim.schedule(-5.0, lambda: fired.append(sim.now())))
+    sim.run_until(2.0)
+    assert fired == [1.0]
+
+
+def test_schedule_in_past_raises():
+    sim = Simulator()
+    sim.run_until(10.0)
+    with pytest.raises(ValueError):
+        sim.schedule_at(5.0, lambda: None)
+
+
+def test_run_duration_is_relative():
+    sim = Simulator()
+    sim.run(5.0)
+    sim.run(5.0)
+    assert sim.now() == 10.0
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for _ in range(7):
+        sim.schedule(1.0, lambda: None)
+    sim.run_until(2.0)
+    assert sim.events_processed == 7
+
+
+def test_pending_excludes_cancelled():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    event = sim.schedule(2.0, lambda: None)
+    event.cancel()
+    assert sim.pending() == 1
+
+
+def test_reentrant_run_rejected():
+    sim = Simulator()
+
+    def reenter():
+        with pytest.raises(RuntimeError):
+            sim.run_until(100.0)
+
+    sim.schedule(1.0, reenter)
+    sim.run_until(2.0)

@@ -1,0 +1,89 @@
+"""Unit tests for the metric catalog and hazard knowledge base."""
+
+import pytest
+
+from repro.metrics.catalog import (
+    HAZARDS,
+    METRIC_INDEX,
+    METRIC_NAMES,
+    METRICS,
+    NUM_METRICS,
+    Hazard,
+    MetricKind,
+    PacketClass,
+    hazards_for_metric,
+    metrics_in_packet,
+)
+
+
+def test_exactly_43_metrics():
+    assert NUM_METRICS == 43
+    assert len(METRIC_NAMES) == 43
+    assert len(set(METRIC_NAMES)) == 43
+
+
+def test_packet_split_7_21_15():
+    assert len(metrics_in_packet(PacketClass.C1)) == 7
+    assert len(metrics_in_packet(PacketClass.C2)) == 21
+    assert len(metrics_in_packet(PacketClass.C3)) == 15
+
+
+def test_metric_index_consistent():
+    for i, name in enumerate(METRIC_NAMES):
+        assert METRIC_INDEX[name] == i
+
+
+def test_counters_are_c3_gauges_elsewhere():
+    for metric in METRICS:
+        if metric.kind is MetricKind.COUNTER:
+            assert metric.packet is PacketClass.C3
+        else:
+            assert metric.packet in (PacketClass.C1, PacketClass.C2)
+
+
+def test_paper_table1_metrics_present():
+    # the named metrics of the paper's Table I
+    for name in (
+        "temperature",
+        "voltage",
+        "neighbor_num",
+        "overflow_drop_counter",
+        "noack_retransmit_counter",
+        "parent_change_counter",
+        "loop_counter",
+        "drop_packet_counter",
+        "duplicate_counter",
+    ):
+        assert name in METRIC_INDEX
+
+
+def test_hazard_triggers_are_valid_metrics():
+    for hazard in HAZARDS:
+        for trigger in hazard.triggers:
+            assert trigger in METRIC_INDEX, (hazard.name, trigger)
+
+
+def test_hazard_directions_match_triggers():
+    for hazard in HAZARDS:
+        if hazard.directions:
+            assert len(hazard.directions) == len(hazard.triggers)
+        for i in range(len(hazard.triggers)):
+            assert hazard.direction_of(i) in (-1, 0, 1)
+
+
+def test_hazard_direction_validation():
+    with pytest.raises(ValueError):
+        Hazard(name="bad", triggers=("voltage",), event="", impact="",
+               directions=(1, -1))
+
+
+def test_hazards_for_metric():
+    hazards = hazards_for_metric("loop_counter")
+    assert any(h.name == "routing_loop" for h in hazards)
+    with pytest.raises(KeyError):
+        hazards_for_metric("not_a_metric")
+
+
+def test_hazard_names_unique():
+    names = [h.name for h in HAZARDS]
+    assert len(names) == len(set(names))

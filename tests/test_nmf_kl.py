@@ -1,0 +1,75 @@
+"""Tests for the KL-divergence NMF variant."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.nmf import kl_divergence, nmf
+
+
+def nonneg_matrices():
+    return hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(3, 12), st.integers(3, 8)),
+        elements=st.floats(0.0, 50.0, allow_nan=False, allow_infinity=False,
+                           width=64),
+    )
+
+
+@given(nonneg_matrices(), st.integers(1, 3))
+@settings(max_examples=25, deadline=None)
+def test_kl_loss_monotone_and_factors_nonnegative(V, r):
+    result = nmf(V, r, n_iter=40, tol=0.0, objective="kl", init="nndsvd")
+    assert np.all(result.W >= 0)
+    assert np.all(result.Psi >= 0)
+    losses = result.loss_history
+    scale = max(abs(losses[0]), 1.0)
+    for a, b in zip(losses, losses[1:]):
+        assert b <= a + 1e-6 * scale
+
+
+def test_kl_divergence_zero_for_exact_fit():
+    rng = np.random.default_rng(0)
+    W = rng.uniform(0.1, 1, size=(6, 2))
+    Psi = rng.uniform(0.1, 1, size=(2, 5))
+    V = W @ Psi
+    assert kl_divergence(V, W, Psi) == pytest.approx(0.0, abs=1e-6)
+
+
+def test_kl_divergence_positive_for_mismatch():
+    V = np.ones((3, 3))
+    W = np.full((3, 1), 2.0)
+    Psi = np.full((1, 3), 2.0)  # approximation 4, truth 1
+    assert kl_divergence(V, W, Psi) > 1.0
+
+
+def test_kl_recovers_planted_factors():
+    rng = np.random.default_rng(1)
+    V = rng.uniform(0.1, 1, size=(30, 3)) @ rng.uniform(0.1, 1, size=(3, 12))
+    result = nmf(V, 3, n_iter=800, tol=1e-10, objective="kl", init="nndsvd")
+    assert kl_divergence(V, result.W, result.Psi) < 0.01 * V.sum()
+
+
+def test_unknown_objective_rejected():
+    with pytest.raises(ValueError):
+        nmf(np.ones((3, 3)), 1, objective="hellinger")
+
+
+def test_kl_handles_zero_entries():
+    rng = np.random.default_rng(2)
+    V = rng.uniform(0, 1, size=(10, 6))
+    V[V < 0.5] = 0.0  # half the entries exactly zero
+    result = nmf(V, 2, n_iter=50, objective="kl")
+    assert np.all(np.isfinite(result.W))
+    assert np.all(np.isfinite(result.Psi))
+    assert np.isfinite(result.loss)
+
+
+def test_objectives_give_different_factorizations():
+    rng = np.random.default_rng(3)
+    V = rng.uniform(0, 1, size=(20, 8))
+    frob = nmf(V, 3, n_iter=100, init="nndsvd", objective="frobenius")
+    kl = nmf(V, 3, n_iter=100, init="nndsvd", objective="kl")
+    assert not np.allclose(frob.Psi, kl.Psi, atol=1e-3)

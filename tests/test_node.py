@@ -1,0 +1,92 @@
+"""Unit-ish tests for the Node class (snapshots, lifecycle, timers)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.catalog import METRIC_INDEX, NUM_METRICS
+from repro.simnet.network import Network, NetworkConfig
+from repro.simnet.node import EMPTY_ETX_SLOT, EMPTY_RSSI_SLOT
+from repro.simnet.radio import RadioParams
+from repro.simnet.topology import grid_topology
+
+
+@pytest.fixture
+def network():
+    topo = grid_topology(rows=3, cols=3, spacing=9.0)
+    net = Network(topo, NetworkConfig(
+        report_period_s=60.0, beacon_min_s=5.0, beacon_max_s=60.0,
+        seed=2, radio=RadioParams(tx_power_dbm=-10.0), max_range_m=40.0,
+    ))
+    net.run(600.0)
+    return net
+
+
+def test_snapshot_has_full_shape(network):
+    vec = network.nodes[4].build_snapshot(network.sim.now())
+    assert vec.shape == (NUM_METRICS,)
+    assert np.all(np.isfinite(vec))
+
+
+def test_empty_neighbor_slots_use_sentinels(network):
+    node = network.nodes[8]
+    vec = node.build_snapshot(network.sim.now())
+    n = int(vec[METRIC_INDEX["neighbor_num"]])
+    if n < 10:
+        assert vec[METRIC_INDEX[f"rssi_{n + 1}"]] == EMPTY_RSSI_SLOT
+        assert vec[METRIC_INDEX[f"etx_{n + 1}"]] == EMPTY_ETX_SLOT
+
+
+def test_neighbor_slots_sorted_best_first(network):
+    node = network.nodes[4]
+    vec = node.build_snapshot(network.sim.now())
+    n = int(vec[METRIC_INDEX["neighbor_num"]])
+    etxs = [vec[METRIC_INDEX[f"etx_{i}"]] for i in range(1, min(n, 10) + 1)]
+    assert etxs == sorted(etxs)
+
+
+def test_sink_does_not_report(network):
+    assert network.sink.epoch == 0
+    assert network.sink.counters.self_transmit_counter == 0
+
+
+def test_sink_beacons(network):
+    assert network.sink.counters.beacon_counter > 0
+
+
+def test_dead_node_ignores_beacons(network):
+    node = network.nodes[8]
+    node.die()
+    entries_before = len(node.estimator.entries)
+    network.run(120.0)
+    assert len(node.estimator.entries) == entries_before
+
+
+def test_die_is_quiet(network):
+    node = network.nodes[8]
+    node.die()
+    tx = node.counters.transmit_counter
+    network.run(300.0)
+    assert node.counters.transmit_counter == tx
+
+
+def test_reboot_restarts_reporting(network):
+    node = network.nodes[8]
+    node.die()
+    network.run(120.0)
+    node.reboot()
+    network.run(300.0)
+    assert node.counters.self_transmit_counter > 0
+    assert node.alive
+
+
+def test_epoch_monotonic_across_reboot(network):
+    node = network.nodes[8]
+    epoch_before = node.epoch
+    node.reboot()
+    network.run(300.0)
+    assert node.epoch > epoch_before  # continues counting, never resets
+
+
+def test_repr_smoke(network):
+    assert "node" in repr(network.nodes[1])
+    assert "sink" in repr(network.sink)

@@ -1,0 +1,112 @@
+"""Tests for the normalizer, including hypothesis properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+
+from repro.core.normalization import MinMaxNormalizer
+
+
+def matrices(min_rows=2, max_rows=12, cols=5):
+    return hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(
+            st.integers(min_rows, max_rows), st.just(cols)
+        ),
+        elements=st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False,
+                           width=64),
+    )
+
+
+@given(matrices())
+@settings(max_examples=50, deadline=None)
+def test_transform_always_in_unit_interval(matrix):
+    normalizer = MinMaxNormalizer.fit(matrix)
+    scaled = normalizer.transform(matrix)
+    assert np.all(scaled >= 0.0)
+    assert np.all(scaled <= 1.0)
+
+
+@given(matrices())
+@settings(max_examples=50, deadline=None)
+def test_minmax_inverse_roundtrip(matrix):
+    normalizer = MinMaxNormalizer.fit(matrix, method="minmax")
+    scaled = normalizer.transform(matrix, clip=False)
+    restored = normalizer.inverse(scaled)
+    span = np.abs(matrix).max() + 1.0
+    assert np.allclose(restored, matrix, atol=1e-6 * span)
+
+
+@given(matrices())
+@settings(max_examples=30, deadline=None)
+def test_display_bounded(matrix):
+    normalizer = MinMaxNormalizer.fit(matrix)
+    psi = np.random.default_rng(0).uniform(0, 1, size=(4, matrix.shape[1]))
+    display = normalizer.display(psi)
+    assert np.all(np.abs(display) <= 1.0 + 1e-9)
+
+
+def test_rest_point_is_zero_delta_image():
+    matrix = np.array([[-10.0, 0.0], [10.0, 4.0], [0.0, 2.0]])
+    normalizer = MinMaxNormalizer.fit(matrix, method="minmax")
+    rest = normalizer.rest_point()
+    assert rest[0] == pytest.approx(0.5)
+    assert rest[1] == pytest.approx(0.0)
+
+
+def test_robust_scaling_preserves_moderate_signal():
+    # 99 small deltas and one huge reset: under min-max the small signal
+    # becomes invisible; under robust scaling it stays meaningful.
+    rng = np.random.default_rng(0)
+    column = rng.normal(0.0, 1.0, size=200)
+    column[0] = -100000.0  # reboot reset
+    column[1] = 50.0  # loop inflation
+    matrix = column[:, None]
+
+    naive = MinMaxNormalizer.fit(matrix, method="minmax")
+    robust = MinMaxNormalizer.fit(matrix, method="robust")
+
+    naive_sep = naive.transform(np.array([[50.0]]))[0, 0] - naive.transform(
+        np.array([[0.0]])
+    )[0, 0]
+    robust_sep = robust.transform(np.array([[50.0]]))[0, 0] - robust.transform(
+        np.array([[0.0]])
+    )[0, 0]
+    assert robust_sep > 10 * naive_sep
+
+
+def test_robust_clips_outliers_to_edges():
+    matrix = np.concatenate([np.zeros(50), [1e6, -1e6]])[:, None]
+    normalizer = MinMaxNormalizer.fit(matrix)
+    scaled = normalizer.transform(np.array([[1e6], [-1e6], [0.0]]))
+    assert scaled[0, 0] == pytest.approx(1.0)
+    assert scaled[1, 0] == pytest.approx(0.0)
+    assert 0.4 < scaled[2, 0] < 0.6
+
+
+def test_constant_column_does_not_blow_up():
+    matrix = np.ones((10, 3))
+    normalizer = MinMaxNormalizer.fit(matrix)
+    scaled = normalizer.transform(matrix)
+    assert np.all(np.isfinite(scaled))
+
+
+def test_fit_rejects_empty():
+    with pytest.raises(ValueError):
+        MinMaxNormalizer.fit(np.zeros((0, 3)))
+
+
+def test_fit_rejects_unknown_method():
+    with pytest.raises(ValueError):
+        MinMaxNormalizer.fit(np.ones((2, 2)), method="zscore")
+
+
+def test_pad_fraction_widens_range():
+    matrix = np.array([[0.0], [10.0]])
+    padded = MinMaxNormalizer.fit(matrix, pad_fraction=0.1, method="minmax")
+    scaled = padded.transform(np.array([[0.0], [10.0]]), clip=False)
+    assert scaled[0, 0] > 0.0
+    assert scaled[1, 0] < 1.0

@@ -1,0 +1,126 @@
+"""Unit tests for report packets and the sink collector."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.catalog import NUM_METRICS, PacketClass
+from repro.metrics.collector import SinkCollector
+from repro.metrics.packets import (
+    C1Packet,
+    C2Packet,
+    C3Packet,
+    merge_packets,
+    snapshot_to_packets,
+)
+
+
+@pytest.fixture
+def snapshot():
+    rng = np.random.default_rng(0)
+    return rng.uniform(0, 100, size=NUM_METRICS)
+
+
+def test_split_merge_roundtrip(snapshot):
+    packets = snapshot_to_packets(3, 7, 123.0, snapshot)
+    assert [p.PACKET_CLASS for p in packets] == [
+        PacketClass.C1, PacketClass.C2, PacketClass.C3
+    ]
+    merged = merge_packets(packets)
+    assert np.allclose(merged, snapshot)
+
+
+def test_split_validates_shape():
+    with pytest.raises(ValueError):
+        snapshot_to_packets(1, 0, 0.0, np.zeros(10))
+
+
+def test_packet_rejects_foreign_metrics():
+    with pytest.raises(ValueError):
+        C1Packet(node_id=1, epoch=0, generated_at=0.0,
+                 values={"loop_counter": 1.0})
+
+
+def test_merge_rejects_mixed_nodes(snapshot):
+    a = snapshot_to_packets(1, 0, 0.0, snapshot)
+    b = snapshot_to_packets(2, 0, 0.0, snapshot)
+    with pytest.raises(ValueError):
+        merge_packets([a[0], b[1], b[2]])
+
+
+def test_merge_rejects_incomplete(snapshot):
+    a = snapshot_to_packets(1, 0, 0.0, snapshot)
+    with pytest.raises(ValueError):
+        merge_packets(a[:2])
+
+
+def test_merge_rejects_duplicates(snapshot):
+    a = snapshot_to_packets(1, 0, 0.0, snapshot)
+    with pytest.raises(ValueError):
+        merge_packets([a[0], a[0], a[2]])
+
+
+def test_collector_completes_epoch(snapshot):
+    collector = SinkCollector()
+    packets = snapshot_to_packets(5, 0, 10.0, snapshot)
+    assert collector.deliver(packets[0], 11.0) is None
+    assert collector.deliver(packets[1], 12.0) is None
+    record = collector.deliver(packets[2], 13.0)
+    assert record is not None
+    assert record.node_id == 5
+    assert record.received_at == 13.0
+    assert np.allclose(record.values, snapshot)
+    assert collector.total_snapshots() == 1
+    assert collector.incomplete_epochs() == 0
+
+
+def test_collector_ignores_duplicate_class(snapshot):
+    collector = SinkCollector()
+    packets = snapshot_to_packets(5, 0, 10.0, snapshot)
+    collector.deliver(packets[0], 11.0)
+    collector.deliver(packets[0], 11.5)  # duplicate C1
+    collector.deliver(packets[1], 12.0)
+    record = collector.deliver(packets[2], 13.0)
+    assert record is not None
+
+
+def test_collector_keeps_incomplete_epochs_separate(snapshot):
+    collector = SinkCollector()
+    e0 = snapshot_to_packets(5, 0, 10.0, snapshot)
+    e1 = snapshot_to_packets(5, 1, 20.0, snapshot)
+    collector.deliver(e0[0], 11.0)
+    collector.deliver(e1[0], 21.0)
+    assert collector.incomplete_epochs() == 2
+    assert collector.total_snapshots() == 0
+
+
+def test_collector_statistics(snapshot):
+    collector = SinkCollector()
+    for packet in snapshot_to_packets(5, 0, 10.0, snapshot):
+        collector.deliver(packet, 11.0)
+    assert collector.packets_received == 3
+    assert collector.packets_by_class[PacketClass.C2] == 1
+    assert len(collector.arrival_log) == 3
+
+
+def test_timeline_orders_out_of_order_completions(snapshot):
+    """Epoch 9 can complete before epoch 8's last packet arrives (heavy
+    retransmission); the timeline must still come out epoch-ordered."""
+    collector = SinkCollector()
+    e8 = snapshot_to_packets(5, 8, 80.0, snapshot)
+    e9 = snapshot_to_packets(5, 9, 90.0, snapshot)
+    collector.deliver(e8[0], 81.0)
+    collector.deliver(e8[1], 82.0)
+    for packet in e9:
+        collector.deliver(packet, 95.0)
+    collector.deliver(e8[2], 99.0)  # late straggler completes epoch 8
+    epochs = [s.epoch for s in collector.timelines[5].snapshots]
+    assert epochs == [8, 9]
+
+
+def test_timeline_matrix(snapshot):
+    collector = SinkCollector()
+    for epoch in range(3):
+        for packet in snapshot_to_packets(5, epoch, 10.0 * epoch, snapshot):
+            collector.deliver(packet, 10.0 * epoch + 1)
+    matrix = collector.timelines[5].matrix()
+    assert matrix.shape == (3, NUM_METRICS)

@@ -1,0 +1,71 @@
+"""Tests for per-cause PRR cost estimation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.performance import estimate_cause_costs
+from repro.core.pipeline import VN2, VN2Config
+from repro.core.states import build_states
+
+
+@pytest.fixture(scope="module")
+def fitted(multicause_trace):
+    tool = VN2(VN2Config(rank=12)).fit(multicause_trace)
+    model = estimate_cause_costs(tool, multicause_trace, bin_seconds=600.0)
+    return tool, model
+
+
+def test_costs_nonnegative(fitted):
+    _tool, model = fitted
+    assert all(imp.cost >= 0 for imp in model.impacts)
+
+
+def test_model_explains_some_deficit(fitted):
+    _tool, model = fitted
+    # the fault window visibly depresses PRR; the cause strengths must
+    # explain a nontrivial share of that
+    assert model.r_squared > 0.2
+
+
+def test_baseline_is_healthy(fitted):
+    _tool, model = fitted
+    assert 0.7 <= model.baseline_prr <= 1.0
+
+
+def test_impacts_sorted_by_mean_impact(fitted):
+    _tool, model = fitted
+    products = [imp.cost * imp.mean_strength for imp in model.impacts]
+    assert products == sorted(products, reverse=True)
+
+
+def test_predict_prr_monotone_in_strength(fitted):
+    tool, model = fitted
+    rank = tool.rank_
+    quiet = np.zeros(rank)
+    # load the cause with the largest cost
+    heavy = np.zeros(rank)
+    strongest = max(model.impacts, key=lambda i: i.cost)
+    heavy[strongest.cause_index] = 1.0
+    assert model.predict_prr(quiet) == pytest.approx(model.baseline_prr)
+    if strongest.cost > 0:
+        assert model.predict_prr(heavy) < model.predict_prr(quiet)
+
+
+def test_predictions_bounded(fitted):
+    tool, model = fitted
+    huge = np.full(tool.rank_, 100.0)
+    assert 0.0 <= model.predict_prr(huge) <= 1.0
+    assert 0.0 <= model.predict_deficit(huge) <= 1.0
+
+
+def test_to_text_renders(fitted):
+    _tool, model = fitted
+    text = model.to_text()
+    assert "PRR cost/unit" in text
+    assert "R^2" in text
+
+
+def test_rejects_too_few_bins(fitted, multicause_trace):
+    tool, _model = fitted
+    with pytest.raises(ValueError):
+        estimate_cause_costs(tool, multicause_trace, bin_seconds=10**9)

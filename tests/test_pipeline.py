@@ -1,0 +1,123 @@
+"""Tests for the VN2 facade: fit, diagnose, persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import VN2, VN2Config
+from repro.core.states import build_states
+from repro.metrics.catalog import METRIC_INDEX, NUM_METRICS
+
+
+def test_fit_populates_model(testbed_tool):
+    tool = testbed_tool
+    assert tool.rank_ == 10
+    assert tool.psi.shape == (10, NUM_METRICS)
+    assert len(tool.labels) == 10
+    assert tool.nmf_.loss > 0
+    assert tool.sparsify_.retained_mass >= 0.9
+
+
+def test_psi_nonnegative(testbed_tool):
+    assert np.all(testbed_tool.psi >= 0)
+
+
+def test_psi_display_bounded(testbed_tool):
+    display = testbed_tool.psi_display()
+    assert display.shape == testbed_tool.psi.shape
+    assert np.all(np.abs(display) <= 1.0 + 1e-9)
+
+
+def test_unfitted_raises():
+    tool = VN2()
+    with pytest.raises(RuntimeError):
+        _ = tool.psi
+    with pytest.raises(RuntimeError):
+        tool.diagnose(np.zeros(NUM_METRICS))
+
+
+def test_fit_requires_states():
+    from repro.core.states import StateMatrix
+
+    tool = VN2()
+    with pytest.raises(ValueError):
+        tool.fit_states(StateMatrix(np.zeros((0, NUM_METRICS)), []))
+
+
+def test_diagnose_shape_validation(testbed_tool):
+    with pytest.raises(ValueError):
+        testbed_tool.diagnose(np.zeros(7))
+
+
+def test_diagnose_returns_ranked_causes(testbed_tool, testbed_trace):
+    states = build_states(testbed_trace)
+    report = testbed_tool.diagnose(states.values[100])
+    assert report.weights.shape == (10,)
+    assert np.all(report.weights >= 0)
+    assert report.residual >= 0
+    for a, b in zip(report.ranked, report.ranked[1:]):
+        assert a.strength >= b.strength
+    assert isinstance(report.summary(), str)
+
+
+def test_reboot_state_diagnosed_as_reboot(testbed_tool, testbed_trace):
+    """A state whose counters jump backwards should decode to a reboot."""
+    states = build_states(testbed_trace)
+    tx = METRIC_INDEX["transmit_counter"]
+    reboot_like = [
+        i for i in range(len(states)) if states.values[i][tx] < -50
+    ]
+    assert reboot_like, "trace should contain reboot states"
+    hits = 0
+    for i in reboot_like[:20]:
+        report = testbed_tool.diagnose(states.values[i])
+        hazards = [
+            c.label.primary_hazard for c in report.ranked[:3] if c.label
+        ]
+        if "node_reboot" in hazards:
+            hits += 1
+    assert hits >= len(reboot_like[:20]) * 0.5
+
+
+def test_correlation_strengths_batch(testbed_tool, testbed_trace):
+    states = build_states(testbed_trace)
+    weights = testbed_tool.correlation_strengths(states.select(range(50)))
+    assert weights.shape == (50, 10)
+    assert np.all(weights >= 0)
+
+
+def test_auto_rank_selection(tiny_citysee_trace):
+    tool = VN2(VN2Config(rank=None, rank_candidates=(4, 8, 12))).fit(
+        tiny_citysee_trace
+    )
+    assert tool.rank_ in (4, 8, 12)
+    assert tool.rank_sweep_ is not None
+
+
+def test_exception_filter_reduces_training_set(tiny_citysee_trace):
+    filtered = VN2(VN2Config(rank=6, filter_exceptions=True)).fit(
+        tiny_citysee_trace
+    )
+    unfiltered = VN2(VN2Config(rank=6, filter_exceptions=False)).fit(
+        tiny_citysee_trace
+    )
+    assert filtered.exceptions_ is not None
+    assert len(filtered.exceptions_.states) < len(unfiltered.states_)
+
+
+def test_save_load_roundtrip(tmp_path, testbed_tool, testbed_trace):
+    path = tmp_path / "model"
+    testbed_tool.save(path)
+    loaded = VN2.load(path)
+    assert loaded.rank_ == testbed_tool.rank_
+    assert np.allclose(loaded.psi, testbed_tool.psi)
+    states = build_states(testbed_trace)
+    original = testbed_tool.diagnose(states.values[42])
+    restored = loaded.diagnose(states.values[42])
+    assert np.allclose(original.weights, restored.weights)
+    assert [c.index for c in original.ranked] == [c.index for c in restored.ranked]
+
+
+def test_explain(testbed_tool):
+    label = testbed_tool.explain(0)
+    assert label.index == 0
+    assert label.explanation

@@ -1,0 +1,90 @@
+"""Unit tests for the packet queue and the counter set."""
+
+import pytest
+
+from repro.simnet.counters import CounterSet
+from repro.simnet.queuebuf import PacketQueue
+
+
+def test_fifo_order():
+    q = PacketQueue(capacity=3)
+    for x in (1, 2, 3):
+        assert q.push(x)
+    assert q.pop() == 1
+    assert q.pop() == 2
+
+
+def test_overflow_rejected_and_counted():
+    q = PacketQueue(capacity=2)
+    assert q.push("a") and q.push("b")
+    assert not q.push("c")
+    assert q.total_rejected == 1
+    assert q.total_enqueued == 2
+    assert len(q) == 2
+
+
+def test_peek_does_not_remove():
+    q = PacketQueue(capacity=2)
+    q.push("x")
+    assert q.peek() == "x"
+    assert len(q) == 1
+
+
+def test_peek_empty_returns_none():
+    assert PacketQueue().peek() is None
+
+
+def test_pop_empty_raises():
+    with pytest.raises(IndexError):
+        PacketQueue().pop()
+
+
+def test_requeue_head():
+    q = PacketQueue(capacity=3)
+    q.push("a")
+    q.push("b")
+    head = q.pop()
+    q.requeue_head(head)
+    assert q.peek() == "a"
+
+
+def test_clear():
+    q = PacketQueue(capacity=3)
+    q.push(1)
+    q.clear()
+    assert len(q) == 0
+    assert not q
+
+
+def test_is_full():
+    q = PacketQueue(capacity=1)
+    assert not q.is_full()
+    q.push(1)
+    assert q.is_full()
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        PacketQueue(capacity=0)
+
+
+def test_counters_start_zero():
+    c = CounterSet()
+    assert all(v == 0.0 for v in c.as_dict().values())
+
+
+def test_counters_cover_all_c3_metrics_except_radio_time():
+    from repro.metrics.catalog import PacketClass, metrics_in_packet
+
+    c3_names = {m.name for m in metrics_in_packet(PacketClass.C3)}
+    counter_names = set(CounterSet().as_dict())
+    assert counter_names == c3_names - {"radio_on_time"}
+
+
+def test_counter_reset():
+    c = CounterSet()
+    c.transmit_counter += 5
+    c.loop_counter += 2
+    c.reset()
+    assert c.transmit_counter == 0.0
+    assert c.loop_counter == 0.0

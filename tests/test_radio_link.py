@@ -1,0 +1,116 @@
+"""Unit tests for the radio model and the link/medium layer."""
+
+import numpy as np
+import pytest
+
+from repro.simnet.environment import Environment, NoiseRegion
+from repro.simnet.link import DegradationWindow, Link, Medium
+from repro.simnet.radio import RadioParams, path_loss_db, prr_from_snr
+from repro.simnet.topology import grid_topology
+
+
+@pytest.fixture
+def params():
+    return RadioParams()
+
+
+def test_path_loss_increases_with_distance(params):
+    assert path_loss_db(100.0, params) > path_loss_db(10.0, params)
+
+
+def test_path_loss_clamped_below_reference(params):
+    assert path_loss_db(0.01, params) == pytest.approx(
+        path_loss_db(params.path_loss_d0, params)
+    )
+
+
+def test_prr_monotone_in_snr(params):
+    snrs = np.linspace(-20, 30, 50)
+    prrs = [prr_from_snr(float(s), params) for s in snrs]
+    assert all(b >= a for a, b in zip(prrs, prrs[1:]))
+    assert prrs[0] < 0.01
+    assert prrs[-1] > 0.99
+
+
+def test_prr_half_at_midpoint(params):
+    assert prr_from_snr(params.snr_half_db, params) == pytest.approx(0.5)
+
+
+def test_prr_extreme_snr_no_overflow(params):
+    assert prr_from_snr(1000.0, params) == 1.0
+    assert prr_from_snr(-1000.0, params) == 0.0
+
+
+@pytest.fixture
+def medium():
+    topo = grid_topology(rows=3, cols=3, spacing=20.0)
+    env = Environment(rng=np.random.default_rng(0))
+    return Medium(
+        topology=topo,
+        environment=env,
+        params=RadioParams(),
+        rng=np.random.default_rng(1),
+        max_range=50.0,
+    )
+
+
+def test_links_exist_within_range(medium):
+    assert medium.link(0, 1) is not None
+    assert medium.link(1, 0) is not None
+
+
+def test_no_link_beyond_range(medium):
+    # corners are 2*20*sqrt(2) ~ 56.6 m apart, beyond max_range=50
+    assert medium.link(0, 8) is None
+    assert medium.frame_success_probability(0, 8, 0.0) == 0.0
+
+
+def test_rssi_falls_with_distance(medium):
+    near = np.mean([medium.rssi(4, n, 0.0) for n in (1, 3, 5, 7)])
+    far = np.mean([medium.rssi(4, n, 0.0) for n in (0, 2, 6, 8)])
+    assert near > far
+
+
+def test_link_asymmetry_is_small(medium):
+    ab = medium.rssi(0, 1, 0.0)
+    ba = medium.rssi(1, 0, 0.0)
+    assert abs(ab - ba) < 10.0
+
+
+def test_degradation_window_reduces_rssi(medium):
+    link = medium.link(0, 1)
+    before = link.rssi(10.0)
+    link.add_degradation(DegradationWindow(start=20.0, end=30.0, extra_db=20.0))
+    during = link.rssi(25.0)
+    after = link.rssi(35.0)
+    assert during < before - 10.0
+    assert after > during + 10.0
+
+
+def test_degrade_region_affects_touching_links(medium):
+    affected = medium.degrade_region(
+        center=(0.0, 0.0), radius=5.0, start=0.0, end=10.0, extra_db=10.0
+    )
+    # node 0 sits at (0,0): every directed link touching it is hit
+    assert affected >= len(medium.links_from(0))
+
+
+def test_interference_lowers_success_probability(medium):
+    p_before = medium.frame_success_probability(0, 1, 0.0)
+    medium.environment.add_noise_region(
+        NoiseRegion(center=(0.0, 0.0), radius=100.0, start=100.0, end=200.0,
+                    delta_db=25.0)
+    )
+    p_during = medium.frame_success_probability(0, 1, 150.0)
+    assert p_during < p_before
+
+
+def test_fading_is_temporally_correlated(medium):
+    link = medium.link(0, 1)
+    r1 = link.rssi(1000.0)
+    r2 = link.rssi(1000.5)  # half a second later: fading barely moves
+    assert abs(r1 - r2) < 3.0
+
+
+def test_neighbors_listing(medium):
+    assert set(medium.neighbors(4)) == {0, 1, 2, 3, 5, 6, 7, 8}

@@ -1,0 +1,100 @@
+"""Tests for warm-start incremental model updates and latency analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import VN2, VN2Config
+from repro.core.states import build_states
+from repro.traces.prr import latency_series
+
+
+@pytest.fixture(scope="module")
+def split_trace(testbed_trace):
+    warmup = float(testbed_trace.metadata["warmup_s"])
+    duration = float(testbed_trace.metadata["duration_s"])
+    half = warmup + duration / 2.0
+    return testbed_trace.window(0.0, half), testbed_trace.window(
+        half, warmup + duration
+    )
+
+
+def test_refit_keeps_rank_and_stays_fitted(split_trace):
+    first, second = split_trace
+    tool = VN2(VN2Config(rank=8, filter_exceptions=False)).fit(first)
+    psi_before = tool.psi.copy()
+    tool.refit_with(build_states(second))
+    assert tool.rank_ == 8
+    assert tool.psi.shape == psi_before.shape
+    assert np.all(tool.psi >= 0)
+    assert len(tool.labels) == 8
+
+
+def test_refit_absorbs_new_states(split_trace):
+    first, second = split_trace
+    tool = VN2(VN2Config(rank=8, filter_exceptions=False)).fit(first)
+    n_before = len(tool.states_)
+    tool.refit_with(build_states(second))
+    assert len(tool.states_) > n_before
+
+
+def test_refit_keeps_root_causes_stable(split_trace):
+    """Warm starting from Ψ keeps row identities roughly aligned."""
+    first, second = split_trace
+    tool = VN2(VN2Config(rank=8, filter_exceptions=False)).fit(first)
+    psi_before = tool.psi.copy()
+    tool.refit_with(build_states(second))
+    # each old row should still have a close counterpart at the same index
+    def unit(M):
+        return M / np.maximum(np.linalg.norm(M, axis=1, keepdims=True), 1e-12)
+
+    diagonal = np.sum(unit(psi_before) * unit(tool.psi), axis=1)
+    assert float(np.median(diagonal)) > 0.9
+
+
+def test_refit_reconstructs_combined_data(split_trace):
+    first, second = split_trace
+    warm = VN2(VN2Config(rank=8, filter_exceptions=False)).fit(first)
+    warm.refit_with(build_states(second), warm_iterations=80)
+
+    cold = VN2(VN2Config(rank=8, filter_exceptions=False))
+    cold.fit_states(warm.states_)  # full retrain on the same combined set
+
+    # warm refit reaches within 25 % of a full retrain's loss
+    assert warm.nmf_.loss <= cold.nmf_.loss * 1.25
+
+
+def test_refit_requires_fitted():
+    tool = VN2()
+    with pytest.raises(RuntimeError):
+        tool.refit_with(None)
+
+
+def test_refit_diagnoses_new_faults(split_trace):
+    first, second = split_trace
+    tool = VN2(VN2Config(rank=8, filter_exceptions=False)).fit(first)
+    tool.refit_with(build_states(second))
+    states = build_states(second)
+    report = tool.diagnose(states.values[10])
+    assert report.weights.shape == (8,)
+
+
+# ----------------------------------------------------------------------
+# latency
+# ----------------------------------------------------------------------
+
+
+def test_latency_series_on_testbed(testbed_trace):
+    centers, medians = latency_series(testbed_trace, bin_seconds=600.0)
+    assert len(centers) > 5
+    finite = medians[np.isfinite(medians)]
+    assert len(finite) > 3
+    # multihop collection completes within a couple of minutes typically
+    assert np.nanmedian(medians) < 200.0
+    assert np.nanmin(medians) >= 0.0
+
+
+def test_latency_series_empty():
+    from repro.traces.records import Trace
+
+    centers, medians = latency_series(Trace(rows=[]))
+    assert len(centers) == 0

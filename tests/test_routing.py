@@ -1,0 +1,138 @@
+"""Unit tests for the routing engine."""
+
+import pytest
+
+from repro.simnet.counters import CounterSet
+from repro.simnet.ctp.etx import MAX_ETX, LinkEstimator
+from repro.simnet.ctp.routing import RoutingEngine
+
+
+def make_engine(is_sink=False):
+    counters = CounterSet()
+    estimator = LinkEstimator()
+    engine = RoutingEngine(
+        node_id=9, estimator=estimator, counters=counters, is_sink=is_sink
+    )
+    return engine, estimator, counters
+
+
+def feed_beacons(estimator, neighbor_id, advertised, rssi=-60.0, n=40,
+                 path_length=1):
+    for _ in range(n):
+        estimator.on_beacon(
+            neighbor_id, rssi=rssi, advertised_path_etx=advertised, now=1.0,
+            advertised_path_length=path_length,
+        )
+
+
+def test_sink_has_zero_cost_and_no_parent():
+    engine, _, _ = make_engine(is_sink=True)
+    assert engine.path_etx() == 0.0
+    assert engine.path_length() == 0
+    assert engine.current_parent(0.0) is None
+
+
+def test_no_neighbors_means_no_parent():
+    engine, _, _ = make_engine()
+    engine.update_route(0.0)
+    assert engine.current_parent(0.0) is None
+    assert engine.path_etx() == MAX_ETX
+
+
+def test_picks_lowest_cost_neighbor():
+    engine, estimator, _ = make_engine()
+    feed_beacons(estimator, 1, advertised=4.0)
+    feed_beacons(estimator, 2, advertised=1.0)
+    engine.update_route(0.0)
+    assert engine.current_parent(0.0) == 2
+    assert engine.path_etx() == pytest.approx(2.0, abs=0.5)
+
+
+def test_path_length_is_parent_plus_one():
+    engine, estimator, _ = make_engine()
+    feed_beacons(estimator, 2, advertised=1.0, path_length=3)
+    engine.update_route(0.0)
+    assert engine.path_length() == 4
+
+
+def test_initial_acquisition_not_counted_as_change():
+    engine, estimator, counters = make_engine()
+    feed_beacons(estimator, 1, advertised=1.0)
+    engine.update_route(0.0)
+    assert counters.parent_change_counter == 0
+
+
+def test_hysteresis_prevents_marginal_switch():
+    engine, estimator, counters = make_engine()
+    feed_beacons(estimator, 1, advertised=2.0)
+    engine.update_route(0.0)
+    assert engine.parent == 1
+    # a barely-better alternative does not trigger a switch
+    feed_beacons(estimator, 2, advertised=1.5)
+    engine.update_route(0.0)
+    assert engine.parent == 1
+    assert counters.parent_change_counter == 0
+
+
+def test_clear_improvement_switches_and_counts():
+    engine, estimator, counters = make_engine()
+    feed_beacons(estimator, 1, advertised=8.0)
+    engine.update_route(0.0)
+    feed_beacons(estimator, 2, advertised=1.0)
+    engine.update_route(0.0)
+    assert engine.parent == 2
+    assert counters.parent_change_counter == 1
+
+
+def test_uphill_neighbors_not_eligible():
+    engine, estimator, _ = make_engine()
+    feed_beacons(estimator, 1, advertised=3.0)
+    engine.update_route(0.0)
+    own = engine.path_etx()
+    # a "neighbor" advertising a worse path than ours (likely a descendant)
+    feed_beacons(estimator, 2, advertised=own + 5.0)
+    engine.update_route(0.0)
+    assert engine.parent == 1
+
+
+def test_parent_loss_clears_parent():
+    engine, estimator, _ = make_engine()
+    feed_beacons(estimator, 1, advertised=2.0)
+    engine.update_route(0.0)
+    del estimator.entries[1]
+    engine.on_parent_lost()
+    assert engine.parent is None
+
+
+def test_forced_parent_overrides_until_expiry():
+    engine, estimator, _ = make_engine()
+    feed_beacons(estimator, 1, advertised=1.0)
+    engine.update_route(0.0)
+    engine.force_parent(7, until=100.0)
+    assert engine.current_parent(50.0) == 7
+    assert engine.current_parent(150.0) == 1
+
+
+def test_route_changed_flag():
+    engine, estimator, _ = make_engine()
+    feed_beacons(estimator, 1, advertised=1.0)
+    engine.update_route(0.0)
+    assert engine.consume_route_changed()
+    assert not engine.consume_route_changed()
+
+
+def test_beacon_advertises_current_cost():
+    engine, estimator, _ = make_engine()
+    feed_beacons(estimator, 1, advertised=1.0)
+    engine.update_route(0.0)
+    beacon = engine.make_beacon()
+    assert beacon.src == 9
+    assert beacon.path_etx == pytest.approx(engine.path_etx())
+
+
+def test_clear_resets_routing_state():
+    engine, estimator, _ = make_engine()
+    feed_beacons(estimator, 1, advertised=1.0)
+    engine.update_route(0.0)
+    engine.clear()
+    assert engine.parent is None

@@ -1,0 +1,58 @@
+"""Unit tests for the sensor suite."""
+
+import numpy as np
+import pytest
+
+from repro.simnet.environment import Environment
+from repro.simnet.hardware import ClockParams, EnergyParams, Hardware
+from repro.simnet.sensors import SensorSuite
+
+
+@pytest.fixture
+def suite():
+    env = Environment(rng=np.random.default_rng(0))
+    hw = Hardware(EnergyParams(), ClockParams(), np.random.default_rng(1))
+    return SensorSuite(env, hw, position=(10.0, 20.0),
+                       rng=np.random.default_rng(2)), hw
+
+
+def test_readings_plausible(suite):
+    sensors, _hw = suite
+    reading = sensors.read(43200.0)  # noon
+    assert 10.0 < reading.temperature < 45.0
+    assert 5.0 <= reading.humidity <= 100.0
+    assert reading.light > 500.0
+    assert 300.0 < reading.co2 < 600.0
+    assert 2.5 < reading.voltage < 3.2
+
+
+def test_voltage_tracks_battery(suite):
+    sensors, hw = suite
+    v0 = sensors.read(0.0).voltage
+    hw.battery.consume(hw.battery.capacity_j * 0.6)
+    v1 = sensors.read(0.0).voltage
+    assert v1 < v0 - 0.05
+
+
+def test_calibration_offsets_differ_between_nodes():
+    env = Environment(rng=np.random.default_rng(0))
+    hw = Hardware(EnergyParams(), ClockParams(), np.random.default_rng(1))
+    a = SensorSuite(env, hw, (0.0, 0.0), np.random.default_rng(10))
+    b = SensorSuite(env, hw, (0.0, 0.0), np.random.default_rng(11))
+    ta = np.mean([a.read(0.0).temperature for _ in range(30)])
+    tb = np.mean([b.read(0.0).temperature for _ in range(30)])
+    assert ta != pytest.approx(tb, abs=1e-3)
+
+
+def test_ambient_temperature_excludes_offset(suite):
+    sensors, _ = suite
+    ambient = sensors.ambient_temperature(0.0)
+    env = Environment(rng=np.random.default_rng(0))
+    # same diurnal scale, no calibration: within noise of the raw field
+    assert abs(ambient - env.temperature(0.0, (10.0, 20.0))) < 2.0
+
+
+def test_light_never_negative(suite):
+    sensors, _ = suite
+    for t in np.linspace(0, 86400, 49):
+        assert sensors.read(float(t)).light >= 0.0

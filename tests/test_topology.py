@@ -1,0 +1,101 @@
+"""Unit tests for topologies."""
+
+import numpy as np
+import pytest
+
+from repro.simnet.topology import Topology, grid_topology, random_geometric_topology
+
+
+def test_grid_node_count():
+    topo = grid_topology(rows=9, cols=5)
+    assert len(topo) == 45
+    assert topo.sink_id == 0
+
+
+def test_grid_positions_are_spaced():
+    topo = grid_topology(rows=2, cols=3, spacing=10.0)
+    assert topo.positions[0] == (0.0, 0.0)
+    assert topo.positions[1] == (10.0, 0.0)
+    assert topo.positions[3] == (0.0, 10.0)
+
+
+def test_grid_rejects_empty():
+    with pytest.raises(ValueError):
+        grid_topology(rows=0, cols=3)
+
+
+def test_grid_jitter_requires_rng():
+    with pytest.raises(ValueError):
+        grid_topology(jitter=0.1)
+
+
+def test_grid_jitter_moves_nodes():
+    rng = np.random.default_rng(0)
+    jittered = grid_topology(rows=3, cols=3, spacing=10.0, jitter=0.2, rng=rng)
+    straight = grid_topology(rows=3, cols=3, spacing=10.0)
+    moved = [
+        jittered.positions[n] != straight.positions[n] for n in straight.node_ids
+    ]
+    assert any(moved)
+
+
+def test_sensor_ids_exclude_sink():
+    topo = grid_topology(rows=2, cols=2)
+    assert topo.sink_id not in topo.sensor_ids
+    assert len(topo.sensor_ids) == 3
+
+
+def test_distance_symmetric():
+    topo = grid_topology(rows=2, cols=2, spacing=3.0)
+    assert topo.distance(0, 3) == pytest.approx(topo.distance(3, 0))
+    assert topo.distance(0, 1) == pytest.approx(3.0)
+
+
+def test_neighbors_within_radius():
+    topo = grid_topology(rows=3, cols=3, spacing=10.0)
+    center = 4
+    close = topo.neighbors_within(center, 10.5)
+    assert sorted(close) == [1, 3, 5, 7]
+
+
+def test_is_connected():
+    topo = grid_topology(rows=3, cols=3, spacing=10.0)
+    assert topo.is_connected(10.5)
+    assert not topo.is_connected(9.0)
+
+
+def test_sink_must_exist():
+    with pytest.raises(ValueError):
+        Topology(positions={1: (0.0, 0.0)}, sink_id=0)
+
+
+def test_random_geometric_is_connected():
+    rng = np.random.default_rng(1)
+    topo = random_geometric_topology(
+        n_nodes=40, area=(300.0, 200.0), comm_radius=90.0, rng=rng
+    )
+    assert len(topo) == 40
+    assert topo.is_connected(90.0)
+
+
+def test_random_geometric_sink_near_west_edge():
+    rng = np.random.default_rng(1)
+    topo = random_geometric_topology(
+        n_nodes=30, area=(300.0, 200.0), comm_radius=90.0, rng=rng
+    )
+    x, y = topo.positions[topo.sink_id]
+    assert x < 30.0
+
+
+def test_random_geometric_requires_rng():
+    with pytest.raises(ValueError):
+        random_geometric_topology(n_nodes=10)
+
+
+def test_random_geometric_impossible_raises():
+    rng = np.random.default_rng(1)
+    with pytest.raises(RuntimeError):
+        random_geometric_topology(
+            n_nodes=5, area=(10000.0, 10000.0), comm_radius=10.0, rng=rng,
+            max_tries=3,
+        )

@@ -1,0 +1,152 @@
+"""Tests for trace records, IO round-trip and PRR analysis."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.catalog import NUM_METRICS
+from repro.traces.io import export_snapshots_csv, load_trace_jsonl, save_trace_jsonl
+from repro.traces.prr import degraded_windows, prr_series
+from repro.traces.records import GroundTruth, SnapshotRow, Trace
+
+
+def make_trace(n_nodes=3, epochs=5, period=100.0):
+    rows = []
+    arrivals = []
+    rng = np.random.default_rng(0)
+    for node in range(1, n_nodes + 1):
+        for epoch in range(epochs):
+            t = epoch * period + node
+            rows.append(
+                SnapshotRow(
+                    node_id=node,
+                    epoch=epoch,
+                    generated_at=t,
+                    received_at=t + 1.0,
+                    values=rng.uniform(0, 10, NUM_METRICS),
+                )
+            )
+            for _ in range(3):
+                arrivals.append((t + 1.0, node))
+    return Trace(
+        rows=rows,
+        metadata={"report_period_s": period, "n_nodes": n_nodes + 1,
+                  "sim_end": epochs * period},
+        ground_truth=[GroundTruth("node_failure", (2,), 150.0, 250.0)],
+        packets_generated=n_nodes * epochs * 3,
+        packets_received=len(arrivals),
+        arrivals=arrivals,
+    )
+
+
+def test_rows_sorted_by_node_epoch():
+    trace = make_trace()
+    keys = [(r.node_id, r.epoch) for r in trace.rows]
+    assert keys == sorted(keys)
+
+
+def test_snapshot_row_validates_shape():
+    with pytest.raises(ValueError):
+        SnapshotRow(1, 0, 0.0, 0.0, np.zeros(7))
+
+
+def test_node_ids_and_rows_for():
+    trace = make_trace()
+    assert trace.node_ids == [1, 2, 3]
+    assert len(trace.rows_for(2)) == 5
+
+
+def test_window_filters_by_generated_time():
+    trace = make_trace()
+    sub = trace.window(100.0, 300.0)
+    assert all(100.0 <= r.generated_at < 300.0 for r in sub.rows)
+    assert len(sub) == 6
+
+
+def test_delivery_ratio():
+    trace = make_trace()
+    assert trace.delivery_ratio() == pytest.approx(1.0)
+
+
+def test_time_span():
+    trace = make_trace(n_nodes=2, epochs=4, period=50.0)
+    start, end = trace.time_span()
+    assert start == pytest.approx(1.0)  # node 1, epoch 0 at t=0*50+1
+    assert end == pytest.approx(3 * 50.0 + 2)  # node 2, last epoch
+
+
+def test_time_span_empty():
+    assert Trace(rows=[]).time_span() == (0.0, 0.0)
+
+
+def test_ground_truth_in_window():
+    trace = make_trace()
+    assert trace.ground_truth_in(200.0, 300.0)
+    assert not trace.ground_truth_in(300.0, 400.0)
+
+
+def test_jsonl_roundtrip(tmp_path):
+    trace = make_trace()
+    path = tmp_path / "trace.jsonl"
+    save_trace_jsonl(trace, path)
+    loaded = load_trace_jsonl(path)
+    assert len(loaded) == len(trace)
+    assert loaded.metadata["report_period_s"] == 100.0
+    assert loaded.packets_generated == trace.packets_generated
+    assert loaded.ground_truth[0].kind == "node_failure"
+    assert loaded.ground_truth[0].node_ids == (2,)
+    assert np.allclose(loaded.rows[0].values, trace.rows[0].values, atol=1e-5)
+    assert loaded.arrivals == trace.arrivals
+
+
+def test_load_rejects_empty(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    with pytest.raises(ValueError):
+        load_trace_jsonl(path)
+
+
+def test_load_rejects_bad_version(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"format_version": 99, "metric_names": []}\n')
+    with pytest.raises(ValueError):
+        load_trace_jsonl(path)
+
+
+def test_csv_export(tmp_path):
+    trace = make_trace()
+    path = tmp_path / "trace.csv"
+    export_snapshots_csv(trace, path)
+    lines = path.read_text().strip().splitlines()
+    assert len(lines) == 1 + len(trace)
+    assert lines[0].startswith("node_id,epoch,")
+
+
+def test_prr_series_full_delivery():
+    trace = make_trace()
+    centers, prr = prr_series(trace, bin_seconds=100.0)
+    assert len(centers) > 0
+    assert np.all(prr > 0.9)
+
+
+def test_prr_series_empty_trace():
+    trace = Trace(rows=[], metadata={})
+    centers, prr = prr_series(trace)
+    assert len(centers) == 0
+
+
+def test_prr_detects_outage():
+    trace = make_trace(epochs=20)
+    # drop all arrivals in [500, 1000)
+    trace.arrivals = [(t, n) for (t, n) in trace.arrivals if not 500 <= t < 1000]
+    centers, prr = prr_series(trace, bin_seconds=100.0)
+    windows = degraded_windows(centers, prr, threshold_fraction=0.8)
+    assert windows
+    start, end = windows[0]
+    assert 400 <= start <= 600
+    assert 900 <= end <= 1100
+
+
+def test_degraded_windows_flat_series():
+    centers = np.arange(10.0)
+    prr = np.ones(10)
+    assert degraded_windows(centers, prr) == []
