@@ -13,21 +13,33 @@ import pytest
 
 @pytest.fixture(scope="session")
 def citysee_trace():
-    """Small CitySee training trace (no episode), disk-cached."""
-    from repro.traces.citysee import CitySeeProfile, generate_citysee_trace
+    """Small CitySee training frame (no episode), disk-cached."""
+    from repro.traces.citysee import CitySeeProfile, generate_citysee_frame
 
-    return generate_citysee_trace(CitySeeProfile.small(), episode=False)
+    return generate_citysee_frame(CitySeeProfile.small(), episode=False)
+
+
+@pytest.fixture(scope="session")
+def citysee_default_trace():
+    """The default CitySee training frame (medium profile), disk-cached.
+
+    Used by the paired end-to-end fit benches: the speedup acceptance gate
+    is stated against ``generate_citysee_frame()``'s default profile.
+    """
+    from repro.traces.citysee import generate_citysee_frame
+
+    return generate_citysee_frame()
 
 
 @pytest.fixture(scope="session")
 def citysee_episode_trace():
-    """14-day small CitySee trace with the degradation episode, disk-cached."""
+    """14-day small CitySee frame with the degradation episode, disk-cached."""
     import dataclasses
 
-    from repro.traces.citysee import CitySeeProfile, generate_citysee_trace
+    from repro.traces.citysee import CitySeeProfile, generate_citysee_frame
 
     profile = dataclasses.replace(CitySeeProfile.small(), days=14.0)
-    return generate_citysee_trace(profile, episode=True, episode_days=(6.0, 8.0))
+    return generate_citysee_frame(profile, episode=True, episode_days=(6.0, 8.0))
 
 
 @pytest.fixture(scope="session")
@@ -41,16 +53,16 @@ def citysee_tool(citysee_trace):
 
 @pytest.fixture(scope="session")
 def testbed_trace_expansive():
-    from repro.traces.testbed import TestbedScenario, generate_testbed_trace
+    from repro.traces.testbed import TestbedScenario, generate_testbed_frame
 
-    return generate_testbed_trace(TestbedScenario.EXPANSIVE, seed=7)
+    return generate_testbed_frame(TestbedScenario.EXPANSIVE, seed=7)
 
 
 @pytest.fixture(scope="session")
 def testbed_trace_local():
-    from repro.traces.testbed import TestbedScenario, generate_testbed_trace
+    from repro.traces.testbed import TestbedScenario, generate_testbed_frame
 
-    return generate_testbed_trace(TestbedScenario.LOCAL, seed=7)
+    return generate_testbed_frame(TestbedScenario.LOCAL, seed=7)
 
 
 @pytest.fixture(scope="session")
@@ -66,6 +78,6 @@ def testbed_tool(testbed_trace_expansive):
 
 @pytest.fixture(scope="session")
 def multicause_trace():
-    from repro.analysis.baseline_comparison import build_multicause_trace
+    from repro.analysis.baseline_comparison import build_multicause_frame
 
-    return build_multicause_trace()
+    return build_multicause_frame()

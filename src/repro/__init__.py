@@ -43,6 +43,12 @@ _LAZY_EXPORTS = {
     "DiagnosisReport": ("repro.core.pipeline", "DiagnosisReport"),
     "NMFResult": ("repro.core.nmf", "NMFResult"),
     "nmf": ("repro.core.nmf", "nmf"),
+    "TraceFrame": ("repro.traces.frame", "TraceFrame"),
+    "Trace": ("repro.traces.records", "Trace"),
+    "as_frame": ("repro.traces.frame", "as_frame"),
+    "build_states": ("repro.core.states", "build_states"),
+    "StateMatrix": ("repro.core.states", "StateMatrix"),
+    "infer_weights_batch": ("repro.core.inference", "infer_weights_batch"),
     "METRICS": ("repro.metrics.catalog", "METRICS"),
     "METRIC_NAMES": ("repro.metrics.catalog", "METRIC_NAMES"),
     "NUM_METRICS": ("repro.metrics.catalog", "NUM_METRICS"),
@@ -51,9 +57,13 @@ _LAZY_EXPORTS = {
 __all__ = ["__version__", *_LAZY_EXPORTS]
 
 if TYPE_CHECKING:  # pragma: no cover - static typing only
+    from repro.core.inference import infer_weights_batch
     from repro.core.nmf import NMFResult, nmf
     from repro.core.pipeline import VN2, DiagnosisReport, VN2Config
+    from repro.core.states import StateMatrix, build_states
     from repro.metrics.catalog import METRICS, METRIC_NAMES, NUM_METRICS
+    from repro.traces.frame import TraceFrame, as_frame
+    from repro.traces.records import Trace
 
 
 def __getattr__(name: str):

@@ -15,9 +15,8 @@ tool on the states of nodes affected by two or more hazards at once:
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 import numpy as np
 
@@ -27,16 +26,19 @@ from repro.baselines.pca import PCADetector
 from repro.baselines.sympathy import SympathyDiagnoser
 from repro.core.inference import active_causes
 from repro.core.pipeline import VN2, VN2Config
-from repro.core.states import StateMatrix, build_states
+from repro.core.states import build_states
 from repro.simnet.faults import FaultInjector, ForcedLoop, Interference, TrafficBurst
 from repro.simnet.network import Network, NetworkConfig
 from repro.simnet.radio import RadioParams
 from repro.simnet.topology import grid_topology
-from repro.traces.records import Trace, trace_from_network
+from repro.traces.frame import TraceFrame, frame_from_network
+from repro.traces.records import Trace
 
 # The canonical hazard -> fault-kind mapping lives in
 # repro.analysis.evaluation; re-exported here for backwards compatibility.
-from repro.analysis.evaluation import HAZARD_TO_FAULTS
+from repro.analysis.evaluation import HAZARD_TO_FAULTS, truth_kinds_for_states
+
+TraceLike = Union[Trace, TraceFrame]
 
 #: Sympathy verdict -> ground-truth fault kinds.
 SYMPATHY_TO_FAULTS: Dict[str, Tuple[str, ...]] = {
@@ -96,8 +98,8 @@ class BaselineComparisonResult:
         )
 
 
-def build_multicause_trace(seed: int = 21) -> Trace:
-    """A controlled trace whose middle window has three overlapping hazards."""
+def build_multicause_frame(seed: int = 21) -> TraceFrame:
+    """A controlled frame whose middle window has three overlapping hazards."""
     topology = grid_topology(rows=6, cols=6, spacing=9.0)
     config = NetworkConfig(
         report_period_s=120.0,
@@ -128,7 +130,7 @@ def build_multicause_trace(seed: int = 21) -> Trace:
         t += 2 * pulse
     FaultInjector(faults).install(network)
     network.run(6600.0)
-    return trace_from_network(
+    return frame_from_network(
         network,
         metadata={
             "kind": "multicause",
@@ -140,33 +142,25 @@ def build_multicause_trace(seed: int = 21) -> Trace:
     )
 
 
-def _truth_kinds_for_state(
-    provenance, trace: Trace, positions: Dict[int, Tuple[float, float]]
-) -> Set[str]:
-    """Ground-truth kinds concurrently acting on one state."""
-    from repro.analysis.evaluation import truth_kinds_for_state
-
-    return truth_kinds_for_state(provenance, trace)
+def build_multicause_trace(seed: int = 21) -> Trace:
+    """Legacy row-object view of :func:`build_multicause_frame`."""
+    return build_multicause_frame(seed).to_trace()
 
 
 def exp_baselines(
-    trace: Optional[Trace] = None,
+    trace: Optional[TraceLike] = None,
     rank: int = 12,
     min_weight_fraction: float = 0.15,
 ) -> BaselineComparisonResult:
     """Score VN2, Sympathy, Agnostic and PCA on the multi-cause window."""
     if trace is None:
-        trace = build_multicause_trace()
-    positions = {
-        int(k): tuple(v) for k, v in trace.metadata.get("positions", {}).items()
-    }
+        trace = build_multicause_frame()
     states = build_states(trace)
 
     # Identify the multi-cause evaluation states.
     eval_indices: List[int] = []
     truths: List[Set[str]] = []
-    for i, p in enumerate(states.provenance):
-        kinds = _truth_kinds_for_state(p, trace, positions)
+    for i, kinds in enumerate(truth_kinds_for_states(states, trace)):
         if len(kinds) >= 2:
             eval_indices.append(i)
             truths.append(kinds)
@@ -226,8 +220,7 @@ def exp_baselines(
     # they are scored on detection over the whole fault window: did the
     # affected nodes' states get flagged abnormal at all?
     window_states = states.in_window(float(window[0]), float(window[1]) + 600.0)
-    affected_nodes = {p.node_id for i, p in enumerate(states.provenance)
-                      if i in set(eval_indices)}
+    affected_nodes = {int(n) for n in states.node_ids[eval_indices]}
 
     # ---- Agnostic Diagnosis: per-node correlation drift.  Its natural
     # granularity is the *node* ("performs good or not"), so detection is

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -24,9 +24,12 @@ from repro.analysis.reporting import format_series, format_table
 from repro.core.interpretation import RootCauseLabel
 from repro.core.pipeline import VN2, VN2Config
 from repro.core.states import build_states
-from repro.traces.citysee import CitySeeProfile, generate_citysee_trace
+from repro.traces.citysee import CitySeeProfile, generate_citysee_frame
+from repro.traces.frame import TraceFrame
 from repro.traces.prr import degraded_windows, prr_series
 from repro.traces.records import Trace
+
+TraceLike = Union[Trace, TraceFrame]
 
 #: Hazard names that satisfy each of the paper's three episode diagnoses.
 EPISODE_FAMILIES: Dict[str, Tuple[str, ...]] = {
@@ -69,7 +72,7 @@ class Fig6aResult:
 
 
 def exp_fig6a(
-    trace: Trace,
+    trace: TraceLike,
     bin_fraction_of_day: float = 0.25,
 ) -> Fig6aResult:
     """Fig 6(a): the sink PRR series around the degradation episode."""
@@ -127,7 +130,7 @@ class Fig6bResult:
 
 def exp_fig6b(
     tool: VN2,
-    episode_trace: Trace,
+    episode_trace: TraceLike,
     window: Optional[Tuple[float, float]] = None,
 ) -> Fig6bResult:
     """Fig 6(b): correlate the degradation window's states against Ψ."""
@@ -211,12 +214,16 @@ def run_citysee_study(
     profile: Optional[CitySeeProfile] = None,
     rank: int = 25,
     use_cache: bool = True,
-) -> Tuple[VN2, Trace, Fig6aResult, Fig6bResult, Fig6cResult]:
-    """The full Fig 6 chain: train on clean days, diagnose the episode."""
+) -> Tuple[VN2, TraceFrame, Fig6aResult, Fig6bResult, Fig6cResult]:
+    """The full Fig 6 chain: train on clean days, diagnose the episode.
+
+    Runs entirely on the columnar frame path — no per-snapshot objects
+    are materialized anywhere in the study.
+    """
     profile = profile or CitySeeProfile.medium()
-    training = generate_citysee_trace(profile, episode=False, use_cache=use_cache)
+    training = generate_citysee_frame(profile, episode=False, use_cache=use_cache)
     episode_profile = dataclasses.replace(profile, days=14.0)
-    episode_trace = generate_citysee_trace(
+    episode_trace = generate_citysee_frame(
         episode_profile, episode=True, episode_days=(6.0, 8.0), use_cache=use_cache
     )
     tool = VN2(VN2Config(rank=rank)).fit(training)

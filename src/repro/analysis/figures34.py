@@ -8,20 +8,25 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.analysis.reporting import format_series, format_table
-from repro.core.exceptions import ExceptionSet, detect_exceptions
+from repro.core.exceptions import detect_exceptions
 from repro.core.interpretation import RootCauseLabel
 from repro.core.normalization import MinMaxNormalizer
 from repro.core.pipeline import VN2, VN2Config
-from repro.core.rank_selection import RankSweepResult, choose_rank, rank_sweep
-from repro.core.states import StateMatrix, build_states
+from repro.core.rank_selection import choose_rank, rank_sweep
+from repro.core.states import build_states
 from repro.metrics.catalog import METRIC_INDEX
+from repro.traces.frame import TraceFrame
 from repro.traces.records import Trace
+
+#: Harness inputs: the columnar frame is the fast path, a legacy Trace is
+#: columnarized once inside build_states.
+TraceLike = Union[Trace, TraceFrame]
 
 DEFAULT_FIG3A_METRICS = ("voltage", "rssi_1", "radio_on_time", "receive_counter")
 
@@ -64,7 +69,7 @@ class Fig3aResult:
 
 
 def exp_fig3a(
-    trace: Trace,
+    trace: TraceLike,
     metrics: Sequence[str] = DEFAULT_FIG3A_METRICS,
     threshold_ratio: float = 0.01,
 ) -> Fig3aResult:
@@ -73,8 +78,8 @@ def exp_fig3a(
     exceptions = detect_exceptions(states, threshold_ratio=threshold_ratio)
     flags = np.zeros(len(states), dtype=bool)
     flags[exceptions.indices] = True
-    order = np.argsort([p.time_to for p in states.provenance])
-    times = np.array([states.provenance[i].time_to for i in order])
+    order = np.argsort(states.times_to, kind="stable")
+    times = states.times_to[order]
     series = []
     for metric in metrics:
         idx = METRIC_INDEX[metric]
@@ -116,7 +121,7 @@ class Fig3bResult:
 
 
 def exp_fig3b(
-    trace: Trace,
+    trace: TraceLike,
     ranks: Sequence[int] = tuple(range(5, 41, 5)),
     retention: float = 0.9,
     threshold_ratio: float = 0.01,
@@ -166,7 +171,7 @@ class Fig3cResult:
 
 
 def exp_fig3c(
-    trace: Trace,
+    trace: TraceLike,
     rank: Optional[int] = 25,
     retention: float = 0.9,
 ) -> Fig3cResult:

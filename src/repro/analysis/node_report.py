@@ -12,8 +12,8 @@ structurally blind to.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Tuple, Union
 
 import numpy as np
 
@@ -21,7 +21,10 @@ from repro.analysis.reporting import format_table
 from repro.core.inference import sparsify_inferred
 from repro.core.pipeline import VN2
 from repro.core.states import build_states
+from repro.traces.frame import TraceFrame, as_frame
 from repro.traces.records import Trace
+
+TraceLike = Union[Trace, TraceFrame]
 
 
 @dataclass
@@ -84,7 +87,7 @@ class NodeReport:
 
 def node_health_report(
     tool: VN2,
-    trace: Trace,
+    trace: TraceLike,
     exception_threshold: float = 0.01,
     min_strength: float = 0.2,
     silence_periods: float = 4.0,
@@ -102,59 +105,57 @@ def node_health_report(
             counts as a silent window.
     """
     tool._require_fitted()
-    period = float(trace.metadata.get("report_period_s", 600.0))
-    start, end = trace.time_span()
+    frame = as_frame(trace)
+    period = float(frame.metadata.get("report_period_s", 600.0))
+    start, end = frame.time_span()
     span = max(end - start, period)
     expected = max(1, int(span / period))
 
-    states = build_states(trace)
-    per_node = trace.per_node()
+    states = build_states(frame)
 
     nodes: List[NodeHealth] = []
-    for node_id, snaps in sorted(per_node.items()):
+    for node_id, rows in frame.node_slices():
         node_states = states.for_node(node_id)
 
-        exception_flags = []
+        exception_flags = np.zeros(0, dtype=bool)
         cause_counter: Counter = Counter()
         if len(node_states) > 0:
             try:
-                exception_flags = [
-                    tool.exception_score(node_states.values[i])
+                exception_flags = (
+                    tool._exception_scores(node_states.values)
                     >= exception_threshold
-                    for i in range(len(node_states))
-                ]
+                )
             except RuntimeError:
-                exception_flags = [False] * len(node_states)
-            exceptional_idx = [i for i, f in enumerate(exception_flags) if f]
-            if exceptional_idx:
+                exception_flags = np.zeros(len(node_states), dtype=bool)
+            exceptional_idx = np.flatnonzero(exception_flags)
+            if exceptional_idx.size:
                 weights = sparsify_inferred(
                     tool.correlation_strengths(
                         node_states.select(exceptional_idx)
                     )
                 )
-                for row in weights:
-                    for j in np.flatnonzero(row >= min_strength):
-                        label = tool.labels[int(j)]
-                        if label.is_baseline or label.primary_hazard is None:
-                            continue
-                        cause_counter[label.primary_hazard] += 1
+                for j in np.nonzero(weights >= min_strength)[1]:
+                    label = tool.labels[int(j)]
+                    if label.is_baseline or label.primary_hazard is None:
+                        continue
+                    cause_counter[label.primary_hazard] += 1
 
         silent: List[Tuple[float, float]] = []
-        times = [s.generated_at for s in snaps]
-        for a, b in zip(times, times[1:]):
-            if b - a > silence_periods * period:
-                silent.append((a, b))
-        if times and end - times[-1] > silence_periods * period:
-            silent.append((times[-1], end))
+        times = frame.generated_at[rows]
+        gap_limit = silence_periods * period
+        for g in np.flatnonzero(np.diff(times) > gap_limit):
+            silent.append((float(times[g]), float(times[g + 1])))
+        if times.size and end - times[-1] > gap_limit:
+            silent.append((float(times[-1]), end))
 
         nodes.append(
             NodeHealth(
                 node_id=node_id,
-                snapshots=len(snaps),
+                snapshots=int(times.size),
                 expected_epochs=expected,
-                continuity=min(1.0, len(snaps) / expected),
+                continuity=min(1.0, times.size / expected),
                 exception_fraction=(
-                    float(np.mean(exception_flags)) if exception_flags else 0.0
+                    float(exception_flags.mean()) if exception_flags.size else 0.0
                 ),
                 top_causes=cause_counter.most_common(),
                 silent_windows=silent,

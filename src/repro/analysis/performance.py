@@ -23,7 +23,7 @@ spirit as the NMF itself.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 from scipy.optimize import nnls
@@ -134,7 +134,7 @@ def estimate_cause_costs(
     edges = np.concatenate(
         [centers - bin_seconds / 2.0, [centers[-1] + bin_seconds / 2.0]]
     )
-    times = np.array([p.time_to for p in states.provenance])
+    times = states.times_to
     strengths = np.zeros((len(centers), rank))
     counts = np.zeros(len(centers))
     bin_index = np.searchsorted(edges, times, side="right") - 1

@@ -14,15 +14,13 @@ learns from the simulator would transfer meaning.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from repro.analysis.reporting import format_table
-from repro.metrics.catalog import METRIC_INDEX
 from repro.simnet.faults import (
-    BatteryDrain,
     FaultInjector,
     ForcedLoop,
     Interference,
@@ -30,7 +28,7 @@ from repro.simnet.faults import (
     TrafficBurst,
     NodeFailure,
 )
-from repro.simnet.hardware import ClockParams, Hardware
+from repro.simnet.hardware import ClockParams
 from repro.simnet.network import Network, NetworkConfig
 from repro.simnet.radio import RadioParams
 from repro.simnet.topology import grid_topology

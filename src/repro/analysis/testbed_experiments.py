@@ -15,8 +15,8 @@ sub-experiments reproduced here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -25,13 +25,16 @@ from repro.core.inference import sparsify_inferred
 from repro.core.pipeline import VN2, VN2Config
 from repro.core.states import StateMatrix, build_states
 from repro.metrics.catalog import METRIC_INDEX
+from repro.traces.frame import TraceFrame
 from repro.traces.records import Trace
-from repro.traces.testbed import TestbedScenario, generate_testbed_trace
+from repro.traces.testbed import TestbedScenario, generate_testbed_frame
 
 TESTBED_RANK = 10
 
+TraceLike = Union[Trace, TraceFrame]
 
-def train_test_split(trace: Trace) -> Tuple[Trace, Trace]:
+
+def train_test_split(trace: TraceLike) -> Tuple[TraceLike, TraceLike]:
     """First experiment hour for training, second for testing (paper)."""
     warmup = float(trace.metadata.get("warmup_s", 1200.0))
     duration = float(trace.metadata.get("duration_s", 7200.0))
@@ -39,7 +42,7 @@ def train_test_split(trace: Trace) -> Tuple[Trace, Trace]:
     return trace.window(0.0, half), trace.window(half, warmup + duration)
 
 
-def fit_testbed_tool(train: Trace, rank: int = TESTBED_RANK) -> VN2:
+def fit_testbed_tool(train: TraceLike, rank: int = TESTBED_RANK) -> VN2:
     """Train Ψ the way the paper does for testbed data (no ε filter)."""
     return VN2(VN2Config(rank=rank, filter_exceptions=False)).fit(train)
 
@@ -65,7 +68,7 @@ class Fig5bResult:
 
 
 def exp_fig5b(
-    trace: Trace,
+    trace: TraceLike,
     rank: int = TESTBED_RANK,
     retention: float = 0.9,
 ) -> Fig5bResult:
@@ -157,7 +160,7 @@ def exp_fig5cf(tool: VN2, min_score: float = 0.15) -> Fig5cfResult:
             )
         else:
             matches.append(SignatureMatch(signature, None, float(scores[best]), None))
-    baseline_rows = [l.index for l in tool.labels if l.is_baseline]
+    baseline_rows = [label.index for label in tool.labels if label.is_baseline]
     if baseline_rows:
         j = baseline_rows[0]
         matches.append(SignatureMatch("normal_states", j, 1.0, display[j]))
@@ -197,7 +200,7 @@ class Fig5gResult:
 
 def _event_states(
     states: StateMatrix,
-    trace: Trace,
+    trace: TraceLike,
     kind: str,
     radius_m: float,
     slack_s: float,
@@ -209,38 +212,36 @@ def _event_states(
     * ``node_failure`` events are observed by the dead node's *neighbors*
       (the node itself goes silent): they see NOACK retransmits and parent
       changes.  Neighborhood comes from the trace's stored positions.
+
+    One vectorized mask per event over the state columns.
     """
     positions = {
         int(k): tuple(v) for k, v in trace.metadata.get("positions", {}).items()
     }
     events = [g for g in trace.ground_truth if g.kind == kind]
-    picked: List[int] = []
-    for i, p in enumerate(states.provenance):
-        for event in events:
-            if not (p.time_from - slack_s <= event.start <= p.time_to + slack_s):
-                continue
-            event_node = event.node_ids[0]
-            if kind == "node_reboot":
-                if p.node_id == event_node:
-                    picked.append(i)
-                    break
-                continue
-            if p.node_id == event_node:
-                continue  # the failed node cannot report its own failure
-            if not positions:
-                picked.append(i)
-                break
+    if positions:
+        xs = np.array([positions[int(n)][0] for n in states.node_ids])
+        ys = np.array([positions[int(n)][1] for n in states.node_ids])
+    picked = np.zeros(len(states), dtype=bool)
+    for event in events:
+        in_time = (states.times_from - slack_s <= event.start) & (
+            event.start <= states.times_to + slack_s
+        )
+        event_node = event.node_ids[0]
+        if kind == "node_reboot":
+            picked |= in_time & (states.node_ids == event_node)
+            continue
+        mask = in_time & (states.node_ids != event_node)
+        if positions:  # the failed node's spatial neighborhood
             ex, ey = positions[event_node]
-            nx, ny = positions[p.node_id]
-            if (nx - ex) ** 2 + (ny - ey) ** 2 <= radius_m**2:
-                picked.append(i)
-                break
-    return picked
+            mask &= (xs - ex) ** 2 + (ys - ey) ** 2 <= radius_m**2
+        picked |= mask
+    return [int(i) for i in np.flatnonzero(picked)]
 
 
 def exp_fig5g(
     tool: VN2,
-    trace: Trace,
+    trace: TraceLike,
     radius_m: float = 18.0,
     slack_s: float = 60.0,
 ) -> Fig5gResult:
@@ -314,11 +315,11 @@ def exp_fig5hi(
     scenario: TestbedScenario,
     seed: int = 7,
     rank: int = TESTBED_RANK,
-    trace: Optional[Trace] = None,
+    trace: Optional[TraceLike] = None,
 ) -> Fig5hiResult:
     """Fig 5(h) or 5(i): do test states reuse the training root causes?"""
     if trace is None:
-        trace = generate_testbed_trace(scenario, seed=seed)
+        trace = generate_testbed_frame(scenario, seed=seed)
     train, test = train_test_split(trace)
     tool = fit_testbed_tool(train, rank)
     train_w = sparsify_inferred(tool.correlation_strengths(tool.states_))

@@ -16,7 +16,7 @@ pairs that were reliably correlated in training.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 
@@ -77,11 +77,9 @@ class AgnosticDiagnoser:
 
     def fit(self, states: StateMatrix) -> "AgnosticDiagnoser":
         """Learn per-node reference correlation graphs."""
-        per_node: Dict[int, List[int]] = {}
-        for i, p in enumerate(states.provenance):
-            per_node.setdefault(p.node_id, []).append(i)
-        for node_id, idx in per_node.items():
-            values = states.values[idx]
+        for node_id in np.unique(states.node_ids):
+            node_id = int(node_id)
+            values = states.values[states.node_ids == node_id]
             if values.shape[0] < self.window:
                 continue
             reference = _correlation_matrix(values)
@@ -132,8 +130,7 @@ class AgnosticDiagnoser:
 
     def diagnose_batch(self, states: StateMatrix) -> List[CorrelationVerdict]:
         """Window verdicts for every node present in ``states``."""
-        node_ids = sorted({p.node_id for p in states.provenance})
         verdicts: List[CorrelationVerdict] = []
-        for node_id in node_ids:
-            verdicts.extend(self.diagnose_node(node_id, states))
+        for node_id in np.unique(states.node_ids):
+            verdicts.extend(self.diagnose_node(int(node_id), states))
         return verdicts

@@ -15,33 +15,32 @@ from __future__ import annotations
 
 import argparse
 import sys
-from pathlib import Path
 from typing import List, Optional
 
 import numpy as np
 
 
 def _cmd_simulate_testbed(args: argparse.Namespace) -> int:
-    from repro.traces.io import save_trace_jsonl
-    from repro.traces.testbed import TestbedScenario, generate_testbed_trace
+    from repro.traces.io import save_frame
+    from repro.traces.testbed import TestbedScenario, generate_testbed_frame
 
     scenario = TestbedScenario(args.scenario)
-    trace = generate_testbed_trace(
+    frame = generate_testbed_frame(
         scenario=scenario,
         seed=args.seed,
         duration_s=args.duration,
     )
-    save_trace_jsonl(trace, args.output)
+    save_frame(frame, args.output, fmt=args.format)
     print(
-        f"testbed trace: {len(trace)} snapshots, "
-        f"delivery {trace.delivery_ratio():.3f} -> {args.output}"
+        f"testbed trace: {len(frame)} snapshots, "
+        f"delivery {frame.delivery_ratio():.3f} -> {args.output}"
     )
     return 0
 
 
 def _cmd_simulate_citysee(args: argparse.Namespace) -> int:
-    from repro.traces.citysee import CitySeeProfile, generate_citysee_trace
-    from repro.traces.io import save_trace_jsonl
+    from repro.traces.citysee import CitySeeProfile, generate_citysee_frame
+    from repro.traces.io import save_frame
 
     profile_factory = {
         "tiny": CitySeeProfile.tiny,
@@ -50,56 +49,71 @@ def _cmd_simulate_citysee(args: argparse.Namespace) -> int:
         "full": CitySeeProfile.full,
     }[args.profile]
     profile = profile_factory(seed=args.seed, days=args.days)
-    trace = generate_citysee_trace(
+    frame = generate_citysee_frame(
         profile, episode=args.episode, use_cache=not args.no_cache
     )
-    save_trace_jsonl(trace, args.output)
+    save_frame(frame, args.output, fmt=args.format)
     print(
-        f"citysee trace ({args.profile}): {len(trace)} snapshots, "
-        f"delivery {trace.delivery_ratio():.3f} -> {args.output}"
+        f"citysee trace ({args.profile}): {len(frame)} snapshots, "
+        f"delivery {frame.delivery_ratio():.3f} -> {args.output}"
     )
     return 0
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
     from repro.core.pipeline import VN2, VN2Config
-    from repro.traces.io import load_trace_jsonl
+    from repro.traces.io import load_frame
 
-    trace = load_trace_jsonl(args.trace)
+    frame = load_frame(args.trace, fmt=args.format)
     config = VN2Config(
         rank=args.rank,
         filter_exceptions=not args.no_filter,
         retention=args.retention,
     )
-    tool = VN2(config).fit(trace)
+    tool = VN2(config).fit(frame)
     tool.save(args.output)
     print(f"trained r={tool.rank_} model on {len(tool.states_)} states -> {args.output}")
     for label in tool.labels:
         flag = " [baseline]" if label.is_baseline else ""
         print(f"  Ψ{label.index + 1}: {label.primary_hazard or label.family}{flag}")
+    if args.profile:
+        # fit ends at Ψ; run one batch inference over the training states
+        # so the NNLS stage shows up in the profile too.
+        inference_states = (
+            tool.exceptions_.states if tool.exceptions_ is not None
+            else tool.states_
+        )
+        tool.correlation_strengths(inference_states)
+        total = sum(tool.timings_.values())
+        print("per-stage wall-clock:")
+        for stage in ("states", "exceptions", "nmf", "sparsify", "nnls"):
+            if stage in tool.timings_:
+                seconds = tool.timings_[stage]
+                print(f"  {stage:<10s} {seconds * 1000.0:8.1f} ms")
+        print(f"  {'total':<10s} {total * 1000.0:8.1f} ms")
     return 0
 
 
 def _cmd_diagnose(args: argparse.Namespace) -> int:
     from repro.core.pipeline import VN2
     from repro.core.states import build_states
-    from repro.traces.io import load_trace_jsonl
+    from repro.traces.io import load_frame
 
     tool = VN2.load(args.model)
-    trace = load_trace_jsonl(args.trace)
+    frame = load_frame(args.trace, fmt=args.format)
     if args.start is not None or args.end is not None:
-        trace = trace.window(args.start or 0.0, args.end or float("inf"))
-    states = build_states(trace)
+        frame = frame.window(args.start or 0.0, args.end or float("inf"))
+    states = build_states(frame)
     if len(states) == 0:
         print("no states in the requested window", file=sys.stderr)
         return 1
+    reports = tool.diagnose_batch(states)
     shown = 0
-    for i in range(len(states)):
-        report = tool.diagnose(states.values[i])
+    for i, report in enumerate(reports):
         if not report.ranked:
             continue
-        p = states.provenance[i]
-        print(f"node {p.node_id} @ {p.time_to:.0f}s: {report.summary()}")
+        node_id = int(states.node_ids[i])
+        print(f"node {node_id} @ {states.times_to[i]:.0f}s: {report.summary()}")
         shown += 1
         if shown >= args.limit:
             break
@@ -111,9 +125,9 @@ def _cmd_incidents(args: argparse.Namespace) -> int:
     from repro.analysis.performance import estimate_cause_costs
     from repro.core.incidents import incidents_from_trace
     from repro.core.pipeline import VN2, VN2Config
-    from repro.traces.io import load_trace_jsonl
+    from repro.traces.io import load_frame
 
-    trace = load_trace_jsonl(args.trace)
+    trace = load_frame(args.trace, fmt=args.format)
     tool = VN2(VN2Config(rank=args.rank)).fit(trace)
     incidents = incidents_from_trace(
         tool, trace, min_observations=args.min_observations
@@ -135,9 +149,9 @@ def _cmd_incidents(args: argparse.Namespace) -> int:
 def _cmd_node_report(args: argparse.Namespace) -> int:
     from repro.analysis.node_report import node_health_report
     from repro.core.pipeline import VN2, VN2Config
-    from repro.traces.io import load_trace_jsonl
+    from repro.traces.io import load_frame
 
-    trace = load_trace_jsonl(args.trace)
+    trace = load_frame(args.trace, fmt=args.format)
     tool = VN2(VN2Config(rank=args.rank)).fit(trace)
     report = node_health_report(tool, trace)
     print(report.to_text(limit=args.limit))
@@ -152,9 +166,9 @@ def _cmd_node_report(args: argparse.Namespace) -> int:
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     from repro.analysis.evaluation import evaluate_diagnoses, threshold_sweep
     from repro.core.pipeline import VN2, VN2Config
-    from repro.traces.io import load_trace_jsonl
+    from repro.traces.io import load_frame
 
-    trace = load_trace_jsonl(args.trace)
+    trace = load_frame(args.trace, fmt=args.format)
     if not trace.ground_truth:
         print("trace has no ground-truth fault schedule; nothing to score",
               file=sys.stderr)
@@ -188,10 +202,10 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             exp_fig5g,
             exp_fig5hi,
         )
-        from repro.traces.testbed import TestbedScenario, generate_testbed_trace
+        from repro.traces.testbed import TestbedScenario, generate_testbed_frame
 
         if name in ("fig5b", "fig5g"):
-            trace = generate_testbed_trace(TestbedScenario.EXPANSIVE, seed=args.seed)
+            trace = generate_testbed_frame(TestbedScenario.EXPANSIVE, seed=args.seed)
             fig5b = exp_fig5b(trace)
             if name == "fig5b":
                 print(fig5b.to_text())
@@ -205,7 +219,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         return 0
     if name in ("fig3a", "fig3b", "fig3c", "fig4", "fig6", "ablation-filter",
                 "ablation-sparsify"):
-        from repro.traces.citysee import CitySeeProfile, generate_citysee_trace
+        from repro.traces.citysee import CitySeeProfile, generate_citysee_frame
 
         profile = {
             "tiny": CitySeeProfile.tiny,
@@ -221,7 +235,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             print(f6b.to_text(), "\n")
             print(f6c.to_text())
             return 0
-        trace = generate_citysee_trace(profile, episode=False)
+        trace = generate_citysee_frame(profile, episode=False)
         if name == "fig3a":
             from repro.analysis.figures34 import exp_fig3a
 
@@ -260,11 +274,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_format_option(p: argparse.ArgumentParser, verb: str) -> None:
+        p.add_argument(
+            "--format", choices=["jsonl", "npz"], default=None,
+            help=f"trace codec to {verb} (default: inferred from extension)",
+        )
+
     p = sub.add_parser("simulate-testbed", help="run the 45-node testbed experiment")
     p.add_argument("--scenario", choices=["local", "expansive"], default="expansive")
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--duration", type=float, default=7200.0)
     p.add_argument("--output", default="testbed_trace.jsonl")
+    add_format_option(p, "save with")
     p.set_defaults(func=_cmd_simulate_testbed)
 
     p = sub.add_parser("simulate-citysee", help="run a CitySee-like deployment")
@@ -276,6 +297,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="include the PRR-degradation episode")
     p.add_argument("--no-cache", action="store_true")
     p.add_argument("--output", default="citysee_trace.jsonl")
+    add_format_option(p, "save with")
     p.set_defaults(func=_cmd_simulate_citysee)
 
     p = sub.add_parser("train", help="fit a VN2 model from a saved trace")
@@ -286,6 +308,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip the exception filter (testbed-style training)")
     p.add_argument("--retention", type=float, default=0.9)
     p.add_argument("--output", default="vn2_model")
+    p.add_argument("--profile", action="store_true",
+                   help="print per-stage wall-clock "
+                        "(states/exceptions/NMF/sparsify/NNLS)")
+    add_format_option(p, "load")
     p.set_defaults(func=_cmd_train)
 
     p = sub.add_parser("diagnose", help="diagnose a saved trace with a model")
@@ -294,6 +320,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--start", type=float, default=None)
     p.add_argument("--end", type=float, default=None)
     p.add_argument("--limit", type=int, default=20)
+    add_format_option(p, "load")
     p.set_defaults(func=_cmd_diagnose)
 
     p = sub.add_parser(
@@ -306,6 +333,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--limit", type=int, default=10)
     p.add_argument("--costs", action="store_true",
                    help="also fit and print the per-cause PRR cost model")
+    add_format_option(p, "load")
     p.set_defaults(func=_cmd_incidents)
 
     p = sub.add_parser(
@@ -315,6 +343,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("trace")
     p.add_argument("--rank", type=int, default=None)
     p.add_argument("--limit", type=int, default=10)
+    add_format_option(p, "load")
     p.set_defaults(func=_cmd_node_report)
 
     p = sub.add_parser(
@@ -326,6 +355,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--min-strength", type=float, default=0.2)
     p.add_argument("--sweep", action="store_true",
                    help="also print the threshold operating curve")
+    add_format_option(p, "load")
     p.set_defaults(func=_cmd_evaluate)
 
     p = sub.add_parser("experiment", help="run one of the paper's harnesses")

@@ -21,13 +21,18 @@ Data flow (paper Sections III-IV):
 :class:`repro.core.pipeline.VN2` wires all of it behind one facade.
 """
 
-from repro.core.states import StateMatrix, build_states
+from repro.core.states import (
+    StateMatrix,
+    StateProvenance,
+    build_states,
+    build_states_python,
+)
 from repro.core.exceptions import ExceptionSet, detect_exceptions
 from repro.core.normalization import MinMaxNormalizer
 from repro.core.nmf import NMFResult, nmf, nmf_best_of, kl_divergence, frobenius_loss
 from repro.core.sparsify import sparsify_weights
 from repro.core.rank_selection import RankSweepResult, rank_sweep, choose_rank
-from repro.core.inference import infer_weights, infer_single
+from repro.core.inference import infer_weights, infer_weights_batch, infer_single
 from repro.core.interpretation import RootCauseInterpreter, RootCauseLabel
 from repro.core.pipeline import VN2, VN2Config, DiagnosisReport
 from repro.core.incidents import (
@@ -39,7 +44,9 @@ from repro.core.incidents import (
 
 __all__ = [
     "StateMatrix",
+    "StateProvenance",
     "build_states",
+    "build_states_python",
     "ExceptionSet",
     "detect_exceptions",
     "MinMaxNormalizer",
@@ -53,6 +60,7 @@ __all__ = [
     "rank_sweep",
     "choose_rank",
     "infer_weights",
+    "infer_weights_batch",
     "infer_single",
     "RootCauseInterpreter",
     "RootCauseLabel",

@@ -14,7 +14,7 @@ magnitude metric such as ``light`` would drown out every counter.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 
@@ -64,21 +64,33 @@ def deviation_scores(values: np.ndarray) -> np.ndarray:
 
 
 def detect_exceptions(
-    states: StateMatrix,
+    states,
     threshold_ratio: float = 0.01,
     min_exceptions: int = 2,
+    epsilon: Optional[np.ndarray] = None,
 ) -> ExceptionSet:
     """Flag exception states by the paper's ``ε/max(ε)`` rule.
 
     Args:
-        states: All network states.
+        states: All network states — a :class:`StateMatrix`, or a
+            :class:`~repro.traces.frame.TraceFrame` / ``Trace`` that is
+            differenced with :func:`repro.core.states.build_states` first.
         threshold_ratio: A state is an exception when its deviation is at
             least this fraction of the maximum deviation (paper: 0.01).
         min_exceptions: If the rule selects fewer rows than this, the
             top-``min_exceptions`` states by deviation are taken instead
             (degenerate traces otherwise produce an empty training set).
+        epsilon: Pre-computed :func:`deviation_scores` of ``states`` (the
+            pipeline computes them once for its online scoring stats and
+            passes them here to avoid a second pass).
     """
-    epsilon = deviation_scores(states.values)
+    if not isinstance(states, StateMatrix):
+        from repro.core.states import build_states
+
+        states = build_states(states)
+    if epsilon is None:
+        epsilon = deviation_scores(states.values)
+    epsilon = np.asarray(epsilon, dtype=float)
     if epsilon.size == 0:
         return ExceptionSet(
             states=states,

@@ -15,7 +15,7 @@ handful of incidents, not thousands of per-state reports.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -123,15 +123,13 @@ class IncidentAggregator:
             return []
         if self.exception_threshold is not None:
             try:
-                keep = [
-                    i
-                    for i in range(len(states))
-                    if self.tool.exception_score(states.values[i])
+                keep = np.flatnonzero(
+                    self.tool._exception_scores(states.values)
                     >= self.exception_threshold
-                ]
+                )
+                states = states.select(keep)
             except RuntimeError:
-                keep = list(range(len(states)))  # loaded model: no stats
-            states = states.select(keep)
+                pass  # loaded model: no stats, no gate
             if len(states) == 0:
                 return []
         weights = sparsify_inferred(
@@ -139,21 +137,20 @@ class IncidentAggregator:
         )
         labels = self.tool.labels
         out: List[Observation] = []
-        for i, provenance in enumerate(states.provenance):
-            for j in np.flatnonzero(weights[i] >= self.min_strength):
-                label = labels[int(j)]
-                if label.is_baseline or label.primary_hazard is None:
-                    continue
-                out.append(
-                    Observation(
-                        node_id=provenance.node_id,
-                        time_from=provenance.time_from,
-                        time_to=provenance.time_to,
-                        cause_index=int(j),
-                        hazard=label.primary_hazard,
-                        strength=float(weights[i, int(j)]),
-                    )
+        for i, j in zip(*np.nonzero(weights >= self.min_strength)):
+            label = labels[int(j)]
+            if label.is_baseline or label.primary_hazard is None:
+                continue
+            out.append(
+                Observation(
+                    node_id=int(states.node_ids[i]),
+                    time_from=float(states.times_from[i]),
+                    time_to=float(states.times_to[i]),
+                    cause_index=int(j),
+                    hazard=label.primary_hazard,
+                    strength=float(weights[i, j]),
                 )
+            )
         out.sort(key=lambda o: (o.hazard, o.time_from))
         return out
 

@@ -14,7 +14,7 @@ metric/hazard knowledge of Table I.  This module mechanises that step:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -87,6 +87,50 @@ class RootCauseInterpreter:
         self._family_of_metric = {
             m.name: FAMILY_BY_PACKET[m.packet] for m in METRICS
         }
+        # Precomputed column indices so scoring is pure array math.
+        index_of = {name: i for i, name in enumerate(self.metric_names)}
+        self._family_indices = {
+            family: np.array(
+                [
+                    i
+                    for i, name in enumerate(self.metric_names)
+                    if self._family_of_metric[name] == family
+                ],
+                dtype=np.intp,
+            )
+            for family in ("environment", "link", "protocol")
+        }
+        self._counter_idx = self._family_indices["protocol"]
+        self._gauge_idx = np.array(
+            sorted(
+                set(range(len(self.metric_names)))
+                - set(self._counter_idx.tolist())
+            ),
+            dtype=np.intp,
+        )
+        #: (hazard name, trigger columns, trigger directions, specificity)
+        self._hazard_triggers: List[
+            Tuple[str, np.ndarray, np.ndarray, float]
+        ] = []
+        for hazard in HAZARDS:
+            idx, directions = [], []
+            for position, trigger in enumerate(hazard.triggers):
+                column = index_of.get(trigger)
+                if column is None:
+                    continue
+                idx.append(column)
+                directions.append(hazard.direction_of(position))
+            if not idx:
+                continue
+            specificity = float(np.sqrt(min(len(idx), 5) / 5.0))
+            self._hazard_triggers.append(
+                (
+                    hazard.name,
+                    np.array(idx, dtype=np.intp),
+                    np.array(directions, dtype=float),
+                    specificity,
+                )
+            )
 
     # ------------------------------------------------------------------
     # scoring primitives
@@ -108,9 +152,11 @@ class RootCauseInterpreter:
 
     def family_of(self, display_row: np.ndarray) -> str:
         """Which metric family (C1/C2/C3) carries most of the row's energy."""
-        sums: Dict[str, float] = {"environment": 0.0, "link": 0.0, "protocol": 0.0}
-        for name, value in zip(self.metric_names, display_row):
-            sums[self._family_of_metric[name]] += abs(float(value))
+        magnitudes = np.abs(np.asarray(display_row, dtype=float))
+        sums: Dict[str, float] = {
+            family: float(magnitudes[idx].sum())
+            for family, idx in self._family_indices.items()
+        }
         return max(sums, key=sums.get)
 
     def counter_reset_score(self, display_row: np.ndarray) -> float:
@@ -123,23 +169,17 @@ class RootCauseInterpreter:
         metric sits below the rest point equally.)  Returns a positive
         reset score, or 0 when the row is not reset-like.
         """
-        counter_idx = [
-            i
-            for i, name in enumerate(self.metric_names)
-            if self._family_of_metric[name] == "protocol"
-        ]
-        gauge_idx = [
-            i
-            for i, name in enumerate(self.metric_names)
-            if self._family_of_metric[name] != "protocol"
-        ]
-        if not counter_idx or not gauge_idx:
-            return 0.0
-        counter_mean = float(np.mean(display_row[counter_idx]))
-        gauge_mean = float(np.mean(display_row[gauge_idx]))
-        if counter_mean < -0.5 and counter_mean < gauge_mean - 0.25:
-            return -counter_mean
-        return 0.0
+        rows = np.atleast_2d(np.asarray(display_row, dtype=float))
+        return float(self._counter_reset_batch(rows)[0])
+
+    def _counter_reset_batch(self, rows: np.ndarray) -> np.ndarray:
+        """Reset scores for every row of a displayed (n, m) matrix."""
+        if self._counter_idx.size == 0 or self._gauge_idx.size == 0:
+            return np.zeros(rows.shape[0])
+        counter_mean = rows[:, self._counter_idx].mean(axis=1)
+        gauge_mean = rows[:, self._gauge_idx].mean(axis=1)
+        reset_like = (counter_mean < -0.5) & (counter_mean < gauge_mean - 0.25)
+        return np.where(reset_like, -counter_mean, 0.0)
 
     def hazard_scores(self, display_row: np.ndarray) -> List[Tuple[str, float]]:
         """Hazards ranked by mean |movement| of their trigger metrics.
@@ -148,37 +188,34 @@ class RootCauseInterpreter:
         is a reboot signature, and per-counter hazards (which also see
         "movement" in the reset) would otherwise shadow it.
         """
-        index_of = {name: i for i, name in enumerate(self.metric_names)}
-        scored: List[Tuple[str, float]] = []
-        for hazard in HAZARDS:
-            contributions: List[float] = []
-            for position, trigger in enumerate(hazard.triggers):
-                idx = index_of.get(trigger)
-                if idx is None:
-                    continue
-                value = float(display_row[idx])
-                direction = hazard.direction_of(position)
-                if direction == 0:
-                    contributions.append(abs(value))
-                else:
-                    # Directional trigger: only movement in the expected
-                    # direction counts as evidence.
-                    contributions.append(max(0.0, value * direction))
-            if not contributions:
-                continue
-            score = float(np.mean(contributions))
+        rows = np.atleast_2d(np.asarray(display_row, dtype=float))
+        return self._hazard_scores_batch(rows)[0]
+
+    def _hazard_scores_batch(
+        self, rows: np.ndarray
+    ) -> List[List[Tuple[str, float]]]:
+        """Ranked hazard lists for every row of a displayed (n, m) matrix."""
+        scored: List[List[Tuple[str, float]]] = [[] for _ in range(len(rows))]
+        for name, idx, directions, specificity in self._hazard_triggers:
+            sub = rows[:, idx]
+            # Directional triggers: only movement in the expected direction
+            # counts as evidence; undirected ones count |movement|.
+            contrib = np.where(
+                directions == 0, np.abs(sub), np.maximum(0.0, sub * directions)
+            )
             # Specificity weighting: consistent movement across many
             # trigger metrics is far stronger evidence than one large
             # metric (which any noisy row can produce by chance).
-            specificity = np.sqrt(min(len(contributions), 5) / 5.0)
-            score *= float(specificity)
-            if score > 0:
-                scored.append((hazard.name, score))
-        reset = self.counter_reset_score(display_row)
-        if reset > 0.0:
-            scored = [(n, s) for n, s in scored if n != "node_reboot"]
-            scored.append(("node_reboot", 1.0 + reset))
-        scored.sort(key=lambda pair: pair[1], reverse=True)
+            scores = contrib.mean(axis=1) * specificity
+            for i in np.flatnonzero(scores > 0):
+                scored[int(i)].append((name, float(scores[i])))
+        resets = self._counter_reset_batch(rows)
+        for i in np.flatnonzero(resets > 0.0):
+            row_scores = [(n, s) for n, s in scored[i] if n != "node_reboot"]
+            row_scores.append(("node_reboot", 1.0 + float(resets[i])))
+            scored[i] = row_scores
+        for row_scores in scored:
+            row_scores.sort(key=lambda pair: pair[1], reverse=True)
         return scored
 
     # ------------------------------------------------------------------
@@ -191,9 +228,15 @@ class RootCauseInterpreter:
         display_row: np.ndarray,
         energy: float,
         is_baseline: bool,
+        hazards: Optional[List[Tuple[str, float]]] = None,
     ) -> RootCauseLabel:
-        """Build the label for one displayed Ψ row."""
-        hazards = self.hazard_scores(display_row)
+        """Build the label for one displayed Ψ row.
+
+        ``hazards`` may carry pre-computed scores (from the batch path);
+        when omitted they are computed for this row alone.
+        """
+        if hazards is None:
+            hazards = self.hazard_scores(display_row)
         top_metrics = self.dominant_metrics(display_row)
         if is_baseline:
             explanation = (
@@ -250,6 +293,7 @@ class RootCauseInterpreter:
                 share = usage / total
                 baseline_flags = share > baseline_usage_factor / r
 
+        all_hazards = self._hazard_scores_batch(psi_display)
         labels = []
         for j in range(r):
             labels.append(
@@ -258,6 +302,7 @@ class RootCauseInterpreter:
                     display_row=psi_display[j],
                     energy=float(energies[j]),
                     is_baseline=bool(baseline_flags[j]),
+                    hazards=all_hazards[j],
                 )
             )
         return labels

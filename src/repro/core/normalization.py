@@ -16,7 +16,6 @@ paper's figures.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 

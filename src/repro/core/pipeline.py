@@ -21,14 +21,19 @@ with the compression factor chosen automatically from a rank sweep when
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.exceptions import ExceptionSet, detect_exceptions
-from repro.core.inference import active_causes, infer_single, infer_weights
+from repro.core.inference import (
+    active_causes,
+    infer_single,
+    infer_weights_batch,
+)
 from repro.core.interpretation import RootCauseInterpreter, RootCauseLabel
 from repro.core.nmf import NMFResult, nmf
 from repro.core.normalization import MinMaxNormalizer
@@ -36,6 +41,7 @@ from repro.core.rank_selection import RankSweepResult, choose_rank, rank_sweep
 from repro.core.sparsify import SparsifyResult, sparsify_weights
 from repro.core.states import StateMatrix, build_states
 from repro.metrics.catalog import NUM_METRICS
+from repro.traces.frame import TraceFrame
 from repro.traces.records import Trace
 
 
@@ -72,6 +78,26 @@ class VN2Config:
     seed: int = 0
     normalizer_pad: float = 0.05
     min_weight_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if len(tuple(self.rank_candidates)) == 0:
+            raise ValueError(
+                "rank_candidates must be non-empty, got "
+                f"{self.rank_candidates!r}"
+            )
+        if self.rank is not None and self.rank < 1:
+            raise ValueError(
+                f"rank must be a positive integer or None, got {self.rank!r}"
+            )
+        if not 0.0 < self.retention <= 1.0:
+            raise ValueError(
+                f"retention must be in (0, 1], got {self.retention!r}"
+            )
+        if not 0.0 < self.exception_threshold < 1.0:
+            raise ValueError(
+                "exception_threshold must be in (0, 1), got "
+                f"{self.exception_threshold!r}"
+            )
 
 
 @dataclass
@@ -136,14 +162,26 @@ class VN2:
         self._train_mean: Optional[np.ndarray] = None
         self._train_std: Optional[np.ndarray] = None
         self._train_max_eps: float = 0.0
+        #: Per-stage wall-clock seconds of the latest fit / batch call
+        #: (keys: states, exceptions, nmf, sparsify, nnls).
+        self.timings_: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # training
     # ------------------------------------------------------------------
 
-    def fit(self, trace: Trace) -> "VN2":
-        """Train from a trace (differencing is performed internally)."""
-        return self.fit_states(build_states(trace))
+    def fit(self, trace: Union[Trace, TraceFrame]) -> "VN2":
+        """Train from a trace or frame (differencing performed internally).
+
+        A :class:`~repro.traces.frame.TraceFrame` is the fast path; a
+        legacy :class:`Trace` is columnarized once at this boundary.
+        """
+        t0 = time.perf_counter()
+        states = build_states(trace)
+        states_seconds = time.perf_counter() - t0
+        self.fit_states(states)
+        self.timings_ = {"states": states_seconds, **self.timings_}
+        return self
 
     def fit_states(self, states: StateMatrix) -> "VN2":
         """Train from pre-built network states."""
@@ -152,6 +190,7 @@ class VN2:
                 f"need at least 2 states to train, got {len(states)}"
             )
         self.states_ = states
+        self.timings_ = {}
 
         # Deviation statistics for online exception scoring: mean/std of
         # every metric over the training states and the largest training
@@ -162,16 +201,23 @@ class VN2:
         std = values.std(axis=0)
         self._train_std = np.where(std < 1e-12, 1.0, std)
         z = (values - self._train_mean) / self._train_std
-        self._train_max_eps = float(np.max((z * z).sum(axis=1)))
+        epsilon = (z * z).sum(axis=1)
+        self._train_max_eps = float(np.max(epsilon))
 
+        t0 = time.perf_counter()
         if self.config.filter_exceptions:
+            # epsilon is exactly deviation_scores(values); hand it over so
+            # the detector skips its own identical pass.
             self.exceptions_ = detect_exceptions(
-                states, threshold_ratio=self.config.exception_threshold
+                states,
+                threshold_ratio=self.config.exception_threshold,
+                epsilon=epsilon,
             )
             training = self.exceptions_.states
         else:
             self.exceptions_ = None
             training = states
+        self.timings_["exceptions"] = time.perf_counter() - t0
         if len(training) < 2:
             raise ValueError(
                 "exception filter left fewer than 2 states; lower the "
@@ -183,6 +229,7 @@ class VN2:
         )
         E = self.normalizer_.transform(training.values)
 
+        t0 = time.perf_counter()
         rank = self.config.rank
         if rank is None:
             candidates = [
@@ -209,9 +256,13 @@ class VN2:
             init=self.config.nmf_init,
             rng=np.random.default_rng(self.config.seed),
         )
+        self.timings_["nmf"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
         self.sparsify_ = sparsify_weights(
             self.nmf_.W, retention=self.config.retention
         )
+        self.timings_["sparsify"] = time.perf_counter() - t0
         # Usage-based baseline detection mirrors the paper's testbed
         # reasoning ("Ψ7 is used much more than any other feature, so it
         # must represent normal states") — which is only sound when the
@@ -298,17 +349,9 @@ class VN2:
             threshold_ratio = self.config.exception_threshold
         return self.exception_score(state) >= threshold_ratio
 
-    def diagnose(self, state: np.ndarray) -> DiagnosisReport:
-        """Attribute one 43-metric state delta to root causes (Problem 3)."""
-        self._require_fitted()
-        state = np.asarray(state, dtype=float).ravel()
-        if state.shape[0] != NUM_METRICS:
-            raise ValueError(
-                f"state must have {NUM_METRICS} metrics, got {state.shape[0]}"
-            )
-        normalized = self._normalize_states(state)[0]
-        weights, residual = infer_single(self.nmf_.Psi, normalized)
-        state_norm = float(np.linalg.norm(normalized))
+    def _build_report(
+        self, weights: np.ndarray, residual: float, state_norm: float
+    ) -> DiagnosisReport:
         significant = active_causes(weights, self.config.min_weight_fraction)
         ranked = sorted(
             (
@@ -325,9 +368,66 @@ class VN2:
         return DiagnosisReport(
             weights=weights,
             ranked=ranked,
-            residual=residual,
+            residual=float(residual),
             relative_residual=residual / state_norm if state_norm > 0 else 0.0,
         )
+
+    def diagnose(self, state: np.ndarray) -> DiagnosisReport:
+        """Attribute one 43-metric state delta to root causes (Problem 3)."""
+        self._require_fitted()
+        state = np.asarray(state, dtype=float).ravel()
+        if state.shape[0] != NUM_METRICS:
+            raise ValueError(
+                f"state must have {NUM_METRICS} metrics, got {state.shape[0]}"
+            )
+        normalized = self._normalize_states(state)[0]
+        weights, residual = infer_single(self.nmf_.Psi, normalized)
+        return self._build_report(
+            weights, residual, float(np.linalg.norm(normalized))
+        )
+
+    def diagnose_batch(
+        self, states: Union[StateMatrix, np.ndarray]
+    ) -> List[DiagnosisReport]:
+        """Attribute a whole batch of states in one vectorized NNLS sweep.
+
+        Equivalent to ``[self.diagnose(s) for s in states]`` (weights agree
+        to solver round-off) but solves every non-negative least-squares
+        problem simultaneously via
+        :func:`repro.core.inference.infer_weights_batch`.
+
+        Returns one :class:`DiagnosisReport` per state, in order.
+        """
+        self._require_fitted()
+        values = states.values if isinstance(states, StateMatrix) else states
+        values = np.atleast_2d(np.asarray(values, dtype=float))
+        if values.shape[1] != NUM_METRICS:
+            raise ValueError(
+                f"states must have {NUM_METRICS} metrics, got {values.shape[1]}"
+            )
+        normalized = self._normalize_states(values)
+        t0 = time.perf_counter()
+        weights, residuals = infer_weights_batch(self.nmf_.Psi, normalized)
+        self.timings_["nnls"] = time.perf_counter() - t0
+        norms = np.linalg.norm(normalized, axis=1)
+        return [
+            self._build_report(weights[i], float(residuals[i]), float(norms[i]))
+            for i in range(values.shape[0])
+        ]
+
+    def _exception_scores(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`exception_score` over state rows."""
+        if getattr(self, "_train_mean", None) is None:
+            raise RuntimeError(
+                "exception scoring needs training statistics; the model "
+                "was loaded from disk or not fitted"
+            )
+        values = np.atleast_2d(np.asarray(values, dtype=float))
+        z = (values - self._train_mean) / self._train_std
+        eps = (z * z).sum(axis=1)
+        if self._train_max_eps <= 0:
+            return np.zeros(values.shape[0])
+        return eps / self._train_max_eps
 
     def diagnose_exceptions(
         self,
@@ -337,18 +437,21 @@ class VN2:
         """Diagnose only the exceptional states of a batch.
 
         The deployed loop (paper Fig 1): screen incoming states with the
-        ε rule against the training statistics, diagnose the survivors.
+        ε rule against the training statistics (one vectorized pass),
+        diagnose the survivors in one batch NNLS sweep.
         Returns (provenance, report) pairs in state order.
         """
         self._require_fitted()
-        results = []
-        for i in range(len(states)):
-            if not self.is_exception(states.values[i], threshold_ratio):
-                continue
-            results.append(
-                (states.provenance[i], self.diagnose(states.values[i]))
-            )
-        return results
+        if threshold_ratio is None:
+            threshold_ratio = self.config.exception_threshold
+        flagged = np.flatnonzero(
+            self._exception_scores(states.values) >= threshold_ratio
+        )
+        reports = self.diagnose_batch(states.values[flagged])
+        return [
+            (states.provenance[int(i)], report)
+            for i, report in zip(flagged, reports)
+        ]
 
     def correlation_strengths(self, states: Union[StateMatrix, np.ndarray]) -> np.ndarray:
         """NNLS weights for a batch of states: (n, r) matrix.
@@ -359,7 +462,9 @@ class VN2:
         self._require_fitted()
         values = states.values if isinstance(states, StateMatrix) else states
         normalized = self._normalize_states(values)
-        weights, _residuals = infer_weights(self.nmf_.Psi, normalized)
+        t0 = time.perf_counter()
+        weights, _residuals = infer_weights_batch(self.nmf_.Psi, normalized)
+        self.timings_["nnls"] = time.perf_counter() - t0
         return weights
 
     # ------------------------------------------------------------------

@@ -13,7 +13,6 @@ greedy element moves the algorithm performs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 import numpy as np
 

@@ -16,7 +16,7 @@ root-cause vector into a human-readable explanation.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 MAX_NEIGHBORS = 10

@@ -10,13 +10,12 @@ useless for state construction).
 
 from __future__ import annotations
 
-import bisect
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.metrics.catalog import PacketClass
+from repro.metrics.catalog import NUM_METRICS, PacketClass
 from repro.metrics.packets import ReportPacket, merge_packets
 
 
@@ -40,31 +39,95 @@ class SnapshotRecord:
 
 
 class NodeTimeline:
-    """Epoch-ordered sequence of complete snapshots for a single node.
+    """Epoch-ordered columns of complete snapshots for a single node.
 
     Epochs can *complete* out of order at the sink (a retransmitted C3 of
     epoch 8 may arrive after all of epoch 9 during heavy loss), so append
-    inserts by epoch rather than trusting completion order.
+    insert-sorts by epoch rather than trusting completion order.
+
+    Storage is columnar: preallocated epoch / timestamp vectors plus one
+    (capacity, 43) value matrix, grown geometrically.  This is the buffer
+    :func:`repro.traces.frame.frame_from_network` reads straight into a
+    :class:`~repro.traces.frame.TraceFrame` — no per-snapshot objects
+    exist on the hot path.
     """
+
+    _MIN_CAPACITY = 16
 
     def __init__(self, node_id: int):
         self.node_id = node_id
-        self.snapshots: List[SnapshotRecord] = []
+        self._size = 0
+        self._epochs = np.zeros(0, dtype=np.int64)
+        self._generated = np.zeros(0, dtype=float)
+        self._received = np.zeros(0, dtype=float)
+        self._values = np.zeros((0, NUM_METRICS), dtype=float)
+
+    def _grow(self) -> None:
+        capacity = max(self._MIN_CAPACITY, 2 * self._epochs.shape[0])
+        self._epochs = np.resize(self._epochs, capacity)
+        self._generated = np.resize(self._generated, capacity)
+        self._received = np.resize(self._received, capacity)
+        values = np.zeros((capacity, NUM_METRICS), dtype=float)
+        values[: self._size] = self._values[: self._size]
+        self._values = values
 
     def append(self, record: SnapshotRecord) -> None:
-        position = bisect.bisect_left(
-            [s.epoch for s in self.snapshots], record.epoch
+        if self._size == self._epochs.shape[0]:
+            self._grow()
+        position = int(
+            np.searchsorted(self._epochs[: self._size], record.epoch)
         )
-        self.snapshots.insert(position, record)
+        if position < self._size:  # out-of-order completion: shift right
+            self._epochs[position + 1 : self._size + 1] = self._epochs[
+                position : self._size
+            ]
+            self._generated[position + 1 : self._size + 1] = self._generated[
+                position : self._size
+            ]
+            self._received[position + 1 : self._size + 1] = self._received[
+                position : self._size
+            ]
+            self._values[position + 1 : self._size + 1] = self._values[
+                position : self._size
+            ]
+        self._epochs[position] = record.epoch
+        self._generated[position] = record.generated_at
+        self._received[position] = record.received_at
+        self._values[position] = record.values
+        self._size += 1
 
     def __len__(self) -> int:
-        return len(self.snapshots)
+        return self._size
+
+    def columns(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Trimmed ``(epochs, generated_at, received_at, values)`` views."""
+        n = self._size
+        return (
+            self._epochs[:n],
+            self._generated[:n],
+            self._received[:n],
+            self._values[:n],
+        )
+
+    @property
+    def snapshots(self) -> List[SnapshotRecord]:
+        """Epoch-ordered :class:`SnapshotRecord` objects (materialized view)."""
+        return [
+            SnapshotRecord(
+                node_id=self.node_id,
+                epoch=int(self._epochs[i]),
+                generated_at=float(self._generated[i]),
+                received_at=float(self._received[i]),
+                values=self._values[i].copy(),
+            )
+            for i in range(self._size)
+        ]
 
     def matrix(self) -> np.ndarray:
         """All snapshots stacked into an (n_snapshots, 43) array."""
-        if not self.snapshots:
+        if self._size == 0:
             return np.zeros((0, 0))
-        return np.vstack([s.values for s in self.snapshots])
+        return self._values[: self._size].copy()
 
 
 class SinkCollector:

@@ -10,7 +10,7 @@ reporting epoch into one full snapshot vector.  A snapshot is a length-43
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import ClassVar, Dict, Iterable, List, Optional, Tuple
+from typing import ClassVar, Dict, Iterable, Optional, Tuple
 
 import numpy as np
 

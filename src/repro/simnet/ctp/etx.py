@@ -13,7 +13,7 @@ frees a child to select a new parent.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 MAX_ETX = 50.0

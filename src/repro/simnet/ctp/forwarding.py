@@ -23,7 +23,7 @@ from __future__ import annotations
 import enum
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Optional, Set, Tuple
+from typing import Optional, Set, Tuple
 
 from repro.metrics.packets import ReportPacket
 from repro.simnet.counters import CounterSet

@@ -28,7 +28,7 @@ BatteryDrain       Accelerated energy use: voltage sags, radio-on time
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.simnet.environment import NoiseRegion

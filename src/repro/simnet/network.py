@@ -17,7 +17,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
-import numpy as np
 
 from repro.metrics.collector import SinkCollector
 from repro.simnet.ctp.forwarding import DataFrame, TxResult

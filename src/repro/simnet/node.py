@@ -17,7 +17,7 @@ network and continues when the completion callback fires.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -26,7 +26,7 @@ from repro.metrics.packets import snapshot_to_packets
 from repro.simnet.counters import CounterSet
 from repro.simnet.ctp.beacons import TrickleTimer
 from repro.simnet.ctp.etx import MAX_ETX, LinkEstimator
-from repro.simnet.ctp.forwarding import DataFrame, ForwardingEngine, TxResult
+from repro.simnet.ctp.forwarding import ForwardingEngine, TxResult
 from repro.simnet.ctp.routing import Beacon, RoutingEngine
 from repro.simnet.hardware import Hardware
 from repro.simnet.sensors import SensorSuite

@@ -30,7 +30,7 @@ import json
 import os
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -48,8 +48,14 @@ from repro.simnet.network import Network, NetworkConfig
 from repro.simnet.radio import RadioParams
 from repro.simnet.rng import RngRegistry
 from repro.simnet.topology import Topology, random_geometric_topology
-from repro.traces.records import Trace, trace_from_network
-from repro.traces.io import load_trace_jsonl, save_trace_jsonl
+from repro.traces.frame import TraceFrame, frame_from_network
+from repro.traces.records import Trace
+from repro.traces.io import (
+    load_frame_jsonl,
+    load_frame_npz,
+    save_frame_jsonl,
+    save_frame_npz,
+)
 
 
 @dataclass(frozen=True)
@@ -300,14 +306,18 @@ def default_cache_dir() -> Path:
     return Path.home() / ".cache" / "repro-vn2"
 
 
-def generate_citysee_trace(
+def generate_citysee_frame(
     profile: Optional[CitySeeProfile] = None,
     episode: bool = False,
     episode_days: Tuple[float, float] = (6.0, 8.0),
     use_cache: bool = True,
     cache_dir: Optional[Path] = None,
-) -> Trace:
-    """Generate (or load from cache) a CitySee-like trace.
+) -> TraceFrame:
+    """Generate (or load from cache) a CitySee-like trace, as a frame.
+
+    The cache keeps two codecs per run: a fast ``.npz`` (preferred on
+    load) and the legacy diff-able ``.jsonl``.  A cache directory written
+    by an older version (jsonl only) is upgraded in place on first load.
 
     Args:
         profile: Scale/fault parameters; defaults to
@@ -318,12 +328,19 @@ def generate_citysee_trace(
         cache_dir: Cache location; defaults to :func:`default_cache_dir`.
     """
     profile = profile or CitySeeProfile.medium()
-    cache_path: Optional[Path] = None
+    npz_path: Optional[Path] = None
+    jsonl_path: Optional[Path] = None
     if use_cache:
         directory = cache_dir or default_cache_dir()
-        cache_path = directory / f"citysee-{_cache_key(profile, episode, episode_days)}.jsonl"
-        if cache_path.exists():
-            return load_trace_jsonl(cache_path)
+        stem = f"citysee-{_cache_key(profile, episode, episode_days)}"
+        npz_path = directory / f"{stem}.npz"
+        jsonl_path = directory / f"{stem}.jsonl"
+        if npz_path.exists():
+            return load_frame_npz(npz_path)
+        if jsonl_path.exists():
+            frame = load_frame_jsonl(jsonl_path)
+            save_frame_npz(frame, npz_path)
+            return frame
 
     rngs = RngRegistry(profile.seed)
     topology = random_geometric_topology(
@@ -355,7 +372,7 @@ def generate_citysee_trace(
     FaultInjector(faults).install(network)
     network.run(end)
 
-    trace = trace_from_network(
+    frame = frame_from_network(
         network,
         metadata={
             "kind": "citysee",
@@ -368,6 +385,24 @@ def generate_citysee_trace(
             },
         },
     )
-    if cache_path is not None:
-        save_trace_jsonl(trace, cache_path)
-    return trace
+    if npz_path is not None:
+        save_frame_npz(frame, npz_path)
+        save_frame_jsonl(frame, jsonl_path)
+    return frame
+
+
+def generate_citysee_trace(
+    profile: Optional[CitySeeProfile] = None,
+    episode: bool = False,
+    episode_days: Tuple[float, float] = (6.0, 8.0),
+    use_cache: bool = True,
+    cache_dir: Optional[Path] = None,
+) -> Trace:
+    """Legacy shim: :func:`generate_citysee_frame` as a :class:`Trace`."""
+    return generate_citysee_frame(
+        profile=profile,
+        episode=episode,
+        episode_days=episode_days,
+        use_cache=use_cache,
+        cache_dir=cache_dir,
+    ).to_trace()

@@ -1,9 +1,17 @@
-"""Trace persistence: JSONL (lossless) and CSV (snapshot matrix only).
+"""Trace persistence: JSONL (lossless, diff-able), NPZ (fast, columnar)
+and CSV (snapshot matrix only).
 
-The JSONL layout is one header object followed by one object per snapshot;
-everything :class:`repro.traces.records.Trace` holds round-trips exactly.
-CSV export keeps just the snapshot matrix with named metric columns, for
-inspection in external tools.
+Both real codecs speak :class:`repro.traces.frame.TraceFrame` natively —
+no per-snapshot objects are materialized on either side of the disk.  The
+legacy ``save_trace_jsonl`` / ``load_trace_jsonl`` helpers remain as thin
+shims that convert at the boundary.
+
+* **JSONL** — one header object followed by one object per snapshot.
+  Human-readable and stable under version control; metric values are
+  written with 6-decimal precision.
+* **NPZ** — the frame's columns stored as raw numpy arrays plus a JSON
+  header; bit-exact and an order of magnitude faster to load, the format
+  the hot paths (trace cache, benchmarks) use.
 """
 
 from __future__ import annotations
@@ -11,87 +19,77 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import List, Union
+from typing import Optional, Union
 
 import numpy as np
 
-from repro.metrics.catalog import METRIC_NAMES
-from repro.traces.records import GroundTruth, SnapshotRow, Trace
+from repro.metrics.catalog import METRIC_NAMES, NUM_METRICS
+from repro.traces.frame import TraceFrame, as_frame
+from repro.traces.records import GroundTruth, Trace
 
 _FORMAT_VERSION = 1
 
-
-def save_trace_jsonl(trace: Trace, path: Union[str, Path]) -> None:
-    """Write a trace to ``path`` in JSONL format (gzip-free, diff-able)."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w", encoding="utf-8") as fh:
-        header = {
-            "format_version": _FORMAT_VERSION,
-            "metadata": trace.metadata,
-            "ground_truth": [
-                {
-                    "kind": g.kind,
-                    "node_ids": list(g.node_ids),
-                    "start": g.start,
-                    "end": g.end,
-                }
-                for g in trace.ground_truth
-            ],
-            "packets_generated": trace.packets_generated,
-            "packets_received": trace.packets_received,
-            "arrivals": [[t, n] for (t, n) in trace.arrivals],
-            "metric_names": list(METRIC_NAMES),
-        }
-        fh.write(json.dumps(header) + "\n")
-        for row in trace.rows:
-            fh.write(
-                json.dumps(
-                    {
-                        "node_id": row.node_id,
-                        "epoch": row.epoch,
-                        "generated_at": row.generated_at,
-                        "received_at": row.received_at,
-                        "values": [round(float(v), 6) for v in row.values],
-                    }
-                )
-                + "\n"
-            )
+#: Formats understood by :func:`save_frame` / :func:`load_frame`.
+FORMATS = ("jsonl", "npz")
 
 
-def load_trace_jsonl(path: Union[str, Path]) -> Trace:
-    """Read a trace previously written by :func:`save_trace_jsonl`."""
-    path = Path(path)
-    with path.open("r", encoding="utf-8") as fh:
-        header_line = fh.readline()
-        if not header_line:
-            raise ValueError(f"{path} is empty")
-        header = json.loads(header_line)
-        version = header.get("format_version")
-        if version != _FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported trace format version {version!r} in {path}"
-            )
-        stored_names = header.get("metric_names", [])
-        if list(stored_names) != list(METRIC_NAMES):
-            raise ValueError(
-                f"{path} was written with a different metric catalog "
-                f"({len(stored_names)} metrics vs {len(METRIC_NAMES)})"
-            )
-        rows: List[SnapshotRow] = []
-        for line in fh:
-            obj = json.loads(line)
-            rows.append(
-                SnapshotRow(
-                    node_id=obj["node_id"],
-                    epoch=obj["epoch"],
-                    generated_at=obj["generated_at"],
-                    received_at=obj["received_at"],
-                    values=np.asarray(obj["values"], dtype=float),
-                )
-            )
-    return Trace(
-        rows=rows,
+def _header_dict(frame: TraceFrame) -> dict:
+    return {
+        "format_version": _FORMAT_VERSION,
+        "metadata": frame.metadata,
+        "ground_truth": [
+            {
+                "kind": g.kind,
+                "node_ids": list(g.node_ids),
+                "start": g.start,
+                "end": g.end,
+            }
+            for g in frame.ground_truth
+        ],
+        "packets_generated": frame.packets_generated,
+        "packets_received": frame.packets_received,
+        "arrivals": [
+            [float(t), int(n)]
+            for t, n in zip(frame.arrival_times, frame.arrival_nodes)
+        ],
+        "metric_names": list(METRIC_NAMES),
+    }
+
+
+def _check_header(header: dict, path: Path) -> None:
+    version = header.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported trace format version {version!r} in {path}"
+        )
+    stored_names = header.get("metric_names", [])
+    if list(stored_names) != list(METRIC_NAMES):
+        raise ValueError(
+            f"{path} was written with a different metric catalog "
+            f"({len(stored_names)} metrics vs {len(METRIC_NAMES)})"
+        )
+
+
+def _frame_from_header(
+    header: dict,
+    node_ids: np.ndarray,
+    epochs: np.ndarray,
+    generated_at: np.ndarray,
+    received_at: np.ndarray,
+    values: np.ndarray,
+    arrival_times: Optional[np.ndarray] = None,
+    arrival_nodes: Optional[np.ndarray] = None,
+) -> TraceFrame:
+    if arrival_times is None:
+        arrivals = header.get("arrivals", [])
+        arrival_times = np.array([t for t, _ in arrivals], dtype=float)
+        arrival_nodes = np.array([n for _, n in arrivals], dtype=np.int64)
+    return TraceFrame(
+        node_ids=node_ids,
+        epochs=epochs,
+        generated_at=generated_at,
+        received_at=received_at,
+        values=values,
         metadata=header.get("metadata", {}),
         ground_truth=[
             GroundTruth(
@@ -104,12 +102,174 @@ def load_trace_jsonl(path: Union[str, Path]) -> Trace:
         ],
         packets_generated=header.get("packets_generated", 0),
         packets_received=header.get("packets_received", 0),
-        arrivals=[(t, n) for t, n in header.get("arrivals", [])],
+        arrival_times=arrival_times,
+        arrival_nodes=arrival_nodes,
     )
 
 
-def export_snapshots_csv(trace: Trace, path: Union[str, Path]) -> None:
+# --------------------------------------------------------------------------
+# JSONL
+# --------------------------------------------------------------------------
+
+
+def save_frame_jsonl(frame: TraceFrame, path: Union[str, Path]) -> None:
+    """Write a frame to ``path`` in JSONL format (gzip-free, diff-able)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    rounded = np.round(frame.values, 6)
+    with path.open("w", encoding="utf-8") as fh:
+        fh.write(json.dumps(_header_dict(frame)) + "\n")
+        for i in range(len(frame)):
+            fh.write(
+                json.dumps(
+                    {
+                        "node_id": int(frame.node_ids[i]),
+                        "epoch": int(frame.epochs[i]),
+                        "generated_at": float(frame.generated_at[i]),
+                        "received_at": float(frame.received_at[i]),
+                        "values": rounded[i].tolist(),
+                    }
+                )
+                + "\n"
+            )
+
+
+def load_frame_jsonl(path: Union[str, Path]) -> TraceFrame:
+    """Read a frame from JSONL, parsing straight into column buffers."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as fh:
+        header_line = fh.readline()
+        if not header_line:
+            raise ValueError(f"{path} is empty")
+        header = json.loads(header_line)
+        _check_header(header, path)
+        node_ids, epochs, generated, received, value_rows = [], [], [], [], []
+        for line in fh:
+            obj = json.loads(line)
+            node_ids.append(obj["node_id"])
+            epochs.append(obj["epoch"])
+            generated.append(obj["generated_at"])
+            received.append(obj["received_at"])
+            value_rows.append(obj["values"])
+    n = len(node_ids)
+    values = (
+        np.asarray(value_rows, dtype=float)
+        if n
+        else np.zeros((0, NUM_METRICS))
+    )
+    if values.ndim != 2 or (n and values.shape[1] != NUM_METRICS):
+        raise ValueError(f"{path} carries malformed snapshot rows")
+    return _frame_from_header(
+        header,
+        node_ids=np.asarray(node_ids, dtype=np.int64),
+        epochs=np.asarray(epochs, dtype=np.int64),
+        generated_at=np.asarray(generated, dtype=float),
+        received_at=np.asarray(received, dtype=float),
+        values=values,
+    )
+
+
+def save_trace_jsonl(trace: Union[Trace, TraceFrame], path: Union[str, Path]) -> None:
+    """Legacy shim: write a trace (or frame) to JSONL."""
+    save_frame_jsonl(as_frame(trace), path)
+
+
+def load_trace_jsonl(path: Union[str, Path]) -> Trace:
+    """Legacy shim: read a JSONL trace as the object representation."""
+    return load_frame_jsonl(path).to_trace()
+
+
+# --------------------------------------------------------------------------
+# NPZ
+# --------------------------------------------------------------------------
+
+
+def save_frame_npz(frame: TraceFrame, path: Union[str, Path]) -> None:
+    """Write a frame to ``path`` as raw numpy columns (bit-exact, fast)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header = _header_dict(frame)
+    header.pop("arrivals")  # stored as first-class columns instead
+    # Write through a file object so numpy keeps the exact path (bare
+    # np.savez(path) appends ".npz" to suffix-less names).
+    with path.open("wb") as fh:
+        np.savez(
+            fh,
+            header=np.array(json.dumps(header)),
+            node_ids=frame.node_ids,
+            epochs=frame.epochs,
+            generated_at=frame.generated_at,
+            received_at=frame.received_at,
+            values=frame.values,
+            arrival_times=frame.arrival_times,
+            arrival_nodes=frame.arrival_nodes,
+        )
+
+
+def load_frame_npz(path: Union[str, Path]) -> TraceFrame:
+    """Read a frame previously written by :func:`save_frame_npz`."""
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as arrays:
+        header = json.loads(str(arrays["header"]))
+        _check_header(header, path)
+        return _frame_from_header(
+            header,
+            node_ids=arrays["node_ids"],
+            epochs=arrays["epochs"],
+            generated_at=arrays["generated_at"],
+            received_at=arrays["received_at"],
+            values=arrays["values"],
+            arrival_times=arrays["arrival_times"],
+            arrival_nodes=arrays["arrival_nodes"],
+        )
+
+
+# --------------------------------------------------------------------------
+# format dispatch
+# --------------------------------------------------------------------------
+
+
+def detect_format(path: Union[str, Path]) -> str:
+    """Infer the codec from a path suffix (``.npz`` -> npz, else jsonl)."""
+    return "npz" if Path(path).suffix == ".npz" else "jsonl"
+
+
+def save_frame(
+    frame: Union[Trace, TraceFrame],
+    path: Union[str, Path],
+    fmt: Optional[str] = None,
+) -> None:
+    """Write a trace/frame in the requested (or suffix-inferred) format."""
+    fmt = fmt or detect_format(path)
+    frame = as_frame(frame)
+    if fmt == "jsonl":
+        save_frame_jsonl(frame, path)
+    elif fmt == "npz":
+        save_frame_npz(frame, path)
+    else:
+        raise ValueError(f"unknown trace format {fmt!r}; expected {FORMATS}")
+
+
+def load_frame(path: Union[str, Path], fmt: Optional[str] = None) -> TraceFrame:
+    """Read a frame in the requested (or suffix-inferred) format."""
+    fmt = fmt or detect_format(path)
+    if fmt == "jsonl":
+        return load_frame_jsonl(path)
+    if fmt == "npz":
+        return load_frame_npz(path)
+    raise ValueError(f"unknown trace format {fmt!r}; expected {FORMATS}")
+
+
+# --------------------------------------------------------------------------
+# CSV export
+# --------------------------------------------------------------------------
+
+
+def export_snapshots_csv(
+    trace: Union[Trace, TraceFrame], path: Union[str, Path]
+) -> None:
     """Write the snapshot matrix as CSV with named metric columns."""
+    frame = as_frame(trace)
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with path.open("w", encoding="utf-8", newline="") as fh:
@@ -117,13 +277,13 @@ def export_snapshots_csv(trace: Trace, path: Union[str, Path]) -> None:
         writer.writerow(
             ["node_id", "epoch", "generated_at", "received_at", *METRIC_NAMES]
         )
-        for row in trace.rows:
+        for i in range(len(frame)):
             writer.writerow(
                 [
-                    row.node_id,
-                    row.epoch,
-                    f"{row.generated_at:.3f}",
-                    f"{row.received_at:.3f}",
-                    *[f"{v:.6g}" for v in row.values],
+                    int(frame.node_ids[i]),
+                    int(frame.epochs[i]),
+                    f"{frame.generated_at[i]:.3f}",
+                    f"{frame.received_at[i]:.3f}",
+                    *[f"{v:.6g}" for v in frame.values[i]],
                 ]
             )

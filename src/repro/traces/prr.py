@@ -9,15 +9,24 @@ the sink PRR the way the paper observes.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.traces.frame import TraceFrame
 from repro.traces.records import Trace
 
 
+def _arrival_times(trace: Union[Trace, TraceFrame]) -> np.ndarray:
+    """Arrival timestamps as one float array (no tuple materialization)."""
+    columnar = getattr(trace, "arrival_times", None)
+    if columnar is not None:
+        return np.asarray(columnar, dtype=float)
+    return np.array([t for t, _ in trace.arrivals], dtype=float)
+
+
 def prr_series(
-    trace: Trace,
+    trace: Union[Trace, TraceFrame],
     bin_seconds: float = 3600.0,
     n_sensor_nodes: Optional[int] = None,
     start: Optional[float] = None,
@@ -39,19 +48,19 @@ def prr_series(
     if n_sensor_nodes is None:
         n_nodes = int(trace.metadata.get("n_nodes", 0))
         n_sensor_nodes = max(1, n_nodes - 1)
+    arrival_times = _arrival_times(trace)
     if start is None:
         start = 0.0
     if end is None:
         end = float(trace.metadata.get("sim_end", 0.0))
-        if end <= start and trace.arrivals:
-            end = max(t for t, _ in trace.arrivals)
+        if end <= start and arrival_times.size:
+            end = float(arrival_times.max())
     if end <= start:
         return np.array([]), np.array([])
 
     edges = np.arange(start, end + bin_seconds, bin_seconds)
     if len(edges) < 2:
         return np.array([]), np.array([])
-    arrival_times = np.array([t for t, _ in trace.arrivals], dtype=float)
     counts, _ = np.histogram(arrival_times, bins=edges)
     expected_per_bin = 3.0 * n_sensor_nodes * (bin_seconds / period)
     prr = np.clip(counts / expected_per_bin, 0.0, 1.0)
@@ -60,7 +69,7 @@ def prr_series(
 
 
 def latency_series(
-    trace: Trace,
+    trace: Union[Trace, TraceFrame],
     bin_seconds: float = 3600.0,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """End-to-end snapshot latency over time.
@@ -74,10 +83,14 @@ def latency_series(
         ``(bin_centers, median_latency_s)``; bins without snapshots carry
         NaN.
     """
-    if not trace.rows:
+    if len(trace) == 0:
         return np.array([]), np.array([])
-    generated = np.array([r.generated_at for r in trace.rows])
-    latencies = np.array([r.received_at - r.generated_at for r in trace.rows])
+    if isinstance(trace, TraceFrame):
+        generated = trace.generated_at
+        latencies = trace.received_at - trace.generated_at
+    else:
+        generated = np.array([r.generated_at for r in trace.rows])
+        latencies = np.array([r.received_at - r.generated_at for r in trace.rows])
     start = float(generated.min())
     end = float(generated.max()) + bin_seconds
     edges = np.arange(start, end + bin_seconds, bin_seconds)

@@ -9,7 +9,7 @@ never sees it), and the generation metadata needed to interpret timestamps.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -123,47 +123,28 @@ class Trace:
             g for g in self.ground_truth if g.start < end and g.end >= start
         ]
 
+    def to_frame(self):
+        """Columnarize into a :class:`repro.traces.frame.TraceFrame`.
+
+        The conversion is lossless: ``trace.to_frame().to_trace()`` gives
+        back bit-identical snapshot values, ordering and accounting.
+        """
+        from repro.traces.frame import TraceFrame
+
+        return TraceFrame.from_trace(self)
+
 
 def trace_from_network(network, metadata: Optional[Dict[str, object]] = None) -> Trace:
     """Extract a :class:`Trace` from a finished simulation.
+
+    This is the legacy object-shaped view; it materializes the columnar
+    :func:`repro.traces.frame.frame_from_network` extraction once at the
+    boundary.
 
     Args:
         network: A :class:`repro.simnet.network.Network` that has been run.
         metadata: Extra metadata to record alongside the run parameters.
     """
-    rows: List[SnapshotRow] = []
-    for timeline in network.collector.timelines.values():
-        for snap in timeline.snapshots:
-            rows.append(
-                SnapshotRow(
-                    node_id=snap.node_id,
-                    epoch=snap.epoch,
-                    generated_at=snap.generated_at,
-                    received_at=snap.received_at,
-                    values=snap.values,
-                )
-            )
-    meta: Dict[str, object] = {
-        "report_period_s": network.config.report_period_s,
-        "day_seconds": network.config.day_seconds,
-        "seed": network.config.seed,
-        "n_nodes": len(network.topology),
-        "sink_id": network.topology.sink_id,
-        "sim_end": network.sim.now(),
-    }
-    if metadata:
-        meta.update(metadata)
-    return Trace(
-        rows=rows,
-        metadata=meta,
-        ground_truth=[
-            GroundTruth(g.kind, tuple(g.node_ids), g.start, g.end)
-            for g in network.ground_truth
-        ],
-        packets_generated=network.stats.packets_generated,
-        packets_received=network.collector.packets_received,
-        arrivals=[
-            (received_at, node_id)
-            for (node_id, _epoch, _cls, received_at) in network.collector.arrival_log
-        ],
-    )
+    from repro.traces.frame import frame_from_network
+
+    return frame_from_network(network, metadata).to_trace()

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import enum
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Sequence
 
 import numpy as np
 
@@ -25,7 +25,8 @@ from repro.simnet.faults import FaultInjector, NodeFailure, NodeReboot
 from repro.simnet.network import Network, NetworkConfig
 from repro.simnet.radio import RadioParams
 from repro.simnet.topology import Topology, grid_topology
-from repro.traces.records import Trace, trace_from_network
+from repro.traces.frame import TraceFrame, frame_from_network
+from repro.traces.records import Trace
 
 
 class TestbedScenario(enum.Enum):
@@ -122,7 +123,7 @@ def build_failure_schedule(
     return faults
 
 
-def generate_testbed_trace(
+def generate_testbed_frame(
     scenario: TestbedScenario = TestbedScenario.EXPANSIVE,
     seed: int = 7,
     duration_s: float = 7200.0,
@@ -131,8 +132,8 @@ def generate_testbed_trace(
     rows: int = 9,
     cols: int = 5,
     spacing_m: float = 8.0,
-) -> Trace:
-    """Run the testbed experiment and return its trace.
+) -> TraceFrame:
+    """Run the testbed experiment and return its trace as a frame.
 
     The trace covers ``warmup_s + duration_s`` simulated seconds; failures
     and reboots start after the warmup (the tree needs time to form), every
@@ -153,7 +154,7 @@ def generate_testbed_trace(
     FaultInjector(faults).install(network)
     network.run(warmup_s + duration_s)
 
-    return trace_from_network(
+    return frame_from_network(
         network,
         metadata={
             "kind": "testbed",
@@ -168,3 +169,26 @@ def generate_testbed_trace(
             },
         },
     )
+
+
+def generate_testbed_trace(
+    scenario: TestbedScenario = TestbedScenario.EXPANSIVE,
+    seed: int = 7,
+    duration_s: float = 7200.0,
+    warmup_s: float = 1200.0,
+    report_period_s: float = 180.0,
+    rows: int = 9,
+    cols: int = 5,
+    spacing_m: float = 8.0,
+) -> Trace:
+    """Legacy shim: :func:`generate_testbed_frame` as a :class:`Trace`."""
+    return generate_testbed_frame(
+        scenario=scenario,
+        seed=seed,
+        duration_s=duration_s,
+        warmup_s=warmup_s,
+        report_period_s=report_period_s,
+        rows=rows,
+        cols=cols,
+        spacing_m=spacing_m,
+    ).to_trace()
