@@ -1,22 +1,73 @@
 """Benchmark fixtures: traces and trained models, built once per session.
 
-CitySee-profile traces are additionally cached on disk (keyed by their
-parameters), so only the first-ever benchmark run pays simulation cost for
-them.  Each bench prints the same rows/series the paper's table or figure
-reports; run with ``pytest benchmarks/ --benchmark-only -s`` to see them.
+Trace fixtures resolve through the scenario runner
+(:func:`repro.runner.run_jobs`), which spools into the shared on-disk
+cache (keyed by parameters), so only the first-ever benchmark run pays
+simulation cost.  Set ``VN2_BENCH_JOBS=N`` to warm a cold cache in
+parallel: the first trace request then submits the *whole* grid the suite
+needs as one ``N``-worker run (bit-identical to serial generation) before
+the individual fixtures load their entries.  Each bench prints the same
+rows/series the paper's table or figure reports; run with
+``pytest benchmarks/ --benchmark-only -s`` to see them.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+_grid_warmed = False
+
+
+def bench_workers() -> int:
+    """Worker count for benchmark trace generation (``VN2_BENCH_JOBS``)."""
+    return int(os.environ.get("VN2_BENCH_JOBS", "1"))
+
+
+def _grid_jobs() -> dict:
+    """Every simulator run the benchmark suite's fixtures share."""
+    import dataclasses
+
+    from repro.runner import CitySeeJob, TestbedJob
+    from repro.traces.citysee import CitySeeProfile
+    from repro.traces.testbed import TestbedScenario
+
+    small = CitySeeProfile.small()
+    return {
+        "citysee_small": CitySeeJob(small),
+        "citysee_medium": CitySeeJob(CitySeeProfile.medium()),
+        "citysee_episode": CitySeeJob(
+            dataclasses.replace(small, days=14.0),
+            episode=True, episode_days=(6.0, 8.0),
+        ),
+        "testbed_expansive": TestbedJob(
+            scenario=TestbedScenario.EXPANSIVE, seed=7
+        ),
+        "testbed_local": TestbedJob(scenario=TestbedScenario.LOCAL, seed=7),
+    }
+
+
+def _bench_frame(key: str):
+    """One shared trace, via the runner (parallel cache warm-up if asked)."""
+    global _grid_warmed
+
+    from repro.runner import run_jobs
+
+    jobs = _grid_jobs()
+    workers = bench_workers()
+    if workers > 1 and not _grid_warmed:
+        # One parallel pass spools every trace the suite needs into the
+        # cache; the per-fixture runs below are then pure cache hits.
+        run_jobs(list(jobs.values()), n_workers=workers)
+        _grid_warmed = True
+    return run_jobs([jobs[key]], n_workers=1).frames()[0]
 
 
 @pytest.fixture(scope="session")
 def citysee_trace():
     """Small CitySee training frame (no episode), disk-cached."""
-    from repro.traces.citysee import CitySeeProfile, generate_citysee_frame
-
-    return generate_citysee_frame(CitySeeProfile.small(), episode=False)
+    return _bench_frame("citysee_small")
 
 
 @pytest.fixture(scope="session")
@@ -26,20 +77,13 @@ def citysee_default_trace():
     Used by the paired end-to-end fit benches: the speedup acceptance gate
     is stated against ``generate_citysee_frame()``'s default profile.
     """
-    from repro.traces.citysee import generate_citysee_frame
-
-    return generate_citysee_frame()
+    return _bench_frame("citysee_medium")
 
 
 @pytest.fixture(scope="session")
 def citysee_episode_trace():
     """14-day small CitySee frame with the degradation episode, disk-cached."""
-    import dataclasses
-
-    from repro.traces.citysee import CitySeeProfile, generate_citysee_frame
-
-    profile = dataclasses.replace(CitySeeProfile.small(), days=14.0)
-    return generate_citysee_frame(profile, episode=True, episode_days=(6.0, 8.0))
+    return _bench_frame("citysee_episode")
 
 
 @pytest.fixture(scope="session")
@@ -53,16 +97,12 @@ def citysee_tool(citysee_trace):
 
 @pytest.fixture(scope="session")
 def testbed_trace_expansive():
-    from repro.traces.testbed import TestbedScenario, generate_testbed_frame
-
-    return generate_testbed_frame(TestbedScenario.EXPANSIVE, seed=7)
+    return _bench_frame("testbed_expansive")
 
 
 @pytest.fixture(scope="session")
 def testbed_trace_local():
-    from repro.traces.testbed import TestbedScenario, generate_testbed_frame
-
-    return generate_testbed_frame(TestbedScenario.LOCAL, seed=7)
+    return _bench_frame("testbed_local")
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,100 @@
+"""R2 — the scenario runner, paired: parallel sweep vs serial sweep.
+
+A 4-job CitySee seed sweep (cache disabled, so both arms pay full
+simulation cost) is generated twice: inline with one worker, then
+sharded across a 4-worker process pool.  The parallel arm must return
+**bit-identical** frames — that assertion runs on any machine — and on
+hardware with at least 4 cores it must be at least 2x faster wall-clock,
+the acceptance gate for the process-pool engine.  The per-job timing
+table (worker pids, per-run seconds) is printed for both arms.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.runner import citysee_seed_sweep, run_jobs
+from repro.traces.citysee import CitySeeProfile
+
+N_SWEEP_JOBS = 4
+SPEEDUP_GATE = 2.0
+
+_COLUMNS = (
+    "node_ids", "epochs", "generated_at", "received_at",
+    "values", "arrival_times", "arrival_nodes",
+)
+
+
+def _sweep_jobs():
+    return citysee_seed_sweep(
+        CitySeeProfile.tiny(days=0.75), N_SWEEP_JOBS, namespace="bench"
+    )
+
+
+@pytest.fixture(scope="module")
+def paired_reports():
+    """Both arms, run once: (serial report, parallel report)."""
+    jobs = _sweep_jobs()
+    serial = run_jobs(jobs, n_workers=1, use_cache=False)
+    parallel = run_jobs(jobs, n_workers=N_SWEEP_JOBS, use_cache=False)
+    assert serial.ok and parallel.ok
+    return serial, parallel
+
+
+def test_bench_runner_parallel_bit_identical(benchmark, paired_reports):
+    serial, parallel = paired_reports
+    checked = benchmark.pedantic(
+        lambda: [
+            [
+                np.array_equal(getattr(s, c), getattr(p, c))
+                for c in _COLUMNS
+            ]
+            for s, p in zip(serial.frames(), parallel.frames())
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    print("\n=== Scenario runner: serial arm ===")
+    print(serial.to_text())
+    print("=== Scenario runner: parallel arm ===")
+    print(parallel.to_text())
+    assert all(all(row) for row in checked)
+    # The parallel arm really crossed process boundaries.
+    worker_pids = {r.pid for r in parallel.results}
+    assert os.getpid() not in worker_pids
+    assert len(worker_pids) > 1 or (os.cpu_count() or 1) == 1
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="speedup gate needs a 4+-core machine",
+)
+def test_bench_runner_speedup_at_least_2x(paired_reports):
+    serial, parallel = paired_reports
+    speedup = serial.total_seconds / max(parallel.total_seconds, 1e-9)
+    print(
+        f"\n=== Scenario runner speedup ===\n"
+        f"serial   {serial.total_seconds:7.2f}s\n"
+        f"parallel {parallel.total_seconds:7.2f}s  ({speedup:.2f}x)"
+    )
+    assert speedup >= SPEEDUP_GATE
+
+
+def test_bench_runner_pool_spinup_overhead(benchmark):
+    """Pool spin-up + spool of an already-cached 2-job grid (hot path).
+
+    Keeps an eye on the fixed cost a ``--jobs N`` flag adds when the
+    cache is warm: it should stay well under one simulated run.
+    """
+    jobs = _sweep_jobs()[:2]
+    run_jobs(jobs, n_workers=1)  # warm the cache entries
+
+    start = time.perf_counter()
+    report = benchmark.pedantic(
+        lambda: run_jobs(jobs, n_workers=2), rounds=1, iterations=1
+    )
+    elapsed = time.perf_counter() - start
+    assert report.ok and len(report.frames()) == 2
+    print(f"\nwarm-cache 2-job pool round trip: {elapsed:.2f}s")

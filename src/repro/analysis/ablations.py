@@ -10,7 +10,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -21,6 +21,7 @@ from repro.core.normalization import MinMaxNormalizer
 from repro.core.pipeline import VN2, VN2Config
 from repro.core.sparsify import sparsify_weights
 from repro.core.states import build_states
+from repro.traces.citysee import CitySeeProfile
 from repro.traces.records import Trace
 
 
@@ -161,3 +162,66 @@ def exp_ablation_sparsify(
             )
         )
     return SparsifyAblationResult(points=points, dense_accuracy=result.loss)
+
+
+# ----------------------------------------------------------------------
+# multi-seed ablation suite (runner-driven)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class AblationSuiteResult:
+    """Both ablations over a seed sweep, one trace per derived seed."""
+
+    seeds: List[int]
+    filter_results: List[FilterAblationResult]
+    sparsify_results: List[SparsifyAblationResult]
+
+    def mean_filter_gap(self) -> float:
+        """Mean (filter-off − filter-on) exception reconstruction error."""
+        gaps = [
+            r.without_filter.exception_reconstruction_error
+            - r.with_filter.exception_reconstruction_error
+            for r in self.filter_results
+        ]
+        return float(np.mean(gaps)) if gaps else 0.0
+
+    def to_text(self) -> str:
+        blocks = []
+        for seed, filt, spar in zip(
+            self.seeds, self.filter_results, self.sparsify_results
+        ):
+            blocks.append(f"--- seed {seed} ---")
+            blocks.append(filt.to_text())
+            blocks.append(spar.to_text())
+        blocks.append(
+            f"mean filter gap (off - on) over {len(self.seeds)} seeds: "
+            f"{self.mean_filter_gap():+.3f}"
+        )
+        return "\n".join(blocks)
+
+
+def exp_ablation_suite(
+    profile: Optional[CitySeeProfile] = None,
+    rank: int = 15,
+    n_seeds: int = 2,
+    jobs: int = 1,
+    use_cache: bool = True,
+) -> AblationSuiteResult:
+    """Run both ablations across a seed sweep of CitySee traces.
+
+    The per-seed traces are independent simulator runs; the grid is
+    submitted to the scenario runner, so ``jobs=n_seeds`` generates them
+    concurrently with bit-identical results.
+    """
+    from repro.runner import citysee_seed_sweep, run_jobs
+
+    profile = profile or CitySeeProfile.small()
+    sweep = citysee_seed_sweep(profile, n_seeds, namespace="ablation")
+    report = run_jobs(sweep, n_workers=jobs, use_cache=use_cache)
+    frames = report.frames()
+    return AblationSuiteResult(
+        seeds=[job.profile.seed for job in sweep],
+        filter_results=[exp_ablation_filter(f, rank=rank) for f in frames],
+        sparsify_results=[exp_ablation_sparsify(f, rank=rank) for f in frames],
+    )

@@ -14,8 +14,7 @@ the loop/contention/failure families (6c).
 
 from __future__ import annotations
 
-import dataclasses
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
@@ -24,7 +23,7 @@ from repro.analysis.reporting import format_series, format_table
 from repro.core.interpretation import RootCauseLabel
 from repro.core.pipeline import VN2, VN2Config
 from repro.core.states import build_states
-from repro.traces.citysee import CitySeeProfile, generate_citysee_frame
+from repro.traces.citysee import CitySeeProfile
 from repro.traces.frame import TraceFrame
 from repro.traces.prr import degraded_windows, prr_series
 from repro.traces.records import Trace
@@ -214,18 +213,23 @@ def run_citysee_study(
     profile: Optional[CitySeeProfile] = None,
     rank: int = 25,
     use_cache: bool = True,
+    jobs: int = 1,
 ) -> Tuple[VN2, TraceFrame, Fig6aResult, Fig6bResult, Fig6cResult]:
     """The full Fig 6 chain: train on clean days, diagnose the episode.
 
     Runs entirely on the columnar frame path — no per-snapshot objects
-    are materialized anywhere in the study.
+    are materialized anywhere in the study.  The training and episode
+    runs are independent simulations, submitted as a two-job grid to the
+    scenario runner; ``jobs=2`` generates them concurrently with
+    bit-identical results.
     """
+    from repro.runner import citysee_study_jobs, run_jobs
+
     profile = profile or CitySeeProfile.medium()
-    training = generate_citysee_frame(profile, episode=False, use_cache=use_cache)
-    episode_profile = dataclasses.replace(profile, days=14.0)
-    episode_trace = generate_citysee_frame(
-        episode_profile, episode=True, episode_days=(6.0, 8.0), use_cache=use_cache
+    report = run_jobs(
+        citysee_study_jobs(profile), n_workers=jobs, use_cache=use_cache
     )
+    training, episode_trace = report.frames()
     tool = VN2(VN2Config(rank=rank)).fit(training)
     fig6a = exp_fig6a(episode_trace)
     fig6b = exp_fig6b(tool, episode_trace)

@@ -27,11 +27,33 @@ from repro.core.states import StateMatrix, build_states
 from repro.metrics.catalog import METRIC_INDEX
 from repro.traces.frame import TraceFrame
 from repro.traces.records import Trace
-from repro.traces.testbed import TestbedScenario, generate_testbed_frame
+from repro.traces.testbed import TestbedScenario
 
 TESTBED_RANK = 10
 
 TraceLike = Union[Trace, TraceFrame]
+
+
+def generate_scenario_frames(
+    scenarios: Sequence[TestbedScenario],
+    seed: int = 7,
+    jobs: int = 1,
+    use_cache: bool = False,
+) -> Dict[TestbedScenario, TraceFrame]:
+    """Generate one testbed frame per scenario through the scenario runner.
+
+    The scenarios are independent simulations, so they shard cleanly
+    across ``jobs`` pool workers; output is bit-identical to serial
+    generation either way.
+    """
+    from repro.runner import run_jobs, testbed_scenario_jobs
+
+    report = run_jobs(
+        testbed_scenario_jobs(scenarios, seed=seed),
+        n_workers=jobs,
+        use_cache=use_cache,
+    )
+    return dict(zip(scenarios, report.frames()))
 
 
 def train_test_split(trace: TraceLike) -> Tuple[TraceLike, TraceLike]:
@@ -316,10 +338,13 @@ def exp_fig5hi(
     seed: int = 7,
     rank: int = TESTBED_RANK,
     trace: Optional[TraceLike] = None,
+    jobs: int = 1,
 ) -> Fig5hiResult:
     """Fig 5(h) or 5(i): do test states reuse the training root causes?"""
     if trace is None:
-        trace = generate_testbed_frame(scenario, seed=seed)
+        trace = generate_scenario_frames([scenario], seed=seed, jobs=jobs)[
+            scenario
+        ]
     train, test = train_test_split(trace)
     tool = fit_testbed_tool(train, rank)
     train_w = sparsify_inferred(tool.correlation_strengths(tool.states_))
@@ -346,3 +371,22 @@ def exp_fig5hi(
         profile_correlation=correlation,
         profile_distance=distance,
     )
+
+
+def exp_fig5hi_both(
+    seed: int = 7,
+    rank: int = TESTBED_RANK,
+    jobs: int = 1,
+) -> Dict[TestbedScenario, Fig5hiResult]:
+    """Fig 5(h) *and* 5(i) from one two-scenario grid.
+
+    Both scenario traces are generated through the scenario runner in a
+    single submission, so ``jobs=2`` runs them concurrently.
+    """
+    frames = generate_scenario_frames(
+        list(TestbedScenario), seed=seed, jobs=jobs
+    )
+    return {
+        scenario: exp_fig5hi(scenario, seed=seed, rank=rank, trace=frame)
+        for scenario, frame in frames.items()
+    }

@@ -9,6 +9,15 @@ Commands:
 * ``vn2 diagnose`` — diagnose a saved trace (or window of it) with a saved
   model.
 * ``vn2 experiment`` — run one of the paper's figure/table harnesses.
+* ``vn2 sweep`` — run a multi-seed scenario sweep through the parallel
+  runner and score every deployment against its fault schedule.
+
+Commands that generate more than one independent simulator run accept
+``--jobs N`` to shard the runs across a process pool (output is
+bit-identical to serial).  ``train`` and ``evaluate`` also accept
+generator specs (``citysee:small``, ``citysee:small:episode``,
+``testbed:expansive``) in place of a trace path — the trace is generated
+through the runner's cache instead of loaded from a file.
 """
 
 from __future__ import annotations
@@ -17,7 +26,47 @@ import argparse
 import sys
 from typing import List, Optional
 
-import numpy as np
+
+_CITYSEE_PROFILES = ("tiny", "small", "medium", "full")
+
+
+def _resolve_trace(arg: str, fmt: Optional[str], jobs: int = 1):
+    """Load a trace file, or generate one from a ``kind:variant`` spec.
+
+    Specs route through the scenario runner (and its NPZ cache):
+    ``citysee:<profile>[:episode]`` or ``testbed:<scenario>``.  Anything
+    else is treated as a path.
+    """
+    from repro.traces.io import load_frame
+
+    head = arg.split(":", 1)[0]
+    if head not in ("citysee", "testbed"):
+        return load_frame(arg, fmt=fmt)
+
+    import dataclasses
+
+    from repro.runner import CitySeeJob, TestbedJob, run_jobs
+    from repro.traces.citysee import CitySeeProfile
+    from repro.traces.testbed import TestbedScenario
+
+    parts = arg.split(":")
+    if head == "citysee":
+        variant = parts[1] if len(parts) > 1 else "small"
+        if variant not in _CITYSEE_PROFILES:
+            raise SystemExit(
+                f"unknown citysee profile {variant!r}; "
+                f"expected one of {_CITYSEE_PROFILES}"
+            )
+        profile = getattr(CitySeeProfile, variant)()
+        episode = len(parts) > 2 and parts[2] == "episode"
+        if episode:
+            profile = dataclasses.replace(profile, days=14.0)
+        job = CitySeeJob(profile, episode=episode)
+    else:
+        scenario = TestbedScenario(parts[1] if len(parts) > 1 else "expansive")
+        job = TestbedJob(scenario=scenario)
+    report = run_jobs([job], n_workers=jobs)
+    return report.frames()[0]
 
 
 def _cmd_simulate_testbed(args: argparse.Namespace) -> int:
@@ -62,9 +111,8 @@ def _cmd_simulate_citysee(args: argparse.Namespace) -> int:
 
 def _cmd_train(args: argparse.Namespace) -> int:
     from repro.core.pipeline import VN2, VN2Config
-    from repro.traces.io import load_frame
 
-    frame = load_frame(args.trace, fmt=args.format)
+    frame = _resolve_trace(args.trace, args.format, jobs=args.jobs)
     config = VN2Config(
         rank=args.rank,
         filter_exceptions=not args.no_filter,
@@ -166,9 +214,8 @@ def _cmd_node_report(args: argparse.Namespace) -> int:
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     from repro.analysis.evaluation import evaluate_diagnoses, threshold_sweep
     from repro.core.pipeline import VN2, VN2Config
-    from repro.traces.io import load_frame
 
-    trace = load_frame(args.trace, fmt=args.format)
+    trace = _resolve_trace(args.trace, args.format, jobs=args.jobs)
     if not trace.ground_truth:
         print("trace has no ground-truth fault schedule; nothing to score",
               file=sys.stderr)
@@ -196,29 +243,37 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
         print(exp_baselines().to_text())
         return 0
-    if name in ("fig5b", "fig5g", "fig5h", "fig5i"):
+    if name in ("fig5b", "fig5g", "fig5h", "fig5i", "fig5hi"):
         from repro.analysis.testbed_experiments import (
             exp_fig5b,
             exp_fig5g,
             exp_fig5hi,
+            exp_fig5hi_both,
+            generate_scenario_frames,
         )
-        from repro.traces.testbed import TestbedScenario, generate_testbed_frame
+        from repro.traces.testbed import TestbedScenario
 
         if name in ("fig5b", "fig5g"):
-            trace = generate_testbed_frame(TestbedScenario.EXPANSIVE, seed=args.seed)
+            trace = generate_scenario_frames(
+                [TestbedScenario.EXPANSIVE], seed=args.seed, jobs=args.jobs
+            )[TestbedScenario.EXPANSIVE]
             fig5b = exp_fig5b(trace)
             if name == "fig5b":
                 print(fig5b.to_text())
             else:
                 print(exp_fig5g(fig5b.tool, trace).to_text())
+        elif name == "fig5hi":
+            results = exp_fig5hi_both(seed=args.seed, jobs=args.jobs)
+            for result in results.values():
+                print(result.to_text(), "\n")
         else:
             scenario = (
                 TestbedScenario.LOCAL if name == "fig5h" else TestbedScenario.EXPANSIVE
             )
-            print(exp_fig5hi(scenario, seed=args.seed).to_text())
+            print(exp_fig5hi(scenario, seed=args.seed, jobs=args.jobs).to_text())
         return 0
     if name in ("fig3a", "fig3b", "fig3c", "fig4", "fig6", "ablation-filter",
-                "ablation-sparsify"):
+                "ablation-sparsify", "ablation-suite"):
         from repro.traces.citysee import CitySeeProfile, generate_citysee_frame
 
         profile = {
@@ -230,10 +285,21 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         if name == "fig6":
             from repro.analysis.citysee_experiments import run_citysee_study
 
-            _tool, _trace, f6a, f6b, f6c = run_citysee_study(profile)
+            _tool, _trace, f6a, f6b, f6c = run_citysee_study(
+                profile, jobs=args.jobs
+            )
             print(f6a.to_text(), "\n")
             print(f6b.to_text(), "\n")
             print(f6c.to_text())
+            return 0
+        if name == "ablation-suite":
+            from repro.analysis.ablations import exp_ablation_suite
+
+            print(
+                exp_ablation_suite(
+                    profile, n_seeds=args.n_seeds, jobs=args.jobs
+                ).to_text()
+            )
             return 0
         trace = generate_citysee_frame(profile, episode=False)
         if name == "fig3a":
@@ -266,6 +332,33 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 2
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.evaluation import evaluate_seed_sweep
+    from repro.traces.citysee import CitySeeProfile
+
+    profile = {
+        "tiny": CitySeeProfile.tiny,
+        "small": CitySeeProfile.small,
+        "medium": CitySeeProfile.medium,
+        "full": CitySeeProfile.full,
+    }[args.profile](seed=args.seed)
+    result = evaluate_seed_sweep(
+        profile,
+        n_seeds=args.n_seeds,
+        rank=args.rank,
+        min_strength=args.min_strength,
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+    )
+    if result.run_report is not None:
+        print(result.run_report.to_text())
+        print()
+        if args.timings:
+            result.run_report.write_timings(args.timings)
+    print(result.to_text())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -278,6 +371,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--format", choices=["jsonl", "npz"], default=None,
             help=f"trace codec to {verb} (default: inferred from extension)",
+        )
+
+    def add_jobs_option(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--jobs", type=int, default=1, metavar="N",
+            help="process-pool workers for independent simulator runs "
+                 "(1 = serial; output is bit-identical either way)",
         )
 
     p = sub.add_parser("simulate-testbed", help="run the 45-node testbed experiment")
@@ -301,7 +401,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_simulate_citysee)
 
     p = sub.add_parser("train", help="fit a VN2 model from a saved trace")
-    p.add_argument("trace")
+    p.add_argument("trace",
+                   help="trace path, or a generator spec such as "
+                        "citysee:small, citysee:small:episode, "
+                        "testbed:expansive")
     p.add_argument("--rank", type=int, default=None,
                    help="compression factor r (default: automatic)")
     p.add_argument("--no-filter", action="store_true",
@@ -312,6 +415,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print per-stage wall-clock "
                         "(states/exceptions/NMF/sparsify/NNLS)")
     add_format_option(p, "load")
+    add_jobs_option(p)
     p.set_defaults(func=_cmd_train)
 
     p = sub.add_parser("diagnose", help="diagnose a saved trace with a model")
@@ -356,6 +460,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sweep", action="store_true",
                    help="also print the threshold operating curve")
     add_format_option(p, "load")
+    add_jobs_option(p)
     p.set_defaults(func=_cmd_evaluate)
 
     p = sub.add_parser("experiment", help="run one of the paper's harnesses")
@@ -363,15 +468,35 @@ def build_parser() -> argparse.ArgumentParser:
         "name",
         choices=[
             "table1", "fig3a", "fig3b", "fig3c", "fig4", "fig5b", "fig5g",
-            "fig5h", "fig5i", "fig6", "ablation-filter", "ablation-sparsify",
-            "baselines",
+            "fig5h", "fig5i", "fig5hi", "fig6", "ablation-filter",
+            "ablation-sparsify", "ablation-suite", "baselines",
         ],
     )
     p.add_argument("--profile", choices=["tiny", "small", "medium", "full"],
                    default="small")
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--quick", action="store_true")
+    p.add_argument("--n-seeds", type=int, default=2,
+                   help="seed-sweep width for ablation-suite")
+    add_jobs_option(p)
     p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser(
+        "sweep",
+        help="multi-seed CitySee sweep through the parallel runner, "
+             "scored against ground truth",
+    )
+    p.add_argument("--profile", choices=["tiny", "small", "medium", "full"],
+                   default="small")
+    p.add_argument("--seed", type=int, default=2011)
+    p.add_argument("--n-seeds", type=int, default=4)
+    p.add_argument("--rank", type=int, default=None)
+    p.add_argument("--min-strength", type=float, default=0.2)
+    p.add_argument("--no-cache", action="store_true")
+    p.add_argument("--timings", default=None, metavar="FILE",
+                   help="write per-job timing JSON (CI artifact format)")
+    add_jobs_option(p)
+    p.set_defaults(func=_cmd_sweep)
 
     return parser
 

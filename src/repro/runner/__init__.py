@@ -1,0 +1,44 @@
+"""Parallel scenario engine: shard independent simulator runs over processes.
+
+Public surface::
+
+    from repro.runner import CitySeeJob, TestbedJob, run_jobs
+
+    report = run_jobs(jobs, n_workers=4)   # bit-identical to n_workers=1
+    frames = report.frames()               # submission order
+    print(report.to_text())                # per-job timings / pids
+"""
+
+from repro.runner.engine import (
+    JobResult,
+    RunnerError,
+    RunReport,
+    execute_job,
+    run_jobs,
+)
+from repro.runner.jobs import (
+    CitySeeJob,
+    JobSpec,
+    TestbedJob,
+    citysee_seed_sweep,
+    citysee_study_jobs,
+    job_cache_path,
+    sweep_seeds,
+    testbed_scenario_jobs,
+)
+
+__all__ = [
+    "CitySeeJob",
+    "JobResult",
+    "JobSpec",
+    "RunReport",
+    "RunnerError",
+    "TestbedJob",
+    "citysee_seed_sweep",
+    "citysee_study_jobs",
+    "execute_job",
+    "job_cache_path",
+    "run_jobs",
+    "sweep_seeds",
+    "testbed_scenario_jobs",
+]

@@ -1,0 +1,263 @@
+"""Process-pool scenario engine.
+
+Every experiment in the reproduction is built from *independent*
+simulator runs — seed sweeps, CitySee training/episode pairs, the two
+testbed scenarios, ablation grids.  Each run is a pure function of its
+:mod:`job spec <repro.runner.jobs>` (all randomness flows through
+:class:`repro.simnet.rng.RngRegistry` from the job's seed), so a grid of
+jobs can be sharded across a ``ProcessPoolExecutor`` with **bit-identical
+output**: ``run_jobs(jobs, n_workers=4)`` returns exactly the frames
+``run_jobs(jobs, n_workers=1)`` would, column for column.
+
+Workers *spool* their frames into the shared NPZ trace cache (atomic
+rename on write — see :mod:`repro.traces.io`) and send back only the
+cache path, so large frames are never pickled through the result pipe and
+a warm cache entry is never recomputed.  With caching disabled the frame
+itself is returned.  Per-job wall-clock, worker pid and any worker-side
+traceback are captured on the :class:`JobResult`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.runner.jobs import CitySeeJob, JobSpec, TestbedJob, job_cache_path
+from repro.traces.frame import TraceFrame
+from repro.traces.io import load_frame_npz
+
+
+class RunnerError(RuntimeError):
+    """At least one job of a run failed; carries the per-job tracebacks."""
+
+
+def execute_job(
+    job: JobSpec,
+    use_cache: bool = True,
+    cache_dir: Optional[Path] = None,
+) -> TraceFrame:
+    """Run one job to a frame, in the current process.
+
+    This is the single dispatch point the pool workers and the serial
+    (``n_workers=1``) path share — both produce the same frame because the
+    generators derive every random stream from the job's own seed.
+    """
+    if isinstance(job, CitySeeJob):
+        from repro.traces.citysee import generate_citysee_frame
+
+        return generate_citysee_frame(
+            job.profile,
+            episode=job.episode,
+            episode_days=job.episode_days,
+            use_cache=use_cache,
+            cache_dir=cache_dir,
+        )
+    if isinstance(job, TestbedJob):
+        from repro.traces.testbed import generate_testbed_frame
+
+        return generate_testbed_frame(
+            scenario=job.scenario,
+            seed=job.seed,
+            duration_s=job.duration_s,
+            warmup_s=job.warmup_s,
+            report_period_s=job.report_period_s,
+            rows=job.rows,
+            cols=job.cols,
+            spacing_m=job.spacing_m,
+            use_cache=use_cache,
+            cache_dir=cache_dir,
+        )
+    raise TypeError(f"unknown job spec {type(job).__name__}")
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job: where its frame is, how long it took, and by whom."""
+
+    job: JobSpec
+    index: int
+    seconds: float = 0.0
+    pid: int = 0
+    path: Optional[str] = None  # spooled NPZ cache entry, when cached
+    error: Optional[str] = None  # worker-side traceback, when failed
+    _frame: Optional[TraceFrame] = field(default=None, repr=False)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def frame(self) -> TraceFrame:
+        """The job's trace frame (loaded lazily from the spooled NPZ)."""
+        if self.error is not None:
+            raise RunnerError(
+                f"job {self.index} ({self.job.describe()}) failed:\n{self.error}"
+            )
+        if self._frame is None:
+            assert self.path is not None
+            self._frame = load_frame_npz(self.path)
+        return self._frame
+
+
+@dataclass
+class RunReport:
+    """All job results of one :func:`run_jobs` call, in submission order."""
+
+    results: List[JobResult]
+    n_workers: int
+    total_seconds: float
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    def errors(self) -> List[JobResult]:
+        return [r for r in self.results if not r.ok]
+
+    def frames(self) -> List[TraceFrame]:
+        """Every job's frame, in submission order; raises if any failed."""
+        failed = self.errors()
+        if failed:
+            details = "\n---\n".join(
+                f"{r.job.describe()}:\n{r.error}" for r in failed
+            )
+            raise RunnerError(
+                f"{len(failed)}/{len(self.results)} jobs failed:\n{details}"
+            )
+        return [r.frame() for r in self.results]
+
+    def timings(self) -> Dict[str, object]:
+        """JSON-ready per-job timing record (the CI build artifact)."""
+        return {
+            "n_workers": self.n_workers,
+            "total_seconds": self.total_seconds,
+            "jobs": [
+                {
+                    "index": r.index,
+                    "job": r.job.describe(),
+                    "seconds": r.seconds,
+                    "pid": r.pid,
+                    "ok": r.ok,
+                }
+                for r in self.results
+            ],
+        }
+
+    def write_timings(self, path) -> None:
+        Path(path).parent.mkdir(parents=True, exist_ok=True)
+        Path(path).write_text(json.dumps(self.timings(), indent=2) + "\n")
+
+    def to_text(self) -> str:
+        lines = [
+            f"{len(self.results)} jobs, {self.n_workers} workers, "
+            f"{self.total_seconds:.2f}s wall"
+        ]
+        for r in self.results:
+            status = "ok" if r.ok else "FAILED"
+            lines.append(
+                f"  [{r.index}] {r.job.describe():<44s} "
+                f"{r.seconds:7.2f}s  pid={r.pid}  {status}"
+            )
+        return "\n".join(lines)
+
+
+def _run_one(
+    index: int,
+    job: JobSpec,
+    use_cache: bool,
+    cache_dir: Optional[str],
+    spool: bool,
+) -> JobResult:
+    """Worker body: execute one job, time it, capture any failure.
+
+    Top-level (picklable) so it serves both the pool workers and the
+    inline serial path.  When spooling, the frame stays on disk and only
+    the cache path crosses the process boundary.
+    """
+    directory = Path(cache_dir) if cache_dir else None
+    result = JobResult(job=job, index=index, pid=os.getpid())
+    start = time.perf_counter()
+    try:
+        frame = execute_job(job, use_cache=use_cache, cache_dir=directory)
+        if use_cache:
+            result.path = str(job_cache_path(job, directory))
+            if not spool:
+                result._frame = frame
+        else:
+            result._frame = frame
+    except Exception:
+        result.error = traceback.format_exc()
+    result.seconds = time.perf_counter() - start
+    return result
+
+
+def run_jobs(
+    jobs: Sequence[JobSpec],
+    n_workers: int = 1,
+    use_cache: bool = True,
+    cache_dir: Optional[Path] = None,
+) -> RunReport:
+    """Execute a grid of independent scenario jobs, possibly in parallel.
+
+    Args:
+        jobs: Job specs; results come back in the same order.
+        n_workers: ``<= 1`` runs inline (no pool, no subprocesses);
+            ``> 1`` shards across a ``ProcessPoolExecutor``.  Output is
+            bit-identical either way.
+        use_cache: Reuse/spool NPZ cache entries (recommended — workers
+            then return paths instead of pickling frames).
+        cache_dir: Cache location; defaults to the generators' default.
+
+    Returns:
+        A :class:`RunReport`; failed jobs carry their traceback in
+        ``result.error`` instead of raising, so one crashed worker does
+        not discard its siblings' finished runs.
+    """
+    jobs = list(jobs)
+    cache_dir_str = str(cache_dir) if cache_dir is not None else None
+    start = time.perf_counter()
+
+    if n_workers <= 1 or len(jobs) <= 1:
+        results = [
+            _run_one(i, job, use_cache, cache_dir_str, spool=False)
+            for i, job in enumerate(jobs)
+        ]
+        return RunReport(
+            results=results,
+            n_workers=1,
+            total_seconds=time.perf_counter() - start,
+        )
+
+    results: List[Optional[JobResult]] = [None] * len(jobs)
+    max_workers = min(n_workers, len(jobs))
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        future_index = {
+            pool.submit(_run_one, i, job, use_cache, cache_dir_str, True): i
+            for i, job in enumerate(jobs)
+        }
+        pending = set(future_index)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                i = future_index[future]
+                try:
+                    results[i] = future.result()
+                except Exception as exc:  # pool breakage, e.g. worker SIGKILL
+                    results[i] = JobResult(
+                        job=jobs[i],
+                        index=i,
+                        error=(
+                            "worker crashed before returning a result: "
+                            f"{exc!r}"
+                        ),
+                    )
+    return RunReport(
+        results=[r for r in results if r is not None],
+        n_workers=max_workers,
+        total_seconds=time.perf_counter() - start,
+    )

@@ -1,0 +1,142 @@
+"""Job specifications for the scenario engine.
+
+A *job* is the full description of one independent simulator run —
+everything :func:`repro.runner.engine.execute_job` needs to reproduce the
+run bit-for-bit, in this process or in a pool worker.  Job specs are
+frozen dataclasses so they are hashable, picklable and directly reusable
+as cache keys: the engine spools each finished job into the same NPZ
+cache entry a serial call with the same parameters would use.
+
+Seed sweeps are expanded with :func:`sweep_seeds`, which derives one
+deterministic child seed per index from the base seed through the same
+SHA-256 scheme :class:`repro.simnet.rng.RngRegistry` uses for its
+streams.  Sweep membership is therefore a pure function of
+``(base_seed, n)`` — identical whether the jobs later run serially or
+across a process pool.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.simnet.rng import derive_seed
+from repro.traces.citysee import CitySeeProfile, citysee_cache_paths
+from repro.traces.testbed import TestbedScenario, testbed_cache_paths
+
+
+@dataclass(frozen=True)
+class CitySeeJob:
+    """One CitySee-profile simulator run (Section V-B shape)."""
+
+    profile: CitySeeProfile
+    episode: bool = False
+    episode_days: Tuple[float, float] = (6.0, 8.0)
+
+    def describe(self) -> str:
+        tag = "episode" if self.episode else "training"
+        return (
+            f"citysee[{self.profile.n_nodes}n x {self.profile.days:g}d, "
+            f"seed={self.profile.seed}, {tag}]"
+        )
+
+
+@dataclass(frozen=True)
+class TestbedJob:
+    """One 9x5 testbed run (Section V-A shape)."""
+
+    __test__ = False  # a job spec, not a pytest "Test*" class
+
+    scenario: TestbedScenario = TestbedScenario.EXPANSIVE
+    seed: int = 7
+    duration_s: float = 7200.0
+    warmup_s: float = 1200.0
+    report_period_s: float = 180.0
+    rows: int = 9
+    cols: int = 5
+    spacing_m: float = 8.0
+
+    def describe(self) -> str:
+        return (
+            f"testbed[{self.scenario.value}, seed={self.seed}, "
+            f"{self.duration_s:g}s]"
+        )
+
+
+JobSpec = Union[CitySeeJob, TestbedJob]
+
+
+def job_cache_path(job: JobSpec, cache_dir: Optional[Path] = None) -> Path:
+    """The NPZ cache entry ``job`` reads and writes.
+
+    Reuses the generators' own keying, so runner workers and serial
+    library calls share one cache namespace and never recompute a run the
+    other already spooled.
+    """
+    if isinstance(job, CitySeeJob):
+        npz_path, _jsonl = citysee_cache_paths(
+            job.profile, job.episode, job.episode_days, cache_dir
+        )
+        return npz_path
+    if isinstance(job, TestbedJob):
+        return testbed_cache_paths(
+            job.scenario, job.seed, job.duration_s, job.warmup_s,
+            job.report_period_s, job.rows, job.cols, job.spacing_m,
+            cache_dir,
+        )
+    raise TypeError(f"unknown job spec {type(job).__name__}")
+
+
+# ----------------------------------------------------------------------
+# grid expansion helpers
+# ----------------------------------------------------------------------
+
+
+def sweep_seeds(base_seed: int, n: int, namespace: str = "sweep") -> List[int]:
+    """``n`` deterministic, distinct child seeds derived from ``base_seed``."""
+    return [derive_seed(base_seed, f"{namespace}.{i}") for i in range(n)]
+
+
+def citysee_seed_sweep(
+    profile: CitySeeProfile,
+    n_seeds: int,
+    episode: bool = False,
+    episode_days: Tuple[float, float] = (6.0, 8.0),
+    namespace: str = "sweep",
+) -> List[CitySeeJob]:
+    """One job per derived seed, all sharing ``profile``'s shape."""
+    return [
+        CitySeeJob(
+            dataclasses.replace(profile, seed=seed),
+            episode=episode,
+            episode_days=episode_days,
+        )
+        for seed in sweep_seeds(profile.seed, n_seeds, namespace)
+    ]
+
+
+def citysee_study_jobs(
+    profile: CitySeeProfile,
+    episode_days: Tuple[float, float] = (6.0, 8.0),
+    episode_total_days: float = 14.0,
+) -> List[CitySeeJob]:
+    """The Fig 6 pair: the training run and the 14-day episode run."""
+    return [
+        CitySeeJob(profile, episode=False),
+        CitySeeJob(
+            dataclasses.replace(profile, days=episode_total_days),
+            episode=True,
+            episode_days=episode_days,
+        ),
+    ]
+
+
+def testbed_scenario_jobs(
+    scenarios: Sequence[TestbedScenario],
+    seed: int = 7,
+    **params: float,
+) -> List[TestbedJob]:
+    """One job per testbed scenario at a shared seed."""
+    return [TestbedJob(scenario=s, seed=seed, **params) for s in scenarios]

@@ -278,9 +278,17 @@ class Node:
             self.schedule_service(self.network.config.no_parent_retry_s)
             return
         self._busy = True
-        self.network.transmit_data(self, parent, frame, self._on_tx_done)
+        gen = self._gen
+        self.network.transmit_data(
+            self, parent, frame,
+            lambda parent_id, result: self._on_tx_done(parent_id, result, gen),
+        )
 
-    def _on_tx_done(self, parent_id: int, result: TxResult) -> None:
+    def _on_tx_done(self, parent_id: int, result: TxResult, gen: int) -> None:
+        if gen != self._gen:
+            # The node died or rebooted while this frame was on the air:
+            # its queue (and _busy) were reset, so the outcome is moot.
+            return
         self._busy = False
         if not self.alive:
             return

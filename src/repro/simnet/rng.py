@@ -26,6 +26,21 @@ def _stream_seed(master_seed: int, name: str) -> np.random.SeedSequence:
     return np.random.SeedSequence(entropy=master_seed, spawn_key=(name_key,))
 
 
+def derive_seed(master_seed: int, name: str) -> int:
+    """A deterministic 63-bit child *master* seed for ``(master_seed, name)``.
+
+    Where :func:`_stream_seed` derives one generator inside a simulation,
+    this derives the master seed of a whole *sibling* simulation — the
+    scenario runner uses it to expand seed sweeps (``job.0``, ``job.1``,
+    ...) so that a sweep's membership is a pure function of the base seed,
+    identical whether jobs run serially or across a process pool.
+    """
+    digest = hashlib.sha256(
+        f"{int(master_seed)}:{name}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
 class RngRegistry:
     """Factory for named :class:`numpy.random.Generator` streams.
 
@@ -53,3 +68,7 @@ class RngRegistry:
         generator = np.random.default_rng(_stream_seed(self.seed, name))
         self._streams[name] = generator
         return generator
+
+    def derive(self, name: str) -> int:
+        """Child master seed for ``name`` (see :func:`derive_seed`)."""
+        return derive_seed(self.seed, name)

@@ -28,7 +28,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import List, Optional, Tuple
 
@@ -306,6 +306,23 @@ def default_cache_dir() -> Path:
     return Path.home() / ".cache" / "repro-vn2"
 
 
+def citysee_cache_paths(
+    profile: CitySeeProfile,
+    episode: bool = False,
+    episode_days: Tuple[float, float] = (6.0, 8.0),
+    cache_dir: Optional[Path] = None,
+) -> Tuple[Path, Path]:
+    """(npz, jsonl) cache paths for one CitySee run.
+
+    The key is a pure function of the generation parameters — the scenario
+    runner uses this to spool worker output into the same cache entries a
+    serial :func:`generate_citysee_frame` call would read and write.
+    """
+    directory = cache_dir or default_cache_dir()
+    stem = f"citysee-{_cache_key(profile, episode, episode_days)}"
+    return directory / f"{stem}.npz", directory / f"{stem}.jsonl"
+
+
 def generate_citysee_frame(
     profile: Optional[CitySeeProfile] = None,
     episode: bool = False,
@@ -331,10 +348,9 @@ def generate_citysee_frame(
     npz_path: Optional[Path] = None
     jsonl_path: Optional[Path] = None
     if use_cache:
-        directory = cache_dir or default_cache_dir()
-        stem = f"citysee-{_cache_key(profile, episode, episode_days)}"
-        npz_path = directory / f"{stem}.npz"
-        jsonl_path = directory / f"{stem}.jsonl"
+        npz_path, jsonl_path = citysee_cache_paths(
+            profile, episode, episode_days, cache_dir
+        )
         if npz_path.exists():
             return load_frame_npz(npz_path)
         if jsonl_path.exists():

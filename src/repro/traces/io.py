@@ -16,10 +16,13 @@ shims that convert at the boundary.
 
 from __future__ import annotations
 
+import contextlib
 import csv
 import json
+import os
+import tempfile
 from pathlib import Path
-from typing import Optional, Union
+from typing import IO, Iterator, Optional, Union
 
 import numpy as np
 
@@ -31,6 +34,31 @@ _FORMAT_VERSION = 1
 
 #: Formats understood by :func:`save_frame` / :func:`load_frame`.
 FORMATS = ("jsonl", "npz")
+
+
+@contextlib.contextmanager
+def _atomic_open(
+    path: Path, mode: str, encoding: Optional[str] = None
+) -> Iterator[IO]:
+    """Write to a same-directory temp file, then ``os.replace`` into place.
+
+    Readers never observe a torn file and concurrent writers of the same
+    path (e.g. two pool workers racing on one cache entry) each produce a
+    complete file — the last rename wins.  The temp file is removed if the
+    write fails.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, mode, encoding=encoding) as fh:
+            yield fh
+        os.replace(tmp_name, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_name)
+        raise
 
 
 def _header_dict(frame: TraceFrame) -> dict:
@@ -113,11 +141,14 @@ def _frame_from_header(
 
 
 def save_frame_jsonl(frame: TraceFrame, path: Union[str, Path]) -> None:
-    """Write a frame to ``path`` in JSONL format (gzip-free, diff-able)."""
+    """Write a frame to ``path`` in JSONL format (gzip-free, diff-able).
+
+    The write is atomic (temp file + rename): concurrent readers and
+    same-path writers always see a complete file.
+    """
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
     rounded = np.round(frame.values, 6)
-    with path.open("w", encoding="utf-8") as fh:
+    with _atomic_open(path, "w", encoding="utf-8") as fh:
         fh.write(json.dumps(_header_dict(frame)) + "\n")
         for i in range(len(frame)):
             fh.write(
@@ -185,14 +216,17 @@ def load_trace_jsonl(path: Union[str, Path]) -> Trace:
 
 
 def save_frame_npz(frame: TraceFrame, path: Union[str, Path]) -> None:
-    """Write a frame to ``path`` as raw numpy columns (bit-exact, fast)."""
+    """Write a frame to ``path`` as raw numpy columns (bit-exact, fast).
+
+    The write is atomic (temp file + rename): a cache entry shared by
+    concurrent pool workers is either absent or complete, never torn.
+    """
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
     header = _header_dict(frame)
     header.pop("arrivals")  # stored as first-class columns instead
     # Write through a file object so numpy keeps the exact path (bare
     # np.savez(path) appends ".npz" to suffix-less names).
-    with path.open("wb") as fh:
+    with _atomic_open(path, "wb") as fh:
         np.savez(
             fh,
             header=np.array(json.dumps(header)),
@@ -230,8 +264,13 @@ def load_frame_npz(path: Union[str, Path]) -> TraceFrame:
 
 
 def detect_format(path: Union[str, Path]) -> str:
-    """Infer the codec from a path suffix (``.npz`` -> npz, else jsonl)."""
-    return "npz" if Path(path).suffix == ".npz" else "jsonl"
+    """Infer the codec from a path suffix (``.npz`` -> npz, else jsonl).
+
+    The comparison is case-insensitive: ``.NPZ`` (e.g. files named on a
+    case-folding filesystem) must not fall through to the JSONL parser,
+    which would fail with a confusing decode error.
+    """
+    return "npz" if Path(path).suffix.lower() == ".npz" else "jsonl"
 
 
 def save_frame(

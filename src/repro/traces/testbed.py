@@ -16,8 +16,11 @@ matches the training profile more closely than Fig 5(h).)
 from __future__ import annotations
 
 import enum
+import hashlib
+import json
 import math
-from typing import List, Sequence
+from pathlib import Path
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -26,6 +29,7 @@ from repro.simnet.network import Network, NetworkConfig
 from repro.simnet.radio import RadioParams
 from repro.simnet.topology import Topology, grid_topology
 from repro.traces.frame import TraceFrame, frame_from_network
+from repro.traces.io import load_frame_npz, save_frame_npz
 from repro.traces.records import Trace
 
 
@@ -123,6 +127,44 @@ def build_failure_schedule(
     return faults
 
 
+def testbed_cache_paths(
+    scenario: TestbedScenario,
+    seed: int = 7,
+    duration_s: float = 7200.0,
+    warmup_s: float = 1200.0,
+    report_period_s: float = 180.0,
+    rows: int = 9,
+    cols: int = 5,
+    spacing_m: float = 8.0,
+    cache_dir: Optional[Path] = None,
+) -> Path:
+    """NPZ cache path for one testbed run, keyed by its parameters.
+
+    Same contract as :func:`repro.traces.citysee.citysee_cache_paths`: a
+    pure function of the generation parameters, shared by serial calls and
+    the scenario runner's spool-to-cache workers.
+    """
+    from repro.traces.citysee import default_cache_dir
+
+    payload = json.dumps(
+        {
+            "scenario": scenario.value,
+            "seed": seed,
+            "duration_s": duration_s,
+            "warmup_s": warmup_s,
+            "report_period_s": report_period_s,
+            "rows": rows,
+            "cols": cols,
+            "spacing_m": spacing_m,
+            "v": 1,
+        },
+        sort_keys=True,
+    )
+    key = hashlib.sha256(payload.encode()).hexdigest()[:16]
+    directory = cache_dir or default_cache_dir()
+    return directory / f"testbed-{key}.npz"
+
+
 def generate_testbed_frame(
     scenario: TestbedScenario = TestbedScenario.EXPANSIVE,
     seed: int = 7,
@@ -132,13 +174,30 @@ def generate_testbed_frame(
     rows: int = 9,
     cols: int = 5,
     spacing_m: float = 8.0,
+    use_cache: bool = False,
+    cache_dir: Optional[Path] = None,
 ) -> TraceFrame:
     """Run the testbed experiment and return its trace as a frame.
 
     The trace covers ``warmup_s + duration_s`` simulated seconds; failures
     and reboots start after the warmup (the tree needs time to form), every
     10 minutes, exactly as in the paper's two-hour runs.
+
+    With ``use_cache=True`` an identical earlier run is reloaded from the
+    NPZ trace cache instead of re-simulated (writes are atomic, so
+    concurrent generators of the same parameters never clobber each
+    other).  Off by default to preserve the historical run-every-time
+    behavior of direct calls.
     """
+    npz_path: Optional[Path] = None
+    if use_cache:
+        npz_path = testbed_cache_paths(
+            scenario, seed, duration_s, warmup_s, report_period_s,
+            rows, cols, spacing_m, cache_dir,
+        )
+        if npz_path.exists():
+            return load_frame_npz(npz_path)
+
     topology = grid_topology(rows=rows, cols=cols, spacing=spacing_m)
     config = _testbed_config(seed, report_period_s)
     network = Network(topology, config)
@@ -154,7 +213,7 @@ def generate_testbed_frame(
     FaultInjector(faults).install(network)
     network.run(warmup_s + duration_s)
 
-    return frame_from_network(
+    frame = frame_from_network(
         network,
         metadata={
             "kind": "testbed",
@@ -169,6 +228,9 @@ def generate_testbed_frame(
             },
         },
     )
+    if npz_path is not None:
+        save_frame_npz(frame, npz_path)
+    return frame
 
 
 def generate_testbed_trace(

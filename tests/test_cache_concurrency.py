@@ -1,0 +1,121 @@
+"""Concurrent writers of one trace-cache entry must never tear it.
+
+Two processes asked for the same uncached profile both simulate (the
+cache has no locking — by design, the runs are deterministic so the work
+is merely redundant) and both write the same entry through the atomic
+temp-file + ``os.replace`` path in :mod:`repro.traces.io`.  Whoever
+renames last wins, the loser's bytes are identical, and a reader can
+never observe a half-written NPZ/JSONL.  These tests race two real
+processes on a cold cache directory and then check the survivor parses
+and matches a serial reference bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import numpy as np
+
+from repro.traces.citysee import (
+    CitySeeProfile,
+    citysee_cache_paths,
+    generate_citysee_frame,
+)
+from repro.traces.io import load_frame_npz
+from repro.traces.testbed import TestbedScenario, generate_testbed_frame
+from repro.traces.testbed import testbed_cache_paths as tb_cache_paths
+
+
+def _profile() -> CitySeeProfile:
+    return CitySeeProfile.tiny(seed=424242, days=0.5)
+
+
+def _generate_citysee(cache_dir, barrier, results) -> None:
+    """Child body: populate the cache; reports the frame length back."""
+    barrier.wait(timeout=120)
+    frame = generate_citysee_frame(
+        _profile(), use_cache=True, cache_dir=cache_dir
+    )
+    results.put(len(frame))
+
+
+def _generate_testbed(cache_dir, barrier, results) -> None:
+    barrier.wait(timeout=120)
+    frame = generate_testbed_frame(
+        TestbedScenario.LOCAL, seed=99, duration_s=1800.0, warmup_s=300.0,
+        report_period_s=120.0, use_cache=True, cache_dir=cache_dir,
+    )
+    results.put(len(frame))
+
+
+def _race_two_processes(target, cache_dir):
+    """Run two children released by a shared barrier so the work overlaps.
+
+    Synchronization objects travel as ``Process`` constructor args (legal
+    under every start method), not through a pickled task queue.
+    """
+    ctx = multiprocessing.get_context()
+    barrier = ctx.Barrier(2)
+    results = ctx.Queue()
+    children = [
+        ctx.Process(target=target, args=(cache_dir, barrier, results))
+        for _ in range(2)
+    ]
+    for child in children:
+        child.start()
+    lengths = [results.get(timeout=300) for _ in children]
+    for child in children:
+        child.join(timeout=60)
+        assert child.exitcode == 0
+    return lengths
+
+
+def _assert_clean_cache_dir(cache_dir):
+    """No temp-file litter: every entry was renamed or unlinked."""
+    leftovers = [p for p in cache_dir.iterdir() if p.suffix == ".tmp"]
+    assert leftovers == [], f"torn/abandoned temp files: {leftovers}"
+
+
+def test_citysee_cache_race_leaves_one_valid_entry(tmp_path):
+    profile = _profile()
+    npz_path, jsonl_path = citysee_cache_paths(profile, cache_dir=tmp_path)
+    assert not npz_path.exists()
+
+    lengths = _race_two_processes(_generate_citysee, tmp_path)
+    assert lengths[0] == lengths[1] > 0
+
+    # Exactly the two expected cache files, both complete.
+    assert sorted(p.name for p in tmp_path.iterdir()) == sorted(
+        [npz_path.name, jsonl_path.name]
+    )
+    _assert_clean_cache_dir(tmp_path)
+
+    cached = load_frame_npz(npz_path)
+    reference = generate_citysee_frame(profile, use_cache=False)
+    assert np.array_equal(cached.values, reference.values)
+    assert np.array_equal(cached.node_ids, reference.node_ids)
+    assert np.array_equal(cached.arrival_times, reference.arrival_times)
+
+    # A third request is now a pure cache hit returning the same frame.
+    again = generate_citysee_frame(profile, use_cache=True, cache_dir=tmp_path)
+    assert np.array_equal(again.values, reference.values)
+
+
+def test_testbed_cache_race_leaves_one_valid_entry(tmp_path):
+    npz_path = tb_cache_paths(
+        TestbedScenario.LOCAL, seed=99, duration_s=1800.0, warmup_s=300.0,
+        report_period_s=120.0, cache_dir=tmp_path,
+    )
+    lengths = _race_two_processes(_generate_testbed, tmp_path)
+    assert lengths[0] == lengths[1] > 0
+
+    assert [p.name for p in tmp_path.iterdir()] == [npz_path.name]
+    _assert_clean_cache_dir(tmp_path)
+
+    cached = load_frame_npz(npz_path)
+    reference = generate_testbed_frame(
+        TestbedScenario.LOCAL, seed=99, duration_s=1800.0, warmup_s=300.0,
+        report_period_s=120.0, use_cache=False,
+    )
+    assert np.array_equal(cached.values, reference.values)
+    assert np.array_equal(cached.received_at, reference.received_at)

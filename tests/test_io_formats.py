@@ -1,0 +1,70 @@
+"""Format dispatch regressions: suffix inference and explicit overrides.
+
+``detect_format`` once compared the suffix case-sensitively, so a file
+named ``TRACE.NPZ`` (case-folding filesystems, shouty export scripts)
+fell through to the JSONL parser and died on a binary decode error.
+These tests pin the case-insensitive behaviour and the ``fmt=`` escape
+hatch that bypasses suffix inference entirely.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.traces.io import detect_format, load_frame, save_frame
+from tests.test_trace_frame import assert_frames_equal, random_frame
+
+
+@pytest.mark.parametrize(
+    "name, expected",
+    [
+        ("trace.npz", "npz"),
+        ("trace.NPZ", "npz"),
+        ("trace.Npz", "npz"),
+        ("TRACE.nPz", "npz"),
+        ("trace.jsonl", "jsonl"),
+        ("trace.JSONL", "jsonl"),
+        ("trace.txt", "jsonl"),
+        ("trace", "jsonl"),
+        ("archive.npz.bak", "jsonl"),  # only the final suffix counts
+    ],
+)
+def test_detect_format_is_case_insensitive(name, expected):
+    assert detect_format(name) == expected
+    assert detect_format(Path("/some/dir") / name) == expected
+
+
+def test_uppercase_npz_suffix_uses_npz_codec(tmp_path):
+    """Regression: .NPZ must not reach the JSONL parser."""
+    frame = random_frame(seed=3)
+    path = tmp_path / "TRACE.NPZ"
+    save_frame(frame, path)
+    # NPZ files start with the zip magic, not a JSON header line.
+    assert path.read_bytes()[:2] == b"PK"
+    assert_frames_equal(load_frame(path), frame)
+
+
+def test_explicit_fmt_overrides_suffix(tmp_path):
+    frame = random_frame(seed=4)
+    path = tmp_path / "trace.dat"  # suffix says jsonl, override says npz
+    save_frame(frame, path, fmt="npz")
+    assert path.read_bytes()[:2] == b"PK"
+    assert_frames_equal(load_frame(path, fmt="npz"), frame)
+
+    # And the other direction: a .npz-named file forced through JSONL.
+    text_path = tmp_path / "trace.npz"
+    save_frame(frame, text_path, fmt="jsonl")
+    assert text_path.read_bytes()[:1] == b"{"
+    loaded = load_frame(text_path, fmt="jsonl")
+    assert len(loaded) == len(frame)
+
+
+def test_unknown_fmt_rejected(tmp_path):
+    frame = random_frame(seed=5)
+    with pytest.raises(ValueError, match="unknown trace format"):
+        save_frame(frame, tmp_path / "t.jsonl", fmt="parquet")
+    (tmp_path / "t.jsonl").write_text("")
+    with pytest.raises(ValueError, match="unknown trace format"):
+        load_frame(tmp_path / "t.jsonl", fmt="parquet")

@@ -1,0 +1,212 @@
+"""Unit tests of the scenario engine's job/result layer.
+
+Covers the spec helpers (seed sweeps, cache-path dispatch, grid
+expansion), result bookkeeping (submission order, timings, worker pids),
+and failure capture — a crashing job must come back as an error-carrying
+:class:`JobResult`, never take its siblings down, and only raise when its
+frame is actually requested.  The bit-identity of parallel output lives
+in ``test_runner_differential.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.runner import (
+    CitySeeJob,
+    RunnerError,
+    TestbedJob,
+    citysee_seed_sweep,
+    citysee_study_jobs,
+    execute_job,
+    job_cache_path,
+    run_jobs,
+    sweep_seeds,
+)
+from repro.runner import testbed_scenario_jobs as make_testbed_jobs
+from repro.simnet.rng import RngRegistry, derive_seed
+from repro.traces.citysee import CitySeeProfile, citysee_cache_paths
+from repro.traces.testbed import TestbedScenario
+from repro.traces.testbed import testbed_cache_paths as tb_cache_paths
+
+
+def quick_profile(seed: int = 2011) -> CitySeeProfile:
+    """The cheapest valid CitySee run (~1 s): for engine plumbing tests."""
+    return CitySeeProfile.tiny(seed=seed, days=0.5)
+
+
+def broken_profile() -> CitySeeProfile:
+    """A spec whose generation fails immediately (no nodes to place)."""
+    return dataclasses.replace(quick_profile(), n_nodes=0)
+
+
+# ----------------------------------------------------------------------
+# seed derivation
+# ----------------------------------------------------------------------
+
+
+def test_sweep_seeds_deterministic_and_distinct():
+    a = sweep_seeds(2011, 6)
+    b = sweep_seeds(2011, 6)
+    assert a == b
+    assert len(set(a)) == 6
+    # Prefix-stable: growing the sweep keeps the earlier members.
+    assert sweep_seeds(2011, 3) == a[:3]
+
+
+def test_sweep_seeds_namespaces_are_independent():
+    assert sweep_seeds(2011, 3, "evaluate") != sweep_seeds(2011, 3, "ablation")
+    assert sweep_seeds(2011, 3) != sweep_seeds(2012, 3)
+
+
+def test_derive_seed_matches_registry_method():
+    assert RngRegistry(2011).derive("sweep.0") == derive_seed(2011, "sweep.0")
+    # Seeds must be valid numpy Generator seeds (non-negative ints).
+    assert derive_seed(2011, "x") >= 0
+
+
+def test_citysee_seed_sweep_preserves_shape():
+    profile = quick_profile()
+    jobs = citysee_seed_sweep(profile, 3, namespace="t")
+    assert len(jobs) == 3
+    assert [j.profile.seed for j in jobs] == sweep_seeds(profile.seed, 3, "t")
+    for job in jobs:
+        assert job.profile.n_nodes == profile.n_nodes
+        assert job.profile.days == profile.days
+        assert not job.episode
+
+
+def test_citysee_study_jobs_pair():
+    profile = quick_profile()
+    training, episode = citysee_study_jobs(profile, episode_total_days=14.0)
+    assert training.profile == profile and not training.episode
+    assert episode.episode and episode.profile.days == 14.0
+    assert episode.profile.seed == profile.seed
+
+
+def test_testbed_scenario_jobs():
+    jobs = make_testbed_jobs(
+        [TestbedScenario.EXPANSIVE, TestbedScenario.LOCAL], seed=3
+    )
+    assert [j.scenario for j in jobs] == [
+        TestbedScenario.EXPANSIVE, TestbedScenario.LOCAL,
+    ]
+    assert all(j.seed == 3 for j in jobs)
+
+
+# ----------------------------------------------------------------------
+# cache-path dispatch
+# ----------------------------------------------------------------------
+
+
+def test_job_cache_path_matches_generators(tmp_path):
+    profile = quick_profile()
+    npz, _jsonl = citysee_cache_paths(profile, cache_dir=tmp_path)
+    assert job_cache_path(CitySeeJob(profile), tmp_path) == npz
+
+    job = TestbedJob(scenario=TestbedScenario.LOCAL, seed=9, duration_s=1800.0)
+    expected = tb_cache_paths(
+        TestbedScenario.LOCAL, seed=9, duration_s=1800.0, cache_dir=tmp_path
+    )
+    assert job_cache_path(job, tmp_path) == expected
+
+
+def test_job_cache_path_distinguishes_episode(tmp_path):
+    profile = quick_profile()
+    plain = job_cache_path(CitySeeJob(profile), tmp_path)
+    episode = job_cache_path(CitySeeJob(profile, episode=True), tmp_path)
+    assert plain != episode
+
+
+def test_unknown_job_type_rejected(tmp_path):
+    with pytest.raises(TypeError):
+        job_cache_path(object(), tmp_path)  # type: ignore[arg-type]
+    with pytest.raises(TypeError):
+        execute_job(object())  # type: ignore[arg-type]
+
+
+# ----------------------------------------------------------------------
+# result bookkeeping
+# ----------------------------------------------------------------------
+
+
+def test_inline_run_records_order_timings_and_spool(tmp_path):
+    jobs = citysee_seed_sweep(quick_profile(), 2, namespace="order")
+    report = run_jobs(jobs, n_workers=1, cache_dir=tmp_path)
+    assert report.ok and report.n_workers == 1
+    assert [r.index for r in report.results] == [0, 1]
+    assert [r.job for r in report.results] == jobs
+    for r in report.results:
+        assert r.seconds > 0.0
+        assert r.pid > 0
+        assert r.path is not None and r.path.endswith(".npz")
+    frames = report.frames()
+    assert len(frames) == 2 and all(len(f) > 0 for f in frames)
+
+
+def test_timings_report_is_json_ready(tmp_path):
+    import json
+
+    jobs = [CitySeeJob(quick_profile())]
+    report = run_jobs(jobs, n_workers=1, cache_dir=tmp_path)
+    payload = report.timings()
+    assert payload["n_workers"] == 1
+    assert len(payload["jobs"]) == 1
+    assert payload["jobs"][0]["ok"] is True
+    out = tmp_path / "artifacts" / "timings.json"
+    report.write_timings(out)
+    assert json.loads(out.read_text())["jobs"][0]["index"] == 0
+    assert "ok" in report.to_text()
+
+
+def test_frame_lazy_loads_from_spooled_path(tmp_path):
+    job = CitySeeJob(quick_profile())
+    report = run_jobs([job], n_workers=1, cache_dir=tmp_path)
+    result = report.results[0]
+    first = result.frame()
+    assert result.frame() is first  # cached after the first load
+
+
+def test_no_cache_returns_frames_inline(tmp_path):
+    report = run_jobs(
+        [CitySeeJob(quick_profile())], n_workers=1,
+        use_cache=False, cache_dir=tmp_path,
+    )
+    result = report.results[0]
+    assert result.path is None
+    assert len(result.frame()) > 0
+    assert list(tmp_path.iterdir()) == []  # nothing spooled
+
+
+# ----------------------------------------------------------------------
+# failure capture
+# ----------------------------------------------------------------------
+
+
+def test_inline_failure_captured_not_raised(tmp_path):
+    jobs = [CitySeeJob(broken_profile()), CitySeeJob(quick_profile())]
+    report = run_jobs(jobs, n_workers=1, cache_dir=tmp_path)
+    assert not report.ok
+    bad, good = report.results
+    assert not bad.ok and bad.error and "Traceback" in bad.error
+    assert good.ok and len(good.frame()) > 0
+    with pytest.raises(RunnerError):
+        bad.frame()
+    with pytest.raises(RunnerError):
+        report.frames()
+    assert report.errors() == [bad]
+
+
+def test_pool_failure_captured_and_siblings_survive(tmp_path):
+    jobs = [CitySeeJob(quick_profile()), CitySeeJob(broken_profile())]
+    report = run_jobs(jobs, n_workers=2, cache_dir=tmp_path)
+    assert report.n_workers == 2
+    good, bad = report.results
+    assert good.ok and len(good.frame()) > 0
+    assert not bad.ok and bad.error and "Traceback" in bad.error
+    # Results stay in submission order even though completion order varies.
+    assert [r.index for r in report.results] == [0, 1]
+    # The failed job reports its timing too (it ran, it just raised).
+    assert bad.pid > 0

@@ -1,0 +1,163 @@
+"""Differential harness: parallel runner output is bit-identical to serial.
+
+For each profile preset the same job grid is produced three ways —
+
+* direct generator calls in this process (the pre-runner code path),
+* ``run_jobs(..., n_workers=1)`` (the CLI's ``--jobs 1``),
+* ``run_jobs(..., n_workers=N)`` across a process pool (``--jobs N``,
+  ``N`` from ``VN2_TEST_JOBS``, default 4),
+
+each against its own cache directory, and every column of every frame
+must satisfy ``np.array_equal``.  This is the acceptance property the
+engine advertises: sharding a scenario grid over processes changes
+wall-clock only, never one bit of the data.
+
+The tier-1 run covers the ``tiny`` and ``small`` presets (scaled-down
+day counts keep each preset's grid a few seconds); set ``VN2_DIFF_ALL=1``
+to additionally sweep the scaled ``medium`` and ``full`` presets, as the
+CI runner job does.  ``VN2_TIMINGS_DIR``, when set, collects the parallel
+runs' per-job timing JSONs (uploaded as a CI artifact).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+import numpy as np
+import pytest
+
+from repro.runner import (
+    CitySeeJob,
+    TestbedJob,
+    citysee_seed_sweep,
+    run_jobs,
+)
+from repro.traces.citysee import CitySeeProfile, generate_citysee_frame
+from repro.traces.frame import TraceFrame
+from repro.traces.testbed import TestbedScenario, generate_testbed_frame
+
+N_TEST_JOBS = int(os.environ.get("VN2_TEST_JOBS", "4"))
+RUN_ALL_PRESETS = os.environ.get("VN2_DIFF_ALL", "") == "1"
+
+#: Preset name -> a grid-cost-reduced variant (same shape, fewer days;
+#: each preset keeps warmup < duration so the generator stays valid).
+PRESET_VARIANTS = {
+    "tiny": CitySeeProfile.tiny(days=0.75),
+    "small": CitySeeProfile.small(days=0.25),
+    "medium": CitySeeProfile.medium(days=0.3),
+    "full": CitySeeProfile.full(days=0.055),
+}
+TIER1_PRESETS = ("tiny", "small")
+
+
+def _preset_params():
+    params = []
+    for name in PRESET_VARIANTS:
+        marks = ()
+        if name not in TIER1_PRESETS and not RUN_ALL_PRESETS:
+            marks = (pytest.mark.skip(reason="set VN2_DIFF_ALL=1 to run"),)
+        params.append(pytest.param(name, marks=marks))
+    return params
+
+
+def assert_columns_equal(a: TraceFrame, b: TraceFrame, context: str) -> None:
+    """Bit-for-bit equality of every frame column."""
+    for column in (
+        "node_ids", "epochs", "generated_at", "received_at",
+        "values", "arrival_times", "arrival_nodes",
+    ):
+        assert np.array_equal(getattr(a, column), getattr(b, column)), (
+            f"{context}: column {column} differs"
+        )
+    assert a.ground_truth == b.ground_truth, context
+    assert a.packets_generated == b.packets_generated, context
+    assert a.packets_received == b.packets_received, context
+
+
+def _spool_timings(report, name: str) -> None:
+    timings_dir = os.environ.get("VN2_TIMINGS_DIR")
+    if timings_dir:
+        report.write_timings(os.path.join(timings_dir, f"{name}.json"))
+
+
+@pytest.mark.parametrize("preset", _preset_params())
+def test_citysee_parallel_bit_identical_to_serial(preset, tmp_path):
+    profile = PRESET_VARIANTS[preset]
+    jobs = citysee_seed_sweep(profile, 2, namespace="diff")
+
+    direct = [
+        generate_citysee_frame(job.profile, use_cache=False) for job in jobs
+    ]
+    serial = run_jobs(jobs, n_workers=1, cache_dir=tmp_path / "serial")
+    parallel = run_jobs(
+        jobs, n_workers=N_TEST_JOBS, cache_dir=tmp_path / "parallel"
+    )
+    _spool_timings(parallel, f"differential-citysee-{preset}")
+
+    assert serial.ok and parallel.ok
+    for job, d, s, p in zip(
+        jobs, direct, serial.frames(), parallel.frames()
+    ):
+        context = f"{preset} {job.describe()}"
+        assert_columns_equal(d, s, f"{context} direct-vs-serial")
+        assert_columns_equal(s, p, f"{context} serial-vs-parallel")
+        assert len(d) > 0, context
+
+
+def test_citysee_episode_parallel_bit_identical(tmp_path):
+    """The episode generator path (extra fault build) is also race-free."""
+    profile = dataclasses.replace(CitySeeProfile.tiny(), days=1.0)
+    jobs = [
+        CitySeeJob(profile, episode=True, episode_days=(0.4, 0.6)),
+        CitySeeJob(dataclasses.replace(profile, seed=77),
+                   episode=True, episode_days=(0.4, 0.6)),
+    ]
+    serial = run_jobs(jobs, n_workers=1, cache_dir=tmp_path / "serial")
+    parallel = run_jobs(
+        jobs, n_workers=N_TEST_JOBS, cache_dir=tmp_path / "parallel"
+    )
+    _spool_timings(parallel, "differential-citysee-episode")
+    for job, s, p in zip(jobs, serial.frames(), parallel.frames()):
+        assert_columns_equal(s, p, job.describe())
+        assert s.metadata.get("episode") is True
+
+
+def test_testbed_parallel_bit_identical_to_serial(tmp_path):
+    jobs = [
+        TestbedJob(scenario=TestbedScenario.EXPANSIVE,
+                   duration_s=1800.0, warmup_s=300.0, report_period_s=120.0),
+        TestbedJob(scenario=TestbedScenario.LOCAL,
+                   duration_s=1800.0, warmup_s=300.0, report_period_s=120.0),
+    ]
+    direct = [
+        generate_testbed_frame(
+            scenario=job.scenario, seed=job.seed, duration_s=job.duration_s,
+            warmup_s=job.warmup_s, report_period_s=job.report_period_s,
+        )
+        for job in jobs
+    ]
+    serial = run_jobs(jobs, n_workers=1, cache_dir=tmp_path / "serial")
+    parallel = run_jobs(
+        jobs, n_workers=N_TEST_JOBS, cache_dir=tmp_path / "parallel"
+    )
+    _spool_timings(parallel, "differential-testbed")
+    for job, d, s, p in zip(jobs, direct, serial.frames(), parallel.frames()):
+        assert_columns_equal(d, s, f"{job.describe()} direct-vs-serial")
+        assert_columns_equal(s, p, f"{job.describe()} serial-vs-parallel")
+        assert len(d) > 0
+
+
+def test_same_grid_twice_agrees_across_worker_counts(tmp_path):
+    """The --jobs 1 vs --jobs N contract on a mixed grid, cache warm."""
+    profile = CitySeeProfile.tiny(days=0.5)
+    jobs = [
+        CitySeeJob(profile),
+        TestbedJob(scenario=TestbedScenario.EXPANSIVE,
+                   duration_s=1800.0, warmup_s=300.0, report_period_s=120.0),
+    ]
+    first = run_jobs(jobs, n_workers=1, cache_dir=tmp_path)
+    # Second run hits the spooled cache entries — still identical frames.
+    second = run_jobs(jobs, n_workers=N_TEST_JOBS, cache_dir=tmp_path)
+    for job, a, b in zip(jobs, first.frames(), second.frames()):
+        assert_columns_equal(a, b, job.describe())
