@@ -1,0 +1,90 @@
+"""Streaming ingestion: chunked trace reads bound memory, not wall-clock.
+
+The acceptance claim of the streaming refactor, measured: ingesting the
+default CitySee trace from disk through ``iter_frame_chunks`` +
+``StreamingStateBuilder.push_frame`` + a ``keep_states=False`` exception
+detector must allocate a small fraction of the full-frame path's peak
+(tracemalloc) while staying within 1.2x of its wall-clock — and both
+paths must agree on every derived number (state count, running exception
+statistics).
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+
+import numpy as np
+
+from repro.core.exceptions import StreamingExceptionDetector
+from repro.core.states import StreamingStateBuilder, build_states
+from repro.traces.io import iter_frame_chunks, load_frame, save_frame
+
+CHUNK_ROWS = 2048
+
+
+def _full_path(path):
+    """Load everything, difference everything, one-chunk statistics."""
+    frame = load_frame(path)
+    states = build_states(frame)
+    detector = StreamingExceptionDetector(keep_states=False)
+    detector.update(states.values)
+    return len(states), detector
+
+
+def _chunked_path(path):
+    """Bounded-memory replay: fixed-size chunks through the same engine."""
+    builder = StreamingStateBuilder()
+    detector = StreamingExceptionDetector(keep_states=False)
+    n_states = 0
+    for chunk in iter_frame_chunks(path, chunk_rows=CHUNK_ROWS):
+        states = builder.push_frame(chunk)
+        if len(states):
+            detector.update(states.values)
+        n_states += len(states)
+    return n_states, detector
+
+
+def _measure(fn, path):
+    tracemalloc.start()
+    tracemalloc.reset_peak()
+    result = fn(path)
+    _current, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    t0 = time.perf_counter()
+    fn(path)  # untraced timing run (tracemalloc skews wall-clock)
+    seconds = time.perf_counter() - t0
+    return result, peak, seconds
+
+
+def test_bench_streaming_ingestion(benchmark, citysee_default_trace,
+                                   tmp_path_factory):
+    path = tmp_path_factory.mktemp("stream-bench") / "citysee.npz"
+    save_frame(citysee_default_trace, path, fmt="npz")
+
+    (full_states, full_det), full_peak, full_s = _measure(_full_path, path)
+    (chunk_states, chunk_det), chunk_peak, chunk_s = benchmark.pedantic(
+        lambda: _measure(_chunked_path, path), rounds=1, iterations=1
+    )
+
+    print("\n=== Streaming ingestion vs full-frame load ===")
+    print(f"rows: {len(citysee_default_trace)}  chunk_rows: {CHUNK_ROWS}")
+    print(f"full:    peak {full_peak / 1e6:8.1f} MB   {full_s:6.2f} s")
+    print(f"chunked: peak {chunk_peak / 1e6:8.1f} MB   {chunk_s:6.2f} s")
+    print(f"peak ratio {chunk_peak / full_peak:.3f}, "
+          f"time ratio {chunk_s / full_s:.2f}")
+
+    # Same numbers out of both paths.
+    assert chunk_states == full_states > 0
+    assert chunk_det.count == full_det.count == full_states
+    assert np.allclose(chunk_det.mean, full_det.mean)
+    assert np.allclose(chunk_det.std, full_det.std)
+
+    # The point of the refactor: a fraction of the memory ...
+    assert chunk_peak <= 0.5 * full_peak, (
+        f"chunked peak {chunk_peak} not below half of full {full_peak}"
+    )
+    # ... without giving up wall-clock (generous bound: same order).
+    assert chunk_s <= 1.2 * full_s, (
+        f"chunked {chunk_s:.2f}s vs full {full_s:.2f}s exceeds 1.2x"
+    )

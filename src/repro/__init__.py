@@ -48,6 +48,12 @@ _LAZY_EXPORTS = {
     "as_frame": ("repro.traces.frame", "as_frame"),
     "build_states": ("repro.core.states", "build_states"),
     "StateMatrix": ("repro.core.states", "StateMatrix"),
+    "StreamingStateBuilder": ("repro.core.states", "StreamingStateBuilder"),
+    "StreamingDiagnosisSession": (
+        "repro.core.streaming",
+        "StreamingDiagnosisSession",
+    ),
+    "IncidentTracker": ("repro.core.incidents", "IncidentTracker"),
     "infer_weights_batch": ("repro.core.inference", "infer_weights_batch"),
     "METRICS": ("repro.metrics.catalog", "METRICS"),
     "METRIC_NAMES": ("repro.metrics.catalog", "METRIC_NAMES"),
@@ -57,10 +63,12 @@ _LAZY_EXPORTS = {
 __all__ = ["__version__", *_LAZY_EXPORTS]
 
 if TYPE_CHECKING:  # pragma: no cover - static typing only
+    from repro.core.incidents import IncidentTracker
     from repro.core.inference import infer_weights_batch
     from repro.core.nmf import NMFResult, nmf
     from repro.core.pipeline import VN2, DiagnosisReport, VN2Config
-    from repro.core.states import StateMatrix, build_states
+    from repro.core.states import StateMatrix, StreamingStateBuilder, build_states
+    from repro.core.streaming import StreamingDiagnosisSession
     from repro.metrics.catalog import METRICS, METRIC_NAMES, NUM_METRICS
     from repro.traces.frame import TraceFrame, as_frame
     from repro.traces.records import Trace

@@ -8,6 +8,8 @@ Commands:
 * ``vn2 train`` — fit a VN2 model from a saved trace, save the model.
 * ``vn2 diagnose`` — diagnose a saved trace (or window of it) with a saved
   model.
+* ``vn2 watch`` — tail a growing JSONL trace with a saved model and
+  stream incident open/update/close events as packets land.
 * ``vn2 experiment`` — run one of the paper's figure/table harnesses.
 * ``vn2 sweep`` — run a multi-seed scenario sweep through the parallel
   runner and score every deployment against its fault schedule.
@@ -166,6 +168,103 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
         if shown >= args.limit:
             break
     print(f"({shown} diagnoses shown of {len(states)} states)")
+    return 0
+
+
+def _event_json(event) -> str:
+    import json
+
+    incident = event.incident
+    return json.dumps(
+        {
+            "kind": event.kind,
+            "incident_id": event.incident_id,
+            "time": event.time,
+            "hazard": incident.hazard,
+            "node_ids": list(incident.node_ids),
+            "start": incident.start,
+            "end": incident.end,
+            "peak_strength": incident.peak_strength,
+            "total_strength": incident.total_strength,
+            "n_observations": incident.n_observations,
+        }
+    )
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    import contextlib
+    import os
+    import time as _time
+
+    from repro.core.pipeline import VN2
+    from repro.core.streaming import StreamingDiagnosisSession
+    from repro.traces.io import read_frame_header, tail_frame_jsonl
+
+    tool = VN2.load(args.model)
+
+    # Wait for the trace file (and its header line) to appear — a live
+    # writer may still be creating it when the watcher starts.
+    deadline = (
+        None if args.idle_timeout is None else _time.monotonic() + args.idle_timeout
+    )
+    while True:
+        try:
+            header = read_frame_header(args.trace, fmt="jsonl")
+            break
+        except (FileNotFoundError, ValueError):
+            if not args.follow or (
+                deadline is not None and _time.monotonic() >= deadline
+            ):
+                print(f"no readable trace at {args.trace}", file=sys.stderr)
+                return 1
+            _time.sleep(args.poll)
+
+    positions = {
+        int(k): tuple(v)
+        for k, v in header.get("metadata", {}).get("positions", {}).items()
+    } or None
+    session = StreamingDiagnosisSession(
+        tool,
+        positions=positions,
+        threshold_ratio=args.threshold,
+        min_strength=args.min_strength,
+        time_gap_s=args.time_gap,
+        radius_m=args.radius,
+    )
+
+    output = args.output or os.environ.get("VN2_WATCH_LOG")
+    log = open(output, "a", encoding="utf-8") if output else None
+
+    def emit(events) -> None:
+        for event in events:
+            print(event.describe())
+            if log is not None:
+                log.write(_event_json(event) + "\n")
+                log.flush()
+
+    try:
+        rows = tail_frame_jsonl(
+            args.trace,
+            poll_s=args.poll,
+            follow=args.follow,
+            idle_timeout=args.idle_timeout,
+        )
+        with contextlib.suppress(KeyboardInterrupt):
+            for row in rows:
+                update = session.push_packet(
+                    row.node_id, row.epoch, row.generated_at, row.values
+                )
+                if update is not None and update.events:
+                    emit(update.events)
+        emit(session.finish())
+    finally:
+        if log is not None:
+            log.close()
+    closed = len(session.tracker.incidents)
+    print(
+        f"watched {session.n_packets} packets -> {session.n_states} states, "
+        f"{session.n_exceptions} exceptions, {closed} incidents"
+    )
     return 0
 
 
@@ -426,6 +525,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--limit", type=int, default=20)
     add_format_option(p, "load")
     p.set_defaults(func=_cmd_diagnose)
+
+    p = sub.add_parser(
+        "watch",
+        help="tail a growing JSONL trace with a saved model, streaming "
+             "incident open/update/close events",
+    )
+    p.add_argument("trace", help="JSONL trace file (may still be growing)")
+    p.add_argument("--model", required=True,
+                   help="saved model path (from vn2 train)")
+    p.add_argument("--follow", dest="follow", action="store_true", default=True,
+                   help="keep polling for growth after EOF (default)")
+    p.add_argument("--no-follow", dest="follow", action="store_false",
+                   help="read what is there and exit")
+    p.add_argument("--poll", type=float, default=0.5, metavar="SECONDS",
+                   help="poll interval while waiting for new data")
+    p.add_argument("--idle-timeout", type=float, default=None, metavar="SECONDS",
+                   help="exit after this long without new data "
+                        "(default: follow forever)")
+    p.add_argument("--output", default=None, metavar="FILE",
+                   help="append incident events as JSON lines "
+                        "(default: $VN2_WATCH_LOG if set)")
+    p.add_argument("--threshold", type=float, default=None,
+                   help="exception-screen ratio (default: model config)")
+    p.add_argument("--min-strength", type=float, default=0.2)
+    p.add_argument("--time-gap", type=float, default=600.0, metavar="SECONDS",
+                   help="incident gap expiry")
+    p.add_argument("--radius", type=float, default=60.0, metavar="METERS",
+                   help="incident spatial merge radius")
+    p.set_defaults(func=_cmd_watch)
 
     p = sub.add_parser(
         "incidents",

@@ -24,10 +24,17 @@ Data flow (paper Sections III-IV):
 from repro.core.states import (
     StateMatrix,
     StateProvenance,
+    StreamedState,
+    StreamingStateBuilder,
     build_states,
     build_states_python,
+    stack_states,
 )
-from repro.core.exceptions import ExceptionSet, detect_exceptions
+from repro.core.exceptions import (
+    ExceptionSet,
+    StreamingExceptionDetector,
+    detect_exceptions,
+)
 from repro.core.normalization import MinMaxNormalizer
 from repro.core.nmf import NMFResult, nmf, nmf_best_of, kl_divergence, frobenius_loss
 from repro.core.sparsify import sparsify_weights
@@ -38,16 +45,27 @@ from repro.core.pipeline import VN2, VN2Config, DiagnosisReport
 from repro.core.incidents import (
     Incident,
     IncidentAggregator,
+    IncidentEvent,
+    IncidentTracker,
     Observation,
     incidents_from_trace,
+)
+from repro.core.streaming import (
+    StreamingDiagnosisSession,
+    StreamUpdate,
+    iter_packets,
 )
 
 __all__ = [
     "StateMatrix",
     "StateProvenance",
+    "StreamedState",
+    "StreamingStateBuilder",
     "build_states",
     "build_states_python",
+    "stack_states",
     "ExceptionSet",
+    "StreamingExceptionDetector",
     "detect_exceptions",
     "MinMaxNormalizer",
     "NMFResult",
@@ -69,6 +87,11 @@ __all__ = [
     "DiagnosisReport",
     "Incident",
     "IncidentAggregator",
+    "IncidentEvent",
+    "IncidentTracker",
     "Observation",
     "incidents_from_trace",
+    "StreamingDiagnosisSession",
+    "StreamUpdate",
+    "iter_packets",
 ]

@@ -10,6 +10,22 @@ nodes {21, 22} from t=2400 to t=4800, peak strength 0.41".
 
 This is what an operator actually wants from a 300-node deployment: a
 handful of incidents, not thousands of per-state reports.
+
+Clustering is implemented once, incrementally, in
+:class:`IncidentTracker`: observations are ingested one at a time (in
+diagnosis order — the moment each state's completing packet arrives),
+open incidents are maintained per hazard, and gap/radius expiry closes
+them as the stream moves on, emitting open/update/close
+:class:`IncidentEvent` records a live ``vn2 watch`` can print.  The batch
+:meth:`IncidentAggregator.cluster` is a replay — sort the observations
+into the canonical stream order, feed them, flush.
+
+Observation *extraction* is also defined per state
+(:func:`observations_for_state`): one NNLS solve per state, the same call
+the streaming path makes, so batch and packet-at-a-time runs produce
+bit-identical strengths (the vectorized batch NNLS solver's results vary
+at the ULP level with batch composition, which would otherwise leak into
+incident peak/total strengths).
 """
 
 from __future__ import annotations
@@ -20,7 +36,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.inference import sparsify_inferred
+from repro.core.inference import infer_weights_batch, sparsify_inferred
 from repro.core.pipeline import VN2
 from repro.core.states import StateMatrix
 
@@ -74,6 +90,243 @@ class Incident:
         )
 
 
+def observation_sort_key(obs: Observation) -> Tuple[float, int, float, int]:
+    """The canonical stream order of observations.
+
+    Diagnoses become available when the state's completing packet arrives
+    (``time_to``); ties across nodes break by node id, states of one node
+    by interval start, and ties within a state by cause index.  Batch
+    clustering sorts into this exact order before replaying the tracker,
+    so it matches a live feed — packets sorted by (generated_at, node_id,
+    epoch) — bit for bit.
+    """
+    return (obs.time_to, obs.node_id, obs.time_from, obs.cause_index)
+
+
+def observation_weights(
+    tool: VN2, values: np.ndarray, retention: float = 0.9
+) -> np.ndarray:
+    """Sparsified NNLS weights of ONE state — the canonical per-state solve.
+
+    Both the batch aggregator and the streaming session call this, one
+    state at a time, so incident strengths are bit-identical across the
+    two paths regardless of how states are batched.
+    """
+    normalized = tool._normalize_states(np.asarray(values, dtype=float).ravel())
+    weights, _residuals = infer_weights_batch(tool.nmf_.Psi, normalized)
+    return sparsify_inferred(weights, retention=retention)[0]
+
+
+def observations_for_state(
+    tool: VN2,
+    values: np.ndarray,
+    node_id: int,
+    time_from: float,
+    time_to: float,
+    min_strength: float = 0.2,
+    retention: float = 0.9,
+    weights: Optional[np.ndarray] = None,
+) -> List[Observation]:
+    """Extract one state's hazard observations (cause-index order).
+
+    Args:
+        tool: Fitted VN2 model.
+        values: The 43-metric signed state delta.
+        node_id, time_from, time_to: The state's provenance.
+        min_strength: Observations below this NNLS strength are dropped.
+        retention: Row-wise Algorithm 2 retention for the weights.
+        weights: Pre-computed :func:`observation_weights` of the state, if
+            the caller already solved it (the streaming session reuses one
+            solve for the diagnosis report and the observations).
+    """
+    if weights is None:
+        weights = observation_weights(tool, values, retention=retention)
+    labels = tool.labels
+    out: List[Observation] = []
+    for j in np.flatnonzero(weights >= min_strength):
+        label = labels[int(j)]
+        if label.is_baseline or label.primary_hazard is None:
+            continue
+        out.append(
+            Observation(
+                node_id=int(node_id),
+                time_from=float(time_from),
+                time_to=float(time_to),
+                cause_index=int(j),
+                hazard=label.primary_hazard,
+                strength=float(weights[int(j)]),
+            )
+        )
+    return out
+
+
+@dataclass
+class IncidentEvent:
+    """One transition of the incident stream.
+
+    Attributes:
+        kind: ``"open"`` (first observation of a new cluster),
+            ``"update"`` (an observation joined an open cluster) or
+            ``"close"`` (gap expiry, or a final flush).
+        incident: Snapshot of the cluster *after* the transition.
+        incident_id: Stable id tying open/update/close of one cluster
+            together across events.
+        time: Stream time of the driving observation (``time_to``); for
+            flush-closes, the cluster's own end.
+    """
+
+    kind: str
+    incident: Incident
+    incident_id: int
+    time: float
+
+    def describe(self) -> str:
+        """One-line operator summary, e.g. for ``vn2 watch`` output."""
+        return f"[{self.time:10.0f}s] {self.kind.upper():<6s} #{self.incident_id} {self.incident.describe()}"
+
+
+class IncidentTracker:
+    """Incremental spatio-temporal clustering of hazard observations.
+
+    Ingests ``(node, interval, hazard, strength)`` observations one at a
+    time — in stream order, i.e. sorted by :func:`observation_sort_key` —
+    maintains the open incidents per hazard, and closes an incident when
+    the stream has moved ``time_gap_s`` past its end.  Batch clustering
+    (:meth:`IncidentAggregator.cluster`) is "feed all observations,
+    flush"; a live feed sees open/update/close events as they happen.
+
+    Memory is bounded by the number of *open* incidents plus the closed
+    ones retained in :attr:`incidents` (pop or ignore them for unbounded
+    runs).
+
+    Args:
+        positions: Optional node_id -> (x, y) map; with it, observations
+            only join an incident when within ``radius_m`` of one of its
+            nodes.  Without it, clustering is temporal only.
+        time_gap_s: Observations join an open incident only if they start
+            no later than this after its current end; later ones close it.
+        radius_m: Spatial merge radius.
+    """
+
+    def __init__(
+        self,
+        positions: Optional[Dict[int, Tuple[float, float]]] = None,
+        time_gap_s: float = 600.0,
+        radius_m: float = 60.0,
+    ):
+        self.positions = positions
+        self.time_gap_s = time_gap_s
+        self.radius_m = radius_m
+        self._open: Dict[str, List[dict]] = {}
+        self._next_id = 1
+        #: Closed incidents, in close order.
+        self.incidents: List[Incident] = []
+
+    def _near(self, node_id: int, cluster_nodes: Sequence[int]) -> bool:
+        if self.positions is None:
+            return True
+        pos = self.positions.get(node_id)
+        if pos is None:
+            return True
+        for other in cluster_nodes:
+            opos = self.positions.get(other)
+            if opos is None:
+                continue
+            if math.hypot(pos[0] - opos[0], pos[1] - opos[1]) <= self.radius_m:
+                return True
+        return False
+
+    @staticmethod
+    def _snapshot(cluster: dict) -> Incident:
+        return Incident(
+            hazard=cluster["hazard"],
+            node_ids=tuple(sorted(cluster["nodes"])),
+            start=cluster["start"],
+            end=cluster["end"],
+            peak_strength=cluster["peak"],
+            total_strength=cluster["total"],
+            n_observations=cluster["count"],
+        )
+
+    def open_incidents(self) -> List[Incident]:
+        """Snapshots of the currently open clusters (all hazards)."""
+        return [
+            self._snapshot(c)
+            for clusters in self._open.values()
+            for c in clusters
+        ]
+
+    def add(self, obs: Observation) -> List[IncidentEvent]:
+        """Ingest one observation; return the transitions it caused."""
+        events: List[IncidentEvent] = []
+        clusters = self._open.setdefault(obs.hazard, [])
+        still_open: List[dict] = []
+        for cluster in clusters:
+            if obs.time_from > cluster["end"] + self.time_gap_s:
+                incident = self._snapshot(cluster)
+                self.incidents.append(incident)
+                events.append(
+                    IncidentEvent("close", incident, cluster["id"], obs.time_to)
+                )
+            else:
+                still_open.append(cluster)
+        clusters[:] = still_open
+
+        home = None
+        for cluster in clusters:
+            if self._near(obs.node_id, tuple(cluster["nodes"])):
+                home = cluster
+                break
+        if home is None:
+            home = {
+                "id": self._next_id,
+                "hazard": obs.hazard,
+                "nodes": {obs.node_id},
+                "start": obs.time_from,
+                "end": obs.time_to,
+                "peak": obs.strength,
+                "total": obs.strength,
+                "count": 1,
+            }
+            self._next_id += 1
+            clusters.append(home)
+            events.append(
+                IncidentEvent("open", self._snapshot(home), home["id"], obs.time_to)
+            )
+        else:
+            home["nodes"].add(obs.node_id)
+            home["start"] = min(home["start"], obs.time_from)
+            home["end"] = max(home["end"], obs.time_to)
+            home["peak"] = max(home["peak"], obs.strength)
+            home["total"] += obs.strength
+            home["count"] += 1
+            events.append(
+                IncidentEvent("update", self._snapshot(home), home["id"], obs.time_to)
+            )
+        return events
+
+    def flush(self) -> List[IncidentEvent]:
+        """Close every open incident (end of stream / end of batch)."""
+        events: List[IncidentEvent] = []
+        for hazard in list(self._open):
+            for cluster in self._open[hazard]:
+                incident = self._snapshot(cluster)
+                self.incidents.append(incident)
+                events.append(
+                    IncidentEvent(
+                        "close", incident, cluster["id"], cluster["end"]
+                    )
+                )
+            del self._open[hazard]
+        return events
+
+    def sorted_incidents(self) -> List[Incident]:
+        """Closed incidents in report order (strongest first)."""
+        return sorted(
+            self.incidents, key=lambda inc: (-inc.total_strength, inc.start)
+        )
+
+
 class IncidentAggregator:
     """Clusters per-state diagnoses into incidents.
 
@@ -118,7 +371,14 @@ class IncidentAggregator:
     # ------------------------------------------------------------------
 
     def observations(self, states: StateMatrix) -> List[Observation]:
-        """Per-state, per-cause observations above the strength floor."""
+        """Per-state, per-cause observations above the strength floor.
+
+        Exception gating is vectorized, but the NNLS solves run one state
+        at a time through :func:`observations_for_state` — the identical
+        call the streaming session makes — so observation strengths don't
+        depend on how the states were batched.  Returned in canonical
+        stream order (:func:`observation_sort_key`).
+        """
         if len(states) == 0:
             return []
         if self.exception_threshold is not None:
@@ -132,118 +392,41 @@ class IncidentAggregator:
                 pass  # loaded model: no stats, no gate
             if len(states) == 0:
                 return []
-        weights = sparsify_inferred(
-            self.tool.correlation_strengths(states), retention=self.retention
-        )
-        labels = self.tool.labels
         out: List[Observation] = []
-        for i, j in zip(*np.nonzero(weights >= self.min_strength)):
-            label = labels[int(j)]
-            if label.is_baseline or label.primary_hazard is None:
-                continue
-            out.append(
-                Observation(
+        for i in range(len(states)):
+            out.extend(
+                observations_for_state(
+                    self.tool,
+                    states.values[i],
                     node_id=int(states.node_ids[i]),
                     time_from=float(states.times_from[i]),
                     time_to=float(states.times_to[i]),
-                    cause_index=int(j),
-                    hazard=label.primary_hazard,
-                    strength=float(weights[i, j]),
+                    min_strength=self.min_strength,
+                    retention=self.retention,
                 )
             )
-        out.sort(key=lambda o: (o.hazard, o.time_from))
+        out.sort(key=observation_sort_key)
         return out
 
     # ------------------------------------------------------------------
     # clustering
     # ------------------------------------------------------------------
 
-    def _near_cluster(self, node_id: int, cluster_nodes: Sequence[int]) -> bool:
-        if self.positions is None:
-            return True
-        pos = self.positions.get(node_id)
-        if pos is None:
-            return True
-        for other in cluster_nodes:
-            opos = self.positions.get(other)
-            if opos is None:
-                continue
-            if math.hypot(pos[0] - opos[0], pos[1] - opos[1]) <= self.radius_m:
-                return True
-        return False
-
     def cluster(self, observations: Sequence[Observation]) -> List[Incident]:
-        """Greedy spatio-temporal clustering of same-hazard observations."""
-        incidents: List[Incident] = []
-        open_clusters: List[dict] = []
-        current_hazard: Optional[str] = None
+        """Greedy spatio-temporal clustering of same-hazard observations.
 
-        def close_all() -> None:
-            for cluster in open_clusters:
-                incidents.append(
-                    Incident(
-                        hazard=cluster["hazard"],
-                        node_ids=tuple(sorted(cluster["nodes"])),
-                        start=cluster["start"],
-                        end=cluster["end"],
-                        peak_strength=cluster["peak"],
-                        total_strength=cluster["total"],
-                        n_observations=cluster["count"],
-                    )
-                )
-            open_clusters.clear()
-
-        for obs in observations:
-            if obs.hazard != current_hazard:
-                close_all()
-                current_hazard = obs.hazard
-            # expire clusters this observation can no longer join
-            still_open = []
-            for cluster in open_clusters:
-                if obs.time_from > cluster["end"] + self.time_gap_s:
-                    incidents.append(
-                        Incident(
-                            hazard=cluster["hazard"],
-                            node_ids=tuple(sorted(cluster["nodes"])),
-                            start=cluster["start"],
-                            end=cluster["end"],
-                            peak_strength=cluster["peak"],
-                            total_strength=cluster["total"],
-                            n_observations=cluster["count"],
-                        )
-                    )
-                else:
-                    still_open.append(cluster)
-            open_clusters[:] = still_open
-
-            home = None
-            for cluster in open_clusters:
-                if self._near_cluster(obs.node_id, tuple(cluster["nodes"])):
-                    home = cluster
-                    break
-            if home is None:
-                open_clusters.append(
-                    {
-                        "hazard": obs.hazard,
-                        "nodes": {obs.node_id},
-                        "start": obs.time_from,
-                        "end": obs.time_to,
-                        "peak": obs.strength,
-                        "total": obs.strength,
-                        "count": 1,
-                    }
-                )
-            else:
-                home["nodes"].add(obs.node_id)
-                home["start"] = min(home["start"], obs.time_from)
-                home["end"] = max(home["end"], obs.time_to)
-                home["peak"] = max(home["peak"], obs.strength)
-                home["total"] += obs.strength
-                home["count"] += 1
-
-        close_all()
-        incidents.sort(key=lambda inc: (-inc.total_strength, inc.start))
-        return incidents
+        A replay over :class:`IncidentTracker`: sort into the canonical
+        stream order, feed one observation at a time, flush.
+        """
+        tracker = IncidentTracker(
+            positions=self.positions,
+            time_gap_s=self.time_gap_s,
+            radius_m=self.radius_m,
+        )
+        for obs in sorted(observations, key=observation_sort_key):
+            tracker.add(obs)
+        tracker.flush()
+        return tracker.sorted_incidents()
 
     def extract(self, states: StateMatrix) -> List[Incident]:
         """Full pipeline: states -> observations -> incidents."""

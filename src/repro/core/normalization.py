@@ -27,10 +27,15 @@ class MinMaxNormalizer:
     Attributes:
         lo: Per-metric minimum seen at fit time.
         hi: Per-metric maximum seen at fit time.
+        method: How the ranges were fit (``"robust"`` or ``"minmax"``) —
+            recorded so a saved model round-trips its full recipe.
+        robust_quantile: The deviation quantile used by ``"robust"``.
     """
 
     lo: np.ndarray
     hi: np.ndarray
+    method: str = "robust"
+    robust_quantile: float = 0.98
 
     _MIN_SPAN = 1e-9
 
@@ -84,7 +89,7 @@ class MinMaxNormalizer:
             span = hi - lo
             lo = lo - pad_fraction * span
             hi = hi + pad_fraction * span
-        return cls(lo=lo, hi=hi)
+        return cls(lo=lo, hi=hi, method=method, robust_quantile=robust_quantile)
 
     def _span(self) -> np.ndarray:
         return np.maximum(self.hi - self.lo, self._MIN_SPAN)

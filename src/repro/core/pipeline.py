@@ -331,7 +331,8 @@ class VN2:
         states' per-metric mean, and ``max(ε)`` the largest deviation seen
         in training.  A state scoring >= the training exception threshold
         (0.01 in the paper) would have been flagged as an exception.
-        Only available on models fitted in-process (not after ``load``).
+        Available on models fitted in-process and on models loaded from
+        saves that recorded the statistics (older saves did not).
         """
         if getattr(self, "_train_mean", None) is None:
             raise RuntimeError(
@@ -453,6 +454,66 @@ class VN2:
             for i, report in zip(flagged, reports)
         ]
 
+    def diagnose_stream(
+        self,
+        packets,
+        threshold_ratio: Optional[float] = None,
+        positions: Optional[Dict[int, Tuple[float, float]]] = None,
+        max_epoch_gap: Optional[int] = None,
+        min_strength: float = 0.2,
+        retention: float = 0.9,
+        time_gap_s: float = 600.0,
+        radius_m: float = 60.0,
+    ):
+        """Diagnose a packet stream incrementally (generator).
+
+        The online face of the engine: packets go through the streaming
+        state builder, the ε exception screen, one per-state NNLS solve
+        and the incident tracker, yielding one
+        :class:`~repro.core.streaming.StreamUpdate` per completed state as
+        its completing packet arrives — memory stays bounded by the node
+        population, never the trace length.
+
+        ``packets`` is anything :func:`repro.core.streaming.iter_packets`
+        accepts: a :class:`~repro.traces.frame.TraceFrame` / ``Trace``
+        (iterated in arrival order), an iterable of
+        :class:`~repro.traces.records.SnapshotRow`, or raw
+        ``(node_id, epoch, generated_at, values)`` tuples.
+
+        After the source is exhausted a final update (``state=None``)
+        carrying the flush-close incident events is yielded, so every
+        incident the stream opened is eventually closed.
+
+        Keyword arguments mirror
+        :class:`~repro.core.streaming.StreamingDiagnosisSession`; for a
+        long-lived feed (e.g. tailing a file) construct the session
+        directly to control flushing yourself.
+        """
+        from repro.core.streaming import StreamingDiagnosisSession, StreamUpdate
+
+        session = StreamingDiagnosisSession(
+            self,
+            positions=positions,
+            threshold_ratio=threshold_ratio,
+            max_epoch_gap=max_epoch_gap,
+            min_strength=min_strength,
+            retention=retention,
+            time_gap_s=time_gap_s,
+            radius_m=radius_m,
+        )
+        for update in session.process(packets):
+            yield update
+        closing = session.finish()
+        if closing:
+            yield StreamUpdate(
+                state=None,
+                score=None,
+                is_exception=False,
+                report=None,
+                observations=[],
+                events=closing,
+            )
+
     def correlation_strengths(self, states: Union[StateMatrix, np.ndarray]) -> np.ndarray:
         """NNLS weights for a batch of states: (n, r) matrix.
 
@@ -550,22 +611,33 @@ class VN2:
     # ------------------------------------------------------------------
 
     def save(self, path: Union[str, Path]) -> None:
-        """Persist the fitted model (npz next to a small json sidecar)."""
+        """Persist the fitted model (npz next to a small json sidecar).
+
+        Besides the factor matrices and normalizer ranges, the training
+        deviation statistics (mean/std/max ε) are stored so a loaded
+        model can still screen incoming states — the ``vn2 watch`` /
+        :meth:`diagnose_stream` deployment path.
+        """
         self._require_fitted()
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        np.savez_compressed(
-            path.with_suffix(".npz"),
-            W=self.nmf_.W,
-            Psi=self.nmf_.Psi,
-            W_sparse=self.sparsify_.W_sparse,
-            lo=self.normalizer_.lo,
-            hi=self.normalizer_.hi,
-        )
+        arrays = {
+            "W": self.nmf_.W,
+            "Psi": self.nmf_.Psi,
+            "W_sparse": self.sparsify_.W_sparse,
+            "lo": self.normalizer_.lo,
+            "hi": self.normalizer_.hi,
+        }
+        if self._train_mean is not None:
+            arrays["train_mean"] = self._train_mean
+            arrays["train_std"] = self._train_std
+            arrays["train_max_eps"] = np.array(self._train_max_eps)
+        np.savez_compressed(path.with_suffix(".npz"), **arrays)
         sidecar = {
             "rank": self.rank_,
             "config": {
                 "rank": self.config.rank,
+                "rank_candidates": list(self.config.rank_candidates),
                 "filter_exceptions": self.config.filter_exceptions,
                 "exception_threshold": self.config.exception_threshold,
                 "retention": self.config.retention,
@@ -575,19 +647,38 @@ class VN2:
                 "normalizer_pad": self.config.normalizer_pad,
                 "min_weight_fraction": self.config.min_weight_fraction,
             },
+            "normalizer": {
+                "method": self.normalizer_.method,
+                "robust_quantile": self.normalizer_.robust_quantile,
+            },
         }
         path.with_suffix(".json").write_text(json.dumps(sidecar, indent=2))
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "VN2":
-        """Load a model saved with :meth:`save`."""
+        """Load a model saved with :meth:`save` (older saves still load,
+        minus whatever they did not record)."""
         path = Path(path)
         sidecar = json.loads(path.with_suffix(".json").read_text())
         arrays = np.load(path.with_suffix(".npz"))
         config_kwargs = dict(sidecar["config"])
+        if "rank_candidates" in config_kwargs:
+            config_kwargs["rank_candidates"] = tuple(
+                config_kwargs["rank_candidates"]
+            )
         tool = cls(VN2Config(**config_kwargs))
         tool.rank_ = sidecar["rank"]
-        tool.normalizer_ = MinMaxNormalizer(lo=arrays["lo"], hi=arrays["hi"])
+        norm_meta = sidecar.get("normalizer", {})
+        tool.normalizer_ = MinMaxNormalizer(
+            lo=arrays["lo"],
+            hi=arrays["hi"],
+            method=norm_meta.get("method", "robust"),
+            robust_quantile=norm_meta.get("robust_quantile", 0.98),
+        )
+        if "train_mean" in arrays:
+            tool._train_mean = arrays["train_mean"]
+            tool._train_std = arrays["train_std"]
+            tool._train_max_eps = float(arrays["train_max_eps"])
         tool.nmf_ = NMFResult(
             W=arrays["W"],
             Psi=arrays["Psi"],

@@ -5,19 +5,27 @@ between two successive report packets, ``S^v_i = P^v_i - P^v_{i-1}``.
 Counters therefore yield "activity during the interval" (and a large
 negative jump after a reboot), while gauges yield drift.
 
-:func:`build_states` applies this across a whole trace in one vectorized
-pass over the columnar :class:`~repro.traces.frame.TraceFrame` layout,
-keeping provenance (which node, which epoch pair, when) as parallel
-columns so diagnoses can be mapped back to nodes and compared with ground
-truth.  The provenance *columns* are the fast path; the object view
-(:attr:`StateMatrix.provenance`) is materialized lazily for legacy
-consumers.
+The differencer is implemented once, incrementally, in
+:class:`StreamingStateBuilder`: a per-node last-report cache that emits a
+state vector (with provenance) the moment the packet completing the pair
+arrives.  :func:`build_states` — the batch API — is a replay over that
+core: one vectorized :meth:`StreamingStateBuilder.push_frame` call over
+the whole (node, epoch)-sorted frame, which reduces to exactly the
+adjacent-row differencing pass the columnar backbone introduced.
+Per-packet :meth:`~StreamingStateBuilder.push` and chunked/whole-frame
+:meth:`~StreamingStateBuilder.push_frame` are bit-identical: the same
+float64 subtraction on the same operands, so online diagnosis and batch
+training see the same numbers.
+
+Provenance (which node, which epoch pair, when) travels as parallel
+columns; the object view (:attr:`StateMatrix.provenance`) is materialized
+lazily for legacy consumers.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -149,16 +157,219 @@ def _column(
     return column
 
 
+@dataclass
+class StreamedState:
+    """One state vector emitted by :class:`StreamingStateBuilder`.
+
+    The streaming twin of one :class:`StateMatrix` row: the signed metric
+    delta plus the provenance of the snapshot pair that produced it.
+    """
+
+    values: np.ndarray
+    node_id: int
+    epoch_from: int
+    epoch_to: int
+    time_from: float
+    time_to: float
+
+    @property
+    def provenance(self) -> StateProvenance:
+        """The :class:`StateProvenance` view of this state."""
+        return StateProvenance(
+            node_id=self.node_id,
+            epoch_from=self.epoch_from,
+            epoch_to=self.epoch_to,
+            time_from=self.time_from,
+            time_to=self.time_to,
+        )
+
+
+def stack_states(streamed: Sequence[StreamedState]) -> StateMatrix:
+    """Collect streamed states into a :class:`StateMatrix` (order kept)."""
+    if not streamed:
+        return StateMatrix(values=np.zeros((0, NUM_METRICS)))
+    return StateMatrix(
+        values=np.vstack([s.values for s in streamed]),
+        node_ids=np.array([s.node_id for s in streamed], dtype=np.int64),
+        epochs_from=np.array([s.epoch_from for s in streamed], dtype=np.int64),
+        epochs_to=np.array([s.epoch_to for s in streamed], dtype=np.int64),
+        times_from=np.array([s.time_from for s in streamed], dtype=float),
+        times_to=np.array([s.time_to for s in streamed], dtype=float),
+    )
+
+
+class StreamingStateBuilder:
+    """Incremental network-state construction from a live packet stream.
+
+    Keeps one cached last report per node and emits the state vector
+    ``P_i - P_{i-1}`` the moment packet ``P_i`` arrives.  Semantics match
+    the batch differencer exactly:
+
+    * every arriving packet **replaces** the node's cache entry (a
+      duplicate epoch refreshes the baseline without emitting, exactly as
+      the batch pass skips ``gap <= 0`` pairs but differences against the
+      later duplicate);
+    * a state is emitted only for ``0 < epoch gap <= max_epoch_gap``;
+    * reboots / counter resets need no special casing — the raw signed
+      delta (a large negative jump) passes through untouched, which is
+      what the exception detector keys on.
+
+    Memory is bounded by the node population: one 43-metric row per node,
+    independent of trace length.
+
+    Per-packet :meth:`push` and vectorized :meth:`push_frame` produce
+    bit-identical values (same float64 operands, same elementwise ops),
+    so the batch path (:func:`build_states` = one ``push_frame`` over the
+    sorted frame) and a packet-at-a-time replay agree to the last bit.
+
+    Args:
+        max_epoch_gap: Emit nothing for snapshot pairs more than this many
+            epochs apart (``None`` keeps every pair, as the paper does).
+        per_epoch_rate: Divide each delta by its epoch gap.
+    """
+
+    def __init__(
+        self,
+        max_epoch_gap: Optional[int] = None,
+        per_epoch_rate: bool = False,
+    ):
+        self.max_epoch_gap = max_epoch_gap
+        self.per_epoch_rate = per_epoch_rate
+        self._last: Dict[int, Tuple[int, float, np.ndarray]] = {}
+        self.n_packets = 0
+        self.n_states = 0
+
+    def __len__(self) -> int:
+        """Number of nodes currently cached."""
+        return len(self._last)
+
+    def reset(self) -> None:
+        """Drop every cached report (e.g. on trace rollover)."""
+        self._last.clear()
+
+    def push(
+        self,
+        node_id: int,
+        epoch: int,
+        generated_at: float,
+        values: np.ndarray,
+    ) -> Optional[StreamedState]:
+        """Ingest one report packet; return the completed state, if any."""
+        node_id = int(node_id)
+        epoch = int(epoch)
+        generated_at = float(generated_at)
+        values = np.array(values, dtype=float).ravel()
+        self.n_packets += 1
+        prev = self._last.get(node_id)
+        self._last[node_id] = (epoch, generated_at, values)
+        if prev is None:
+            return None
+        prev_epoch, prev_time, prev_values = prev
+        gap = epoch - prev_epoch
+        if gap <= 0:
+            return None
+        if self.max_epoch_gap is not None and gap > self.max_epoch_gap:
+            return None
+        delta = values - prev_values
+        if self.per_epoch_rate:
+            delta = delta / gap
+        self.n_states += 1
+        return StreamedState(
+            values=delta,
+            node_id=node_id,
+            epoch_from=prev_epoch,
+            epoch_to=epoch,
+            time_from=prev_time,
+            time_to=generated_at,
+        )
+
+    def push_frame(self, frame: Union[Trace, TraceFrame]) -> StateMatrix:
+        """Vectorized chunk ingestion: one differencing pass per chunk.
+
+        Equivalent to calling :meth:`push` row by row (states come back in
+        the same order, with bit-identical values) but the within-chunk
+        pairs are differenced as one matrix operation; only the per-node
+        chunk boundaries touch the Python-level cache.  Feeding a whole
+        sorted frame reproduces the batch differencer; feeding successive
+        chunks of it gives the same states with bounded memory.
+        """
+        frame = as_frame(frame)
+        n = len(frame)
+        if n == 0:
+            return StateMatrix(values=np.zeros((0, NUM_METRICS)))
+        self.n_packets += n
+        node_ids = frame.node_ids
+        # Group rows by node, preserving arrival order within each node.
+        # Frames honour the (node_id, epoch) sort invariant so the stable
+        # argsort is the identity permutation; the general path only runs
+        # for hand-built chunks.
+        if n > 1 and np.any(node_ids[1:] < node_ids[:-1]):
+            order = np.argsort(node_ids, kind="stable")
+            sn = node_ids[order]
+            se = frame.epochs[order]
+            sg = frame.generated_at[order]
+            sv = frame.values[order]
+        else:
+            order = None
+            sn, se, sg, sv = node_ids, frame.epochs, frame.generated_at, frame.values
+
+        run_start = np.ones(n, dtype=bool)
+        run_start[1:] = sn[1:] != sn[:-1]
+        inner = np.flatnonzero(~run_start)
+        has_prev = ~run_start
+        prev_epochs = np.zeros(n, dtype=np.int64)
+        prev_times = np.zeros(n, dtype=float)
+        prev_values = np.zeros((n, sv.shape[1]), dtype=float)
+        prev_epochs[inner] = se[inner - 1]
+        prev_times[inner] = sg[inner - 1]
+        prev_values[inner] = sv[inner - 1]
+        for i in np.flatnonzero(run_start):  # one lookup per distinct node
+            cached = self._last.get(int(sn[i]))
+            if cached is not None:
+                has_prev[i] = True
+                prev_epochs[i], prev_times[i], prev_values[i] = cached
+
+        gaps = se - prev_epochs
+        mask = has_prev & (gaps > 0)
+        if self.max_epoch_gap is not None:
+            mask &= gaps <= self.max_epoch_gap
+        emit = np.flatnonzero(mask)
+        values = sv[emit] - prev_values[emit]
+        if self.per_epoch_rate:
+            values = values / gaps[emit][:, None]
+        states = StateMatrix(
+            values=values,
+            node_ids=sn[emit],
+            epochs_from=prev_epochs[emit],
+            epochs_to=se[emit],
+            times_from=prev_times[emit],
+            times_to=sg[emit],
+        )
+        if order is not None and len(states) > 1:
+            # Emission order is defined by packet arrival: re-interleave.
+            states = states._take(np.argsort(order[emit], kind="stable"))
+        # Cache the last arrival of every node in the chunk (row copies,
+        # so chunk buffers can be freed between push_frame calls).
+        run_end = np.flatnonzero(np.append(run_start[1:], True))
+        for i in run_end:
+            self._last[int(sn[i])] = (int(se[i]), float(sg[i]), sv[i].copy())
+        self.n_states += len(states)
+        return states
+
+
 def build_states(
     trace: Union[Trace, TraceFrame],
     max_epoch_gap: Optional[int] = None,
     per_epoch_rate: bool = False,
 ) -> StateMatrix:
-    """Vectorized differencing pass over a trace or frame.
+    """Batch differencing: a whole-frame replay over the streaming core.
 
     Because frame rows are sorted by (node_id, epoch), "successive
     snapshots of one node" are exactly the adjacent row pairs that share a
-    node id — one boolean mask replaces the per-node Python loop.
+    node id — a single :meth:`StreamingStateBuilder.push_frame` call over
+    the full frame performs the same one-mask vectorized pass the columnar
+    backbone introduced, and a packet-at-a-time replay through
+    :meth:`StreamingStateBuilder.push` produces bit-identical states.
 
     Args:
         trace: Sink-side trace (object or frame) of complete snapshots.
@@ -172,27 +383,10 @@ def build_states(
     Returns:
         A :class:`StateMatrix` with one row per successive snapshot pair.
     """
-    frame = as_frame(trace)
-    n = len(frame)
-    if n < 2:
-        return StateMatrix(values=np.zeros((0, NUM_METRICS)))
-    same_node = frame.node_ids[1:] == frame.node_ids[:-1]
-    gaps = frame.epochs[1:] - frame.epochs[:-1]
-    mask = same_node & (gaps > 0)  # gap <= 0: duplicate/out-of-order epoch
-    if max_epoch_gap is not None:
-        mask &= gaps <= max_epoch_gap
-    prev = np.flatnonzero(mask)
-    values = frame.values[prev + 1] - frame.values[prev]
-    if per_epoch_rate:
-        values = values / gaps[prev][:, None]
-    return StateMatrix(
-        values=values,
-        node_ids=frame.node_ids[prev],
-        epochs_from=frame.epochs[prev],
-        epochs_to=frame.epochs[prev + 1],
-        times_from=frame.generated_at[prev],
-        times_to=frame.generated_at[prev + 1],
+    builder = StreamingStateBuilder(
+        max_epoch_gap=max_epoch_gap, per_epoch_rate=per_epoch_rate
     )
+    return builder.push_frame(as_frame(trace))
 
 
 def build_states_python(

@@ -1,0 +1,262 @@
+"""Streaming diagnosis session: report packets in, incident events out.
+
+This is the online assembly of the incremental engine — the deployed loop
+of the paper's Fig 1 run packet by packet instead of trace by trace:
+
+1. :class:`~repro.core.states.StreamingStateBuilder` turns each arriving
+   report packet into a network state the moment its pair completes;
+2. the state is screened with the ε exception rule against the model's
+   training statistics (one O(metrics) check);
+3. exceptional states get ONE per-state NNLS solve, reused for both the
+   operator-facing :class:`~repro.core.pipeline.DiagnosisReport` and the
+   hazard :class:`~repro.core.incidents.Observation` extraction;
+4. observations feed the :class:`~repro.core.incidents.IncidentTracker`,
+   whose open/update/close :class:`~repro.core.incidents.IncidentEvent`
+   records are what ``vn2 watch`` prints.
+
+Memory is bounded: one cached report per node, O(metrics) screening
+statistics, and the open incidents — nothing grows with trace length
+(closed incidents accumulate in ``tracker.incidents``; truncate or ignore
+them for unbounded runs).
+
+Bit-identity with the batch path holds by construction: the builder's
+per-packet differencing, the per-row ε screen, and the per-state NNLS
+solve are the very calls the batch replays make, and feeding packets in
+the canonical arrival order (``generated_at``, then node id, then epoch —
+what :func:`iter_packets` yields) reproduces the batch observation order
+exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.exceptions import StreamingExceptionDetector
+from repro.core.incidents import (
+    IncidentEvent,
+    IncidentTracker,
+    Observation,
+    observations_for_state,
+)
+from repro.core.inference import infer_weights_batch, sparsify_inferred
+from repro.core.pipeline import VN2, DiagnosisReport
+from repro.core.states import StreamedState, StreamingStateBuilder
+from repro.traces.frame import TraceFrame, as_frame
+from repro.traces.records import SnapshotRow, Trace
+
+#: One report packet: (node_id, epoch, generated_at, values).
+Packet = Tuple[int, int, float, np.ndarray]
+
+
+def iter_packets(
+    source: Union[Trace, TraceFrame, Iterable],
+) -> Iterator[Packet]:
+    """Yield ``(node_id, epoch, generated_at, values)`` in arrival order.
+
+    A :class:`~repro.traces.frame.TraceFrame` (or legacy ``Trace``) is
+    stored node-major; a live sink sees packets in *time* order.  This
+    helper yields frame rows sorted by (generated_at, node_id, epoch) —
+    the canonical arrival order the streaming engine's bit-identity
+    guarantees assume.  Iterables of :class:`SnapshotRow` or packet
+    tuples are passed through untouched (a tailed JSONL file is already
+    in arrival order).
+    """
+    if isinstance(source, (Trace, TraceFrame)):
+        frame = as_frame(source)
+        order = np.lexsort((frame.epochs, frame.node_ids, frame.generated_at))
+        for i in order:
+            yield (
+                int(frame.node_ids[i]),
+                int(frame.epochs[i]),
+                float(frame.generated_at[i]),
+                frame.values[i],
+            )
+        return
+    for item in source:
+        if isinstance(item, SnapshotRow):
+            yield (item.node_id, item.epoch, item.generated_at, item.values)
+        else:
+            node_id, epoch, generated_at, values = item
+            yield (
+                int(node_id),
+                int(epoch),
+                float(generated_at),
+                np.asarray(values, dtype=float),
+            )
+
+
+@dataclass
+class StreamUpdate:
+    """Everything one completed state produced.
+
+    Attributes:
+        state: The emitted network state (``None`` only on the final
+            flush update of :meth:`VN2.diagnose_stream`).
+        score: The ε/max(ε) exception score (``None`` when the model
+            carries no training statistics).
+        is_exception: Whether the state passed the exception screen (and
+            was therefore diagnosed).
+        report: Root-cause diagnosis of the state; ``None`` for screened-
+            out states.
+        observations: Hazard observations the state contributed.
+        events: Incident open/update/close transitions those caused.
+    """
+
+    state: Optional[StreamedState]
+    score: Optional[float]
+    is_exception: bool
+    report: Optional[DiagnosisReport]
+    observations: List[Observation]
+    events: List[IncidentEvent]
+
+
+class StreamingDiagnosisSession:
+    """Stateful packet-at-a-time diagnosis against a fitted model.
+
+    Args:
+        tool: A fitted (or loaded) :class:`VN2` model.
+        positions: Optional node positions for spatial incident clustering.
+        threshold_ratio: ε screen cutoff; defaults to the model config's
+            ``exception_threshold``.
+        max_epoch_gap / per_epoch_rate: Forwarded to the state builder.
+        min_strength / retention: Observation extraction knobs (defaults
+            match :class:`~repro.core.incidents.IncidentAggregator`).
+        time_gap_s / radius_m: Incident clustering knobs.
+
+    A model without training statistics (saved by an older version)
+    cannot screen, so — exactly like the batch aggregator's fallback —
+    every state is diagnosed; an online Welford screen still supplies an
+    informational score.
+    """
+
+    def __init__(
+        self,
+        tool: VN2,
+        positions=None,
+        threshold_ratio: Optional[float] = None,
+        max_epoch_gap: Optional[int] = None,
+        per_epoch_rate: bool = False,
+        min_strength: float = 0.2,
+        retention: float = 0.9,
+        time_gap_s: float = 600.0,
+        radius_m: float = 60.0,
+    ):
+        tool._require_fitted()
+        self.tool = tool
+        self.threshold_ratio = (
+            tool.config.exception_threshold
+            if threshold_ratio is None
+            else threshold_ratio
+        )
+        self.min_strength = min_strength
+        self.retention = retention
+        self.builder = StreamingStateBuilder(
+            max_epoch_gap=max_epoch_gap, per_epoch_rate=per_epoch_rate
+        )
+        self.tracker = IncidentTracker(
+            positions=positions, time_gap_s=time_gap_s, radius_m=radius_m
+        )
+        self._has_stats = getattr(tool, "_train_mean", None) is not None
+        self._fallback: Optional[StreamingExceptionDetector] = (
+            None
+            if self._has_stats
+            else StreamingExceptionDetector(
+                threshold_ratio=self.threshold_ratio, keep_states=False
+            )
+        )
+        self.n_exceptions = 0
+        self._finished = False
+
+    @property
+    def n_packets(self) -> int:
+        """Packets ingested so far."""
+        return self.builder.n_packets
+
+    @property
+    def n_states(self) -> int:
+        """States completed so far."""
+        return self.builder.n_states
+
+    def push_packet(
+        self,
+        node_id: int,
+        epoch: int,
+        generated_at: float,
+        values: np.ndarray,
+    ) -> Optional[StreamUpdate]:
+        """Ingest one report packet; return the update it completed, if any."""
+        state = self.builder.push(node_id, epoch, generated_at, values)
+        if state is None:
+            return None
+        return self.push_state(state)
+
+    def push_state(self, state: StreamedState) -> StreamUpdate:
+        """Screen, diagnose and cluster one completed state."""
+        if self._has_stats:
+            score = float(self.tool._exception_scores(state.values)[0])
+            flagged = score >= self.threshold_ratio
+        else:
+            # Stat-less legacy model: match the batch aggregator's
+            # fallback (diagnose everything), Welford score for display.
+            score = self._fallback.score(state.values)
+            self._fallback.update(state.values)
+            flagged = True
+        if not flagged:
+            return StreamUpdate(
+                state=state,
+                score=score,
+                is_exception=False,
+                report=None,
+                observations=[],
+                events=[],
+            )
+        self.n_exceptions += 1
+        # ONE per-state solve — identical to observation_weights(), reused
+        # for the report so batch and stream agree bit for bit on
+        # observation strengths without a second NNLS.
+        normalized = self.tool._normalize_states(state.values)
+        weights, residuals = infer_weights_batch(self.tool.nmf_.Psi, normalized)
+        report = self.tool._build_report(
+            weights[0], float(residuals[0]), float(np.linalg.norm(normalized[0]))
+        )
+        sparse = sparsify_inferred(weights, retention=self.retention)[0]
+        observations = observations_for_state(
+            self.tool,
+            state.values,
+            node_id=state.node_id,
+            time_from=state.time_from,
+            time_to=state.time_to,
+            min_strength=self.min_strength,
+            retention=self.retention,
+            weights=sparse,
+        )
+        events = [e for obs in observations for e in self.tracker.add(obs)]
+        return StreamUpdate(
+            state=state,
+            score=score,
+            is_exception=True,
+            report=report,
+            observations=observations,
+            events=events,
+        )
+
+    def process(self, packets) -> Iterator[StreamUpdate]:
+        """Stream updates for every state a packet source completes.
+
+        Accepts anything :func:`iter_packets` does.  Does NOT flush open
+        incidents — call :meth:`finish` when the stream truly ends.
+        """
+        for packet in iter_packets(packets):
+            update = self.push_packet(*packet)
+            if update is not None:
+                yield update
+
+    def finish(self) -> List[IncidentEvent]:
+        """Close every open incident (idempotent end-of-stream flush)."""
+        if self._finished:
+            return []
+        self._finished = True
+        return self.tracker.flush()

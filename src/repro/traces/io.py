@@ -21,14 +21,16 @@ import csv
 import json
 import os
 import tempfile
+import time
+import zipfile
 from pathlib import Path
-from typing import IO, Iterator, Optional, Union
+from typing import IO, Callable, Iterator, Optional, Union
 
 import numpy as np
 
 from repro.metrics.catalog import METRIC_NAMES, NUM_METRICS
 from repro.traces.frame import TraceFrame, as_frame
-from repro.traces.records import GroundTruth, Trace
+from repro.traces.records import GroundTruth, SnapshotRow, Trace
 
 _FORMAT_VERSION = 1
 
@@ -256,6 +258,221 @@ def load_frame_npz(path: Union[str, Path]) -> TraceFrame:
             arrival_times=arrays["arrival_times"],
             arrival_nodes=arrays["arrival_nodes"],
         )
+
+
+# --------------------------------------------------------------------------
+# streaming reads: bounded-memory chunks and live tailing
+# --------------------------------------------------------------------------
+
+
+def read_frame_header(path: Union[str, Path], fmt: Optional[str] = None) -> dict:
+    """Read only a trace file's header (metadata, ground truth, counts).
+
+    O(header) work for both codecs — the snapshot rows are never touched —
+    so ``vn2 watch`` can pick up node positions and generation parameters
+    before a single packet is consumed.
+    """
+    path = Path(path)
+    fmt = fmt or detect_format(path)
+    if fmt == "jsonl":
+        with path.open("r", encoding="utf-8") as fh:
+            header_line = fh.readline()
+        if not header_line:
+            raise ValueError(f"{path} is empty")
+        header = json.loads(header_line)
+    elif fmt == "npz":
+        with zipfile.ZipFile(path) as zf:
+            with zf.open("header.npy") as member:
+                header = json.loads(str(np.lib.format.read_array(member)))
+    else:
+        raise ValueError(f"unknown trace format {fmt!r}; expected {FORMATS}")
+    _check_header(header, path)
+    return header
+
+
+def _npy_member(zf: "zipfile.ZipFile", name: str):
+    """Open one array member of an (uncompressed) NPZ as a raw stream.
+
+    Returns ``(fileobj, shape, dtype)`` with the stream positioned at the
+    first data byte.  ``np.savez`` writes plain C-order ``.npy`` members,
+    so rows can be sliced off the stream without materializing the array.
+    """
+    member = zf.open(name + ".npy")
+    version = np.lib.format.read_magic(member)
+    if version == (1, 0):
+        shape, fortran, dtype = np.lib.format.read_array_header_1_0(member)
+    elif version == (2, 0):
+        shape, fortran, dtype = np.lib.format.read_array_header_2_0(member)
+    else:
+        raise ValueError(f"unsupported npy version {version} for {name}")
+    if fortran:
+        raise ValueError(f"{name} is Fortran-ordered; cannot stream rows")
+    return member, shape, dtype
+
+
+def iter_frame_chunks(
+    path: Union[str, Path],
+    chunk_rows: int = 4096,
+    fmt: Optional[str] = None,
+) -> Iterator[TraceFrame]:
+    """Iterate a trace file as bounded-memory :class:`TraceFrame` chunks.
+
+    Chunks carry the snapshot columns only (no metadata / arrivals — use
+    :func:`read_frame_header` for those); concatenating them reproduces
+    the full frame's rows in order, and because trace files are written in
+    (node_id, epoch) order every chunk honours the frame sort invariant as
+    is.  Peak memory is O(chunk_rows), never O(trace).
+
+    Works for both codecs: JSONL is line-streamed; NPZ members are read
+    row-range by row-range straight from the (uncompressed) zip streams.
+    """
+    path = Path(path)
+    fmt = fmt or detect_format(path)
+    if chunk_rows < 1:
+        raise ValueError(f"chunk_rows must be >= 1, got {chunk_rows}")
+    if fmt == "jsonl":
+        yield from _iter_chunks_jsonl(path, chunk_rows)
+    elif fmt == "npz":
+        yield from _iter_chunks_npz(path, chunk_rows)
+    else:
+        raise ValueError(f"unknown trace format {fmt!r}; expected {FORMATS}")
+
+
+def _chunk_frame(
+    node_ids, epochs, generated, received, values
+) -> TraceFrame:
+    return TraceFrame(
+        node_ids=np.asarray(node_ids, dtype=np.int64),
+        epochs=np.asarray(epochs, dtype=np.int64),
+        generated_at=np.asarray(generated, dtype=float),
+        received_at=np.asarray(received, dtype=float),
+        values=np.asarray(values, dtype=float).reshape(-1, NUM_METRICS),
+    )
+
+
+def _iter_chunks_jsonl(path: Path, chunk_rows: int) -> Iterator[TraceFrame]:
+    with path.open("r", encoding="utf-8") as fh:
+        header_line = fh.readline()
+        if not header_line:
+            raise ValueError(f"{path} is empty")
+        _check_header(json.loads(header_line), path)
+        node_ids, epochs, generated, received, value_rows = [], [], [], [], []
+        for line in fh:
+            obj = json.loads(line)
+            node_ids.append(obj["node_id"])
+            epochs.append(obj["epoch"])
+            generated.append(obj["generated_at"])
+            received.append(obj["received_at"])
+            value_rows.append(obj["values"])
+            if len(node_ids) >= chunk_rows:
+                yield _chunk_frame(node_ids, epochs, generated, received, value_rows)
+                node_ids, epochs, generated, received, value_rows = [], [], [], [], []
+        if node_ids:
+            yield _chunk_frame(node_ids, epochs, generated, received, value_rows)
+
+
+def _iter_chunks_npz(path: Path, chunk_rows: int) -> Iterator[TraceFrame]:
+    with zipfile.ZipFile(path) as zf:
+        with zf.open("header.npy") as member:
+            _check_header(json.loads(str(np.lib.format.read_array(member))), path)
+        streams = {}
+        try:
+            for name in ("node_ids", "epochs", "generated_at", "received_at", "values"):
+                streams[name] = _npy_member(zf, name)
+            n = streams["values"][1][0]
+            width = streams["values"][1][1]
+            for start in range(0, n, chunk_rows):
+                rows = min(chunk_rows, n - start)
+                cols = {}
+                for name, (stream, _shape, dtype) in streams.items():
+                    per_row = width if name == "values" else 1
+                    nbytes = rows * per_row * dtype.itemsize
+                    buf = stream.read(nbytes)
+                    if len(buf) != nbytes:
+                        raise ValueError(f"{path} truncated while reading {name}")
+                    cols[name] = np.frombuffer(buf, dtype=dtype).copy()
+                yield _chunk_frame(
+                    cols["node_ids"],
+                    cols["epochs"],
+                    cols["generated_at"],
+                    cols["received_at"],
+                    cols["values"].reshape(rows, width),
+                )
+        finally:
+            for stream, _shape, _dtype in streams.values():
+                stream.close()
+
+
+def tail_frame_jsonl(
+    path: Union[str, Path],
+    poll_s: float = 0.5,
+    follow: bool = True,
+    idle_timeout: Optional[float] = None,
+    stop: Optional[Callable[[], bool]] = None,
+) -> Iterator[SnapshotRow]:
+    """Follow a (possibly still growing) JSONL trace, snapshot by snapshot.
+
+    Yields one :class:`~repro.traces.records.SnapshotRow` per complete
+    line as it lands in the file — the packet source a live ``vn2 watch``
+    consumes.  Partial lines (a writer mid-append) are buffered until
+    their newline arrives; a truncated file (trace rollover) restarts the
+    reader from the new beginning.
+
+    Args:
+        path: The JSONL trace file (its header line is validated and
+            skipped; fetch it via :func:`read_frame_header`).
+        poll_s: Sleep between polls once the end of file is reached.
+        follow: Keep polling for growth after EOF (``False`` = read what
+            is there and return, like ``tail -c +0`` without ``-f``).
+        idle_timeout: Give up after this many seconds without new data
+            (``None`` = follow forever).
+        stop: Optional callable checked at each poll; return True to end
+            the tail (e.g. wired to a signal handler).
+    """
+    path = Path(path)
+    buffer = ""
+    saw_header = False
+    idle = 0.0
+    with path.open("r", encoding="utf-8") as fh:
+        while True:
+            chunk = fh.read(65536)
+            if chunk:
+                idle = 0.0
+                buffer += chunk
+                while "\n" in buffer:
+                    line, buffer = buffer.split("\n", 1)
+                    if not line.strip():
+                        continue
+                    obj = json.loads(line)
+                    if not saw_header:
+                        _check_header(obj, path)
+                        saw_header = True
+                        continue
+                    yield SnapshotRow(
+                        node_id=int(obj["node_id"]),
+                        epoch=int(obj["epoch"]),
+                        generated_at=float(obj["generated_at"]),
+                        received_at=float(obj["received_at"]),
+                        values=np.asarray(obj["values"], dtype=float),
+                    )
+                continue
+            if not follow:
+                return
+            if stop is not None and stop():
+                return
+            try:
+                if os.stat(path).st_size < fh.tell():
+                    # Truncated under us (rollover): restart from the top.
+                    fh.seek(0)
+                    buffer = ""
+                    saw_header = False
+                    continue
+            except OSError:
+                pass
+            time.sleep(poll_s)
+            idle += poll_s
+            if idle_timeout is not None and idle >= idle_timeout:
+                return
 
 
 # --------------------------------------------------------------------------

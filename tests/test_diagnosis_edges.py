@@ -33,9 +33,24 @@ def test_exception_score_monotone_in_deviation(testbed_tool, testbed_trace):
     assert large > small
 
 
-def test_exception_score_requires_training_stats(tmp_path, testbed_tool):
+def test_exception_score_survives_save_load(tmp_path, testbed_tool):
     path = tmp_path / "model"
     testbed_tool.save(path)
+    loaded = VN2.load(path)
+    state = np.zeros(NUM_METRICS)
+    assert loaded.exception_score(state) == testbed_tool.exception_score(state)
+
+
+def test_exception_score_requires_training_stats(tmp_path, testbed_tool):
+    # A legacy save (before training statistics were persisted) still
+    # loads, but cannot screen states.
+    path = tmp_path / "model"
+    testbed_tool.save(path)
+    with np.load(path.with_suffix(".npz")) as arrays:
+        stripped = {
+            k: arrays[k] for k in arrays.files if not k.startswith("train_")
+        }
+    np.savez_compressed(path.with_suffix(".npz"), **stripped)
     loaded = VN2.load(path)
     with pytest.raises(RuntimeError):
         loaded.exception_score(np.zeros(NUM_METRICS))

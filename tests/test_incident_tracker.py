@@ -1,0 +1,178 @@
+"""IncidentTracker edge cases: boundaries, interleaving, event protocol.
+
+The tracker's join/close rules are exact: an observation starting at
+``end + time_gap_s`` still joins (strictly-greater expiry), one at exactly
+``radius_m`` still merges (``<=`` distance check).  These tests pin the
+boundaries down, plus the degenerate inputs batch clustering must survive.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.incidents import (
+    IncidentAggregator,
+    IncidentTracker,
+    Observation,
+)
+
+
+def _obs(node=1, start=0.0, end=600.0, hazard="congestion", strength=0.5,
+         cause=0):
+    return Observation(
+        node_id=node,
+        time_from=start,
+        time_to=end,
+        cause_index=cause,
+        hazard=hazard,
+        strength=strength,
+    )
+
+
+def test_empty_observation_set():
+    tracker = IncidentTracker()
+    assert tracker.flush() == []
+    assert tracker.sorted_incidents() == []
+    assert tracker.open_incidents() == []
+
+
+def test_empty_batch_cluster(testbed_tool):
+    aggregator = IncidentAggregator(testbed_tool)
+    assert aggregator.cluster([]) == []
+
+
+def test_single_observation_opens_then_flush_closes():
+    tracker = IncidentTracker()
+    events = tracker.add(_obs())
+    assert [e.kind for e in events] == ["open"]
+    assert events[0].incident_id == 1
+    assert events[0].time == 600.0
+    assert len(tracker.open_incidents()) == 1
+
+    closes = tracker.flush()
+    assert [e.kind for e in closes] == ["close"]
+    assert closes[0].incident_id == 1
+    assert closes[0].time == 600.0  # flush closes at the cluster's own end
+    incident = closes[0].incident
+    assert incident.node_ids == (1,)
+    assert incident.n_observations == 1
+    assert incident.peak_strength == incident.total_strength == 0.5
+    assert tracker.open_incidents() == []
+
+
+def test_exact_gap_boundary_joins_one_past_closes():
+    gap = 600.0
+    # First incident ends at t=600; an observation starting exactly at
+    # 600 + gap joins (strict > expiry) ...
+    tracker = IncidentTracker(time_gap_s=gap)
+    tracker.add(_obs(start=0.0, end=600.0))
+    events = tracker.add(_obs(node=2, start=600.0 + gap, end=2000.0))
+    assert [e.kind for e in events] == ["update"]
+    tracker.flush()
+    assert len(tracker.incidents) == 1
+    assert tracker.incidents[0].node_ids == (1, 2)
+
+    # ... while one starting just beyond closes the old and opens a new.
+    tracker = IncidentTracker(time_gap_s=gap)
+    tracker.add(_obs(start=0.0, end=600.0))
+    events = tracker.add(_obs(node=2, start=600.0 + gap + 1e-9, end=2000.0))
+    assert [e.kind for e in events] == ["close", "open"]
+    assert events[0].incident_id == 1
+    assert events[1].incident_id == 2
+    tracker.flush()
+    assert len(tracker.incidents) == 2
+
+
+def test_exact_radius_boundary_joins_beyond_splits():
+    radius = 60.0
+    positions = {1: (0.0, 0.0), 2: (radius, 0.0), 3: (2 * radius + 1.0, 0.0)}
+    tracker = IncidentTracker(positions=positions, radius_m=radius)
+    tracker.add(_obs(node=1))
+    # exactly radius_m away: merges (<= check)
+    assert [e.kind for e in tracker.add(_obs(node=2))] == ["update"]
+    # beyond: a separate concurrent incident of the same hazard
+    assert [e.kind for e in tracker.add(_obs(node=3))] == ["open"]
+    tracker.flush()
+    by_nodes = sorted(inc.node_ids for inc in tracker.incidents)
+    assert by_nodes == [(1, 2), (3,)]
+
+
+def test_unknown_position_always_joins():
+    tracker = IncidentTracker(positions={1: (0.0, 0.0)}, radius_m=10.0)
+    tracker.add(_obs(node=1))
+    # node 99 has no position: spatial check passes by construction
+    assert [e.kind for e in tracker.add(_obs(node=99))] == ["update"]
+
+
+def test_interleaved_hazards_on_same_node_stay_separate():
+    tracker = IncidentTracker()
+    kinds = []
+    for i in range(3):
+        start = i * 600.0
+        kinds.append([
+            e.kind
+            for e in tracker.add(
+                _obs(start=start, end=start + 600.0, hazard="congestion")
+            )
+        ])
+        kinds.append([
+            e.kind
+            for e in tracker.add(
+                _obs(start=start, end=start + 600.0, hazard="reboot", cause=1)
+            )
+        ])
+    assert kinds[0] == kinds[1] == ["open"]
+    assert all(k == ["update"] for k in kinds[2:])
+    tracker.flush()
+    assert sorted(inc.hazard for inc in tracker.incidents) == [
+        "congestion", "reboot",
+    ]
+    assert all(inc.n_observations == 3 for inc in tracker.incidents)
+
+
+def test_incident_ids_are_stable_across_event_stream():
+    tracker = IncidentTracker()
+    opened = tracker.add(_obs(start=0.0, end=600.0))[0]
+    updated = tracker.add(_obs(node=2, start=600.0, end=1200.0))[0]
+    # far-future observation of the same hazard closes #1, opens #2
+    events = tracker.add(_obs(node=3, start=9000.0, end=9600.0))
+    assert opened.incident_id == updated.incident_id == 1
+    assert [(e.kind, e.incident_id) for e in events] == [
+        ("close", 1), ("open", 2),
+    ]
+    # the close event carries the final cluster snapshot
+    assert events[0].incident.node_ids == (1, 2)
+    assert events[0].incident.n_observations == 2
+
+
+def test_aggregates_track_peak_total_and_span():
+    tracker = IncidentTracker()
+    tracker.add(_obs(start=0.0, end=600.0, strength=0.3))
+    tracker.add(_obs(node=2, start=300.0, end=900.0, strength=0.8))
+    tracker.add(_obs(node=1, start=600.0, end=1200.0, strength=0.1))
+    (incident,) = [e.incident for e in tracker.flush()]
+    assert incident.start == 0.0 and incident.end == 1200.0
+    assert incident.peak_strength == pytest.approx(0.8)
+    assert incident.total_strength == pytest.approx(1.2)
+    assert incident.n_observations == 3
+    assert incident.node_ids == (1, 2)
+    assert incident.overlaps(500.0, 700.0)
+    assert not incident.overlaps(1200.0, 1300.0)
+
+
+def test_sorted_incidents_strongest_first():
+    tracker = IncidentTracker()
+    tracker.add(_obs(start=0.0, end=600.0, strength=0.2, hazard="reboot"))
+    tracker.add(_obs(start=0.0, end=600.0, strength=0.9, hazard="congestion"))
+    tracker.flush()
+    ranked = tracker.sorted_incidents()
+    assert [inc.hazard for inc in ranked] == ["congestion", "reboot"]
+
+
+def test_flush_is_idempotent_and_describe_renders():
+    tracker = IncidentTracker()
+    event = tracker.add(_obs())[0]
+    assert "#1" in event.describe()
+    assert "congestion" in event.incident.describe()
+    assert len(tracker.flush()) == 1
+    assert tracker.flush() == []

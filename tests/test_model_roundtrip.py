@@ -1,0 +1,136 @@
+"""VN2.save/load round-trip: every field survives, diagnosis is identical.
+
+The ``vn2 watch`` deployment path loads a model in a different process
+from the one that trained it, so persistence must carry *everything* the
+diagnosis path reads: factor matrices, normalizer (including its method
+and quantile), the full config, and the training deviation statistics
+that power the ε exception screen.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.normalization import MinMaxNormalizer
+from repro.core.pipeline import VN2, VN2Config
+from repro.core.states import build_states
+from repro.metrics.catalog import NUM_METRICS
+
+
+@pytest.fixture(scope="module")
+def custom_tool(testbed_trace):
+    """A model with every config knob off its default value, so the
+    round-trip test cannot pass by accident of defaults."""
+    config = VN2Config(
+        rank=9,
+        rank_candidates=(6, 9, 12),
+        filter_exceptions=True,
+        exception_threshold=0.02,
+        retention=0.85,
+        nmf_iterations=120,
+        nmf_init="random",
+        seed=3,
+        normalizer_pad=0.07,
+        min_weight_fraction=0.15,
+    )
+    return VN2(config).fit(testbed_trace)
+
+
+@pytest.fixture(scope="module")
+def roundtrip(custom_tool, tmp_path_factory):
+    path = tmp_path_factory.mktemp("model") / "vn2"
+    custom_tool.save(path)
+    return custom_tool, VN2.load(path)
+
+
+def test_every_config_field_survives(roundtrip):
+    original, loaded = roundtrip
+    for field in dataclasses.fields(VN2Config):
+        a = getattr(original.config, field.name)
+        b = getattr(loaded.config, field.name)
+        if field.name == "rank_candidates":
+            assert tuple(a) == tuple(b), field.name
+        else:
+            assert a == b, field.name
+
+
+def test_factor_matrices_survive_bitwise(roundtrip):
+    original, loaded = roundtrip
+    assert np.array_equal(original.nmf_.W, loaded.nmf_.W)
+    assert np.array_equal(original.nmf_.Psi, loaded.nmf_.Psi)
+    assert np.array_equal(
+        original.sparsify_.W_sparse, loaded.sparsify_.W_sparse
+    )
+    assert loaded.rank_ == original.rank_
+
+
+def test_normalizer_survives_including_method(roundtrip):
+    original, loaded = roundtrip
+    assert np.array_equal(original.normalizer_.lo, loaded.normalizer_.lo)
+    assert np.array_equal(original.normalizer_.hi, loaded.normalizer_.hi)
+    assert loaded.normalizer_.method == original.normalizer_.method
+    assert loaded.normalizer_.robust_quantile == pytest.approx(
+        original.normalizer_.robust_quantile
+    )
+
+
+def test_nondefault_normalizer_method_survives(testbed_trace, tmp_path):
+    """A model fitted with a plain min-max normalizer loads back as one."""
+    tool = VN2(VN2Config(rank=6, nmf_iterations=40)).fit(testbed_trace)
+    states = build_states(testbed_trace)
+    tool.normalizer_ = MinMaxNormalizer.fit(
+        states.values, method="minmax", robust_quantile=0.9
+    )
+    path = tmp_path / "minmax-model"
+    tool.save(path)
+    loaded = VN2.load(path)
+    assert loaded.normalizer_.method == "minmax"
+    assert loaded.normalizer_.robust_quantile == pytest.approx(0.9)
+
+
+def test_training_stats_survive(roundtrip):
+    original, loaded = roundtrip
+    assert np.array_equal(original._train_mean, loaded._train_mean)
+    assert np.array_equal(original._train_std, loaded._train_std)
+    assert loaded._train_max_eps == original._train_max_eps
+
+
+def test_diagnosis_is_bit_identical_after_load(roundtrip, testbed_trace):
+    original, loaded = roundtrip
+    states = build_states(testbed_trace)
+    for i in range(0, len(states), 100):
+        a = original.diagnose(states.values[i])
+        b = loaded.diagnose(states.values[i])
+        assert np.array_equal(a.weights, b.weights)
+        assert a.residual == b.residual
+        assert a.relative_residual == b.relative_residual
+        assert [(c.index, c.strength) for c in a.ranked] == [
+            (c.index, c.strength) for c in b.ranked
+        ]
+
+
+def test_exception_screen_is_bit_identical_after_load(roundtrip,
+                                                      testbed_trace):
+    original, loaded = roundtrip
+    states = build_states(testbed_trace)
+    assert np.array_equal(
+        original._exception_scores(states.values),
+        loaded._exception_scores(states.values),
+    )
+    state = np.zeros(NUM_METRICS)
+    assert loaded.exception_score(state) == original.exception_score(state)
+    assert loaded.is_exception(state) == original.is_exception(state)
+
+
+def test_labels_survive(roundtrip):
+    original, loaded = roundtrip
+    assert [
+        (lab.family, lab.primary_hazard, lab.is_baseline)
+        for lab in original.labels
+    ] == [
+        (lab.family, lab.primary_hazard, lab.is_baseline)
+        for lab in loaded.labels
+    ]
