@@ -1,21 +1,24 @@
-"""Online monitoring: diagnose states as they arrive at the sink.
+"""Online monitoring through the diagnosis sink server.
 
 Run:  python examples/live_monitoring.py
 
-VN2's deployment mode: the network runs clean for two hours, a model is
-trained on that history, and then monitoring continues *on the same
-network* while an operator watches.  Every simulated half-hour the script
-pulls newly completed snapshots from the sink, keeps only the states that
-score as exceptions against the training statistics (the paper's ε rule,
-applied online), and prints one aggregated alert per node.  Midway
+VN2's deployment mode, end to end: the network runs clean for two hours,
+a model is trained on that history, and monitoring continues *on the
+same network* while an operator watches.  Unlike the in-process variant
+this example used to be, the diagnosis now runs behind the real service
+boundary — the trained model is hosted by a ``repro.service`` sink
+(``vn2 serve`` in-process), every simulated half-hour's new snapshots
+are submitted over TCP with the client SDK, and the alerts printed below
+are the server's own incident-event subscription stream.  Midway
 through, a battery-drain fault and an interference burst are injected —
-the alerts should pick both up without being told anything.
+the incidents should pick both up without being told anything.
 """
 
-from collections import Counter, defaultdict
+import threading
+import time
 
 from repro import VN2, VN2Config
-from repro.core.states import build_states
+from repro.service import ServiceClient, ServiceConfig, start_service_thread
 from repro.simnet import FaultInjector, Network, NetworkConfig, grid_topology
 from repro.simnet.faults import BatteryDrain, Interference
 from repro.simnet.radio import RadioParams
@@ -24,6 +27,13 @@ from repro.traces.records import trace_from_network
 TRAIN_HOURS = 2.0
 MONITOR_HOURS = 3.0
 WINDOW_S = 1800.0
+DEPLOYMENT = "field"
+
+
+def _fmt_nodes(node_ids, limit=6):
+    listed = ", ".join(str(n) for n in node_ids[:limit])
+    extra = len(node_ids) - limit
+    return f"[{listed}]" + (f" (+{extra})" if extra > 0 else "")
 
 
 def main() -> None:
@@ -42,77 +52,124 @@ def main() -> None:
     model = VN2(VN2Config(rank=8, filter_exceptions=False)).fit(
         trace_from_network(network)
     )
-    print(f"model ready: r={model.rank_}\n")
+    print(f"model ready: r={model.rank_}")
 
-    # --- Phase 2: live monitoring with faults injected mid-run.
-    drain_start = train_end + 1800.0
-    interference_window = (train_end + 4500.0, train_end + 7500.0)
-    FaultInjector(
-        [
-            BatteryDrain(17, start=drain_start, end=train_end + 10800.0,
-                         multiplier=25000.0),
-            Interference(
-                center=(16.0, 24.0), radius=18.0,
-                start=interference_window[0], end=interference_window[1],
-                delta_db=18.0,
-            ),
-        ]
-    ).install(network)
+    # --- Phase 2: the model goes behind the service boundary.  The sink
+    # gets the grid positions so incidents merge spatially, and the
+    # screen/strength knobs this scenario needs.
+    config = ServiceConfig(
+        port=0, http_port=0,
+        threshold_ratio=0.05,
+        min_strength=0.3,
+        time_gap_s=1800.0,
+        radius_m=20.0,
+        positions=dict(topology.positions),
+    )
+    with start_service_thread(model, config) as handle:
+        print(f"sink listening on 127.0.0.1:{handle.port} "
+              f"(operator http :{handle.http_port})\n")
 
-    seen: set = set()
-    n_windows = int(MONITOR_HOURS * 3600.0 / WINDOW_S)
-    for _ in range(n_windows):
-        network.run(WINDOW_S)
-        now = network.sim.now()
-        trace = trace_from_network(network)
-        states = build_states(trace).in_window(now - WINDOW_S, now + 1.0)
+        events: list = []
 
-        node_causes: dict = defaultdict(Counter)
-        for i in range(len(states)):
-            p = states.provenance[i]
-            key = (p.node_id, p.epoch_to)
-            if key in seen:
-                continue
-            seen.add(key)
-            if not model.is_exception(states.values[i], threshold_ratio=0.05):
-                continue
-            report = model.diagnose(states.values[i])
-            for cause in report.ranked[:2]:
-                if not cause.label.is_baseline and cause.strength > 0.3:
-                    hazard = cause.label.primary_hazard or cause.label.family
-                    node_causes[p.node_id][hazard] += 1
+        def subscribe() -> None:
+            subscriber = ServiceClient(port=handle.port)
+            for event in subscriber.events(DEPLOYMENT):
+                events.append(event)
+            subscriber.close()
 
-        # Liveness: a node whose reports stopped arriving is itself an
-        # alarm (state-delta diagnosis cannot see a silent node).
-        last_report: dict = {}
-        for row in trace.rows:
-            last_report[row.node_id] = max(
-                last_report.get(row.node_id, 0.0), row.generated_at
+        listener = threading.Thread(target=subscribe, daemon=True)
+        listener.start()
+        while not handle.run_sync(
+            lambda: handle.service.shard(DEPLOYMENT).subscribers
+        ):
+            time.sleep(0.01)
+
+        # --- Phase 3: live monitoring with faults injected mid-run.
+        drain_start = train_end + 1800.0
+        interference_window = (train_end + 4500.0, train_end + 7500.0)
+        FaultInjector(
+            [
+                BatteryDrain(17, start=drain_start, end=train_end + 10800.0,
+                             multiplier=25000.0),
+                Interference(
+                    center=(16.0, 24.0), radius=18.0,
+                    start=interference_window[0],
+                    end=interference_window[1],
+                    delta_db=18.0,
+                ),
+            ]
+        ).install(network)
+
+        client = ServiceClient(port=handle.port)
+        submitted: set = set()
+        cursor = 0
+        n_windows = int(MONITOR_HOURS * 3600.0 / WINDOW_S)
+        for _ in range(n_windows):
+            network.run(WINDOW_S)
+            now = network.sim.now()
+            trace = trace_from_network(network)
+
+            # Ship this window's new snapshots, oldest first — the same
+            # packets a real collector would forward to the sink.
+            fresh = [
+                row for row in trace.rows
+                if (row.node_id, row.epoch) not in submitted
+            ]
+            fresh.sort(key=lambda r: (r.generated_at, r.node_id, r.epoch))
+            submitted.update((r.node_id, r.epoch) for r in fresh)
+            if fresh:
+                client.submit(DEPLOYMENT, fresh)
+
+            # Wait for the shard to diagnose the batch before reporting.
+            while client.metrics(handle.http_port)["totals"][
+                "queue_depth_packets"
+            ]:
+                time.sleep(0.02)
+
+            # Liveness: a node whose reports stopped arriving is itself
+            # an alarm (state-delta diagnosis cannot see a silent node).
+            last_report: dict = {}
+            for row in trace.rows:
+                last_report[row.node_id] = max(
+                    last_report.get(row.node_id, 0.0), row.generated_at
+                )
+            silent = sorted(
+                node_id
+                for node_id, seen_at in last_report.items()
+                if now - seen_at > 4 * 120.0
             )
-        silent = sorted(
-            node_id
-            for node_id, seen_at in last_report.items()
-            if now - seen_at > 4 * 120.0
-        )
 
-        minutes = (now - train_end) / 60.0
-        quiet = True
-        for node_id in sorted(node_causes):
-            top = ", ".join(
-                f"{hazard} x{count}"
-                for hazard, count in node_causes[node_id].most_common(2)
-            )
-            print(f"[t=+{minutes:4.0f}min] ALERT node {node_id}: {top}")
-            quiet = False
-        if silent:
-            listed = ", ".join(str(n) for n in silent)
-            print(
-                f"[t=+{minutes:4.0f}min] SILENT ({len(silent)} nodes, no "
-                f"complete reports): {listed}"
-            )
-            quiet = False
-        if quiet:
-            print(f"[t=+{minutes:4.0f}min] all quiet")
+            minutes = (now - train_end) / 60.0
+            quiet = True
+            for event in events[cursor:]:
+                if event["kind"] == "update":
+                    continue
+                print(f"[t=+{minutes:4.0f}min] "
+                      f"{event['kind'].upper():5s} incident "
+                      f"#{event['incident_id']} {event['hazard']}: "
+                      f"nodes {_fmt_nodes(event['node_ids'])}, "
+                      f"peak {event['peak_strength']:.2f}")
+                quiet = False
+            cursor = len(events)
+            if silent:
+                print(f"[t=+{minutes:4.0f}min] SILENT ({len(silent)} nodes, "
+                      f"no complete reports): "
+                      f"{', '.join(str(n) for n in silent)}")
+                quiet = False
+            if quiet:
+                print(f"[t=+{minutes:4.0f}min] all quiet")
+
+        client.close()
+        # Graceful drain: open incidents flush as close events to the
+        # subscription before the server hangs up.
+        handle.stop(drain=True)
+        listener.join(timeout=10.0)
+
+    for event in events[cursor:]:
+        if event["kind"] == "close":
+            print(f"[drain ] CLOSE incident #{event['incident_id']} "
+                  f"{event['hazard']}: nodes {_fmt_nodes(event['node_ids'])}, "
+                  f"{event['n_observations']} observations")
 
     print(
         "\n(ground truth: battery drain on node 17 from +30min; "

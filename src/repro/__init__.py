@@ -28,13 +28,36 @@ Sensor Networks" (ICDCS 2014).  The package bundles:
 ``repro.analysis``
     One experiment harness per table/figure of the paper.
 
+``repro.service``
+    The deployed sink: an asyncio TCP/HTTP diagnosis server with one
+    streaming-session shard per deployment, explicit backpressure, a
+    sync/async client SDK and a trace load generator.
+
 Top-level conveniences (``repro.VN2`` etc.) are provided lazily so that
 importing :mod:`repro` stays cheap and subpackages can be used standalone.
 """
 
 from typing import TYPE_CHECKING
 
-__version__ = "1.0.0"
+
+def _detect_version() -> str:
+    """Single-source the version from installed package metadata.
+
+    ``pyproject.toml`` is authoritative; the fallback below only serves
+    source-tree runs (``PYTHONPATH=src``) where the distribution is not
+    installed, and must be kept in sync with it.
+    """
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+    except ImportError:  # pragma: no cover - py<3.8 unsupported
+        return "1.0.0"
+    try:
+        return version("repro")
+    except PackageNotFoundError:
+        return "1.0.0"
+
+
+__version__ = _detect_version()
 
 # name -> (module, attribute) for lazy top-level re-exports
 _LAZY_EXPORTS = {
@@ -54,6 +77,9 @@ _LAZY_EXPORTS = {
         "StreamingDiagnosisSession",
     ),
     "IncidentTracker": ("repro.core.incidents", "IncidentTracker"),
+    "DiagnosisService": ("repro.service.server", "DiagnosisService"),
+    "ServiceConfig": ("repro.service.server", "ServiceConfig"),
+    "ServiceClient": ("repro.service.client", "ServiceClient"),
     "infer_weights_batch": ("repro.core.inference", "infer_weights_batch"),
     "METRICS": ("repro.metrics.catalog", "METRICS"),
     "METRIC_NAMES": ("repro.metrics.catalog", "METRIC_NAMES"),
@@ -69,6 +95,8 @@ if TYPE_CHECKING:  # pragma: no cover - static typing only
     from repro.core.pipeline import VN2, DiagnosisReport, VN2Config
     from repro.core.states import StateMatrix, StreamingStateBuilder, build_states
     from repro.core.streaming import StreamingDiagnosisSession
+    from repro.service.client import ServiceClient
+    from repro.service.server import DiagnosisService, ServiceConfig
     from repro.metrics.catalog import METRICS, METRIC_NAMES, NUM_METRICS
     from repro.traces.frame import TraceFrame, as_frame
     from repro.traces.records import Trace

@@ -10,6 +10,9 @@ Commands:
   model.
 * ``vn2 watch`` — tail a growing JSONL trace with a saved model and
   stream incident open/update/close events as packets land.
+* ``vn2 serve`` — run the diagnosis sink server: report packets in over
+  TCP (many deployments, bounded queues, explicit backpressure),
+  incident events and operator metrics out.
 * ``vn2 experiment`` — run one of the paper's figure/table harnesses.
 * ``vn2 sweep`` — run a multi-seed scenario sweep through the parallel
   runner and score every deployment against its fault schedule.
@@ -174,21 +177,11 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
 def _event_json(event) -> str:
     import json
 
-    incident = event.incident
-    return json.dumps(
-        {
-            "kind": event.kind,
-            "incident_id": event.incident_id,
-            "time": event.time,
-            "hazard": incident.hazard,
-            "node_ids": list(incident.node_ids),
-            "start": incident.start,
-            "end": incident.end,
-            "peak_strength": incident.peak_strength,
-            "total_strength": incident.total_strength,
-            "n_observations": incident.n_observations,
-        }
-    )
+    from repro.service.protocol import incident_event_obj
+
+    # The exact object the service's `event` messages carry, so a watch
+    # log and a served event stream are comparable byte for byte.
+    return json.dumps(incident_event_obj(event))
 
 
 def _cmd_watch(args: argparse.Namespace) -> int:
@@ -266,6 +259,81 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         f"{session.n_exceptions} exceptions, {closed} incidents"
     )
     return 0
+
+
+async def _serve_async(tool, config, ready_file: Optional[str]) -> int:
+    import asyncio
+    import json
+    import signal
+
+    from repro.service.server import DiagnosisService
+
+    service = DiagnosisService(tool, config)
+    await service.start()
+    print(
+        f"vn2 serve: ingest on {config.host}:{service.port}, "
+        f"operator http on {config.host}:{service.http_port}",
+        flush=True,
+    )
+    if ready_file:
+        # Ephemeral-port handshake for supervisors (the CI smoke uses it).
+        with open(ready_file, "w", encoding="utf-8") as fh:
+            json.dump({"port": service.port, "http_port": service.http_port}, fh)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+        except NotImplementedError:  # pragma: no cover - non-unix
+            pass
+    await stop.wait()
+    print("vn2 serve: draining queues and flushing open incidents ...",
+          flush=True)
+    await service.stop(drain=True)
+    totals = service.metrics_snapshot()["totals"]
+    print(
+        f"vn2 serve: drained; {totals['packets']} packets -> "
+        f"{totals['states']} states, {totals['exceptions']} exceptions, "
+        f"{totals['incidents_closed']} incidents across "
+        f"{len(service.shards)} deployments",
+        flush=True,
+    )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.core.pipeline import VN2
+    from repro.service.server import ServiceConfig
+
+    tool = VN2.load(args.model)
+    positions = None
+    if args.positions_from:
+        from repro.traces.io import read_frame_header
+
+        header = read_frame_header(args.positions_from)
+        positions = {
+            int(k): tuple(v)
+            for k, v in header.get("metadata", {}).get("positions", {}).items()
+        } or None
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        http_port=args.http_port,
+        queue_size=args.queue_size,
+        retry_after_s=args.retry_after,
+        threshold_ratio=args.threshold,
+        min_strength=args.min_strength,
+        time_gap_s=args.time_gap,
+        radius_m=args.radius,
+        max_closed_incidents=(
+            None if args.max_closed is None or args.max_closed < 0
+            else args.max_closed
+        ),
+        positions=positions,
+    )
+    return asyncio.run(_serve_async(tool, config, args.ready_file))
 
 
 def _cmd_incidents(args: argparse.Namespace) -> int:
@@ -460,9 +528,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for tests)."""
+    import repro
+
     parser = argparse.ArgumentParser(
         prog="vn2",
         description="VN2: NMF-based root-cause diagnosis for sensor networks",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"vn2 {repro.__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -554,6 +627,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--radius", type=float, default=60.0, metavar="METERS",
                    help="incident spatial merge radius")
     p.set_defaults(func=_cmd_watch)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the diagnosis sink server: packets in over TCP, "
+             "incident events and operator metrics out",
+    )
+    p.add_argument("model", help="saved model path (from vn2 train)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7433,
+                   help="TCP ingest/subscribe port (0 = ephemeral)")
+    p.add_argument("--http-port", type=int, default=7434,
+                   help="operator HTTP port for /health /metrics /incidents "
+                        "(0 = ephemeral)")
+    p.add_argument("--queue-size", type=int, default=8192, metavar="PACKETS",
+                   help="per-deployment ingest queue bound; a batch that "
+                        "would exceed it is backpressured, never dropped")
+    p.add_argument("--retry-after", type=float, default=0.05, metavar="SECONDS",
+                   help="retry hint sent with a backpressure ack")
+    p.add_argument("--threshold", type=float, default=None,
+                   help="exception-screen ratio (default: model config)")
+    p.add_argument("--min-strength", type=float, default=0.2)
+    p.add_argument("--time-gap", type=float, default=600.0, metavar="SECONDS",
+                   help="incident gap expiry")
+    p.add_argument("--radius", type=float, default=60.0, metavar="METERS",
+                   help="incident spatial merge radius")
+    p.add_argument("--max-closed", type=int, default=10000, metavar="N",
+                   help="closed incidents retained per deployment "
+                        "(-1 = unlimited)")
+    p.add_argument("--positions-from", default=None, metavar="TRACE",
+                   help="trace file whose header supplies node positions "
+                        "for spatial incident clustering")
+    p.add_argument("--ready-file", default=None, metavar="FILE",
+                   help="write the bound ports as JSON once listening "
+                        "(for supervisors using --port 0)")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
         "incidents",

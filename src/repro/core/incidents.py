@@ -196,8 +196,11 @@ class IncidentTracker:
     flush"; a live feed sees open/update/close events as they happen.
 
     Memory is bounded by the number of *open* incidents plus the closed
-    ones retained in :attr:`incidents` (pop or ignore them for unbounded
-    runs).
+    ones retained in :attr:`incidents`.  For unbounded runs (a long-lived
+    sink service), pass ``max_closed``: once more than that many closed
+    incidents are retained, the oldest are evicted (counted in
+    :attr:`n_evicted`; :attr:`n_closed_total` keeps the lifetime total).
+    The default is unlimited so batch replays stay bit-identical.
 
     Args:
         positions: Optional node_id -> (x, y) map; with it, observations
@@ -206,6 +209,9 @@ class IncidentTracker:
         time_gap_s: Observations join an open incident only if they start
             no later than this after its current end; later ones close it.
         radius_m: Spatial merge radius.
+        max_closed: Retention cap on :attr:`incidents` (``None`` =
+            unlimited).  Eviction is close-order (oldest first) and never
+            touches *open* incidents or the event stream.
     """
 
     def __init__(
@@ -213,14 +219,31 @@ class IncidentTracker:
         positions: Optional[Dict[int, Tuple[float, float]]] = None,
         time_gap_s: float = 600.0,
         radius_m: float = 60.0,
+        max_closed: Optional[int] = None,
     ):
+        if max_closed is not None and max_closed < 0:
+            raise ValueError(f"max_closed must be >= 0, got {max_closed}")
         self.positions = positions
         self.time_gap_s = time_gap_s
         self.radius_m = radius_m
+        self.max_closed = max_closed
         self._open: Dict[str, List[dict]] = {}
         self._next_id = 1
-        #: Closed incidents, in close order.
+        #: Closed incidents, in close order (oldest may be evicted under
+        #: ``max_closed``).
         self.incidents: List[Incident] = []
+        #: Closed incidents evicted by the ``max_closed`` retention cap.
+        self.n_evicted = 0
+        #: Lifetime closed-incident count (evicted ones included).
+        self.n_closed_total = 0
+
+    def _retain(self, incident: Incident) -> None:
+        self.incidents.append(incident)
+        self.n_closed_total += 1
+        if self.max_closed is not None and len(self.incidents) > self.max_closed:
+            drop = len(self.incidents) - self.max_closed
+            del self.incidents[:drop]
+            self.n_evicted += drop
 
     def _near(self, node_id: int, cluster_nodes: Sequence[int]) -> bool:
         if self.positions is None:
@@ -264,7 +287,7 @@ class IncidentTracker:
         for cluster in clusters:
             if obs.time_from > cluster["end"] + self.time_gap_s:
                 incident = self._snapshot(cluster)
-                self.incidents.append(incident)
+                self._retain(incident)
                 events.append(
                     IncidentEvent("close", incident, cluster["id"], obs.time_to)
                 )
@@ -311,7 +334,7 @@ class IncidentTracker:
         for hazard in list(self._open):
             for cluster in self._open[hazard]:
                 incident = self._snapshot(cluster)
-                self.incidents.append(incident)
+                self._retain(incident)
                 events.append(
                     IncidentEvent(
                         "close", incident, cluster["id"], cluster["end"]

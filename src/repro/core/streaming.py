@@ -15,9 +15,10 @@ of the paper's Fig 1 run packet by packet instead of trace by trace:
    records are what ``vn2 watch`` prints.
 
 Memory is bounded: one cached report per node, O(metrics) screening
-statistics, and the open incidents — nothing grows with trace length
-(closed incidents accumulate in ``tracker.incidents``; truncate or ignore
-them for unbounded runs).
+statistics, and the open incidents — nothing grows with trace length.
+Closed incidents accumulate in ``tracker.incidents`` by default (so batch
+replays stay bit-identical); pass ``max_closed_incidents`` to cap that
+retention for unbounded runs (the sink service does).
 
 Bit-identity with the batch path holds by construction: the builder's
 per-packet differencing, the per-row ε screen, and the per-state NNLS
@@ -125,6 +126,9 @@ class StreamingDiagnosisSession:
         min_strength / retention: Observation extraction knobs (defaults
             match :class:`~repro.core.incidents.IncidentAggregator`).
         time_gap_s / radius_m: Incident clustering knobs.
+        max_closed_incidents: Retention cap on closed incidents kept in
+            ``tracker.incidents`` (``None`` = keep all; see
+            :class:`~repro.core.incidents.IncidentTracker`).
 
     A model without training statistics (saved by an older version)
     cannot screen, so — exactly like the batch aggregator's fallback —
@@ -143,6 +147,7 @@ class StreamingDiagnosisSession:
         retention: float = 0.9,
         time_gap_s: float = 600.0,
         radius_m: float = 60.0,
+        max_closed_incidents: Optional[int] = None,
     ):
         tool._require_fitted()
         self.tool = tool
@@ -157,7 +162,10 @@ class StreamingDiagnosisSession:
             max_epoch_gap=max_epoch_gap, per_epoch_rate=per_epoch_rate
         )
         self.tracker = IncidentTracker(
-            positions=positions, time_gap_s=time_gap_s, radius_m=radius_m
+            positions=positions,
+            time_gap_s=time_gap_s,
+            radius_m=radius_m,
+            max_closed=max_closed_incidents,
         )
         self._has_stats = getattr(tool, "_train_mean", None) is not None
         self._fallback: Optional[StreamingExceptionDetector] = (
@@ -179,6 +187,21 @@ class StreamingDiagnosisSession:
     def n_states(self) -> int:
         """States completed so far."""
         return self.builder.n_states
+
+    def counters(self) -> dict:
+        """Per-update metrics snapshot (the sink service's ``/metrics`` hook).
+
+        O(open incidents) — cheap enough to call after every packet.
+        """
+        tracker = self.tracker
+        return {
+            "packets": self.n_packets,
+            "states": self.n_states,
+            "exceptions": self.n_exceptions,
+            "incidents_open": sum(len(c) for c in tracker._open.values()),
+            "incidents_closed": tracker.n_closed_total,
+            "incidents_evicted": tracker.n_evicted,
+        }
 
     def push_packet(
         self,

@@ -1,0 +1,61 @@
+"""``repro.service``: the deployed diagnosis sink.
+
+The streaming core behind a network boundary: an asyncio TCP/HTTP server
+(:mod:`~repro.service.server`) hosting one
+:class:`~repro.core.streaming.StreamingDiagnosisSession` shard per named
+deployment, an NDJSON wire protocol (:mod:`~repro.service.protocol`), a
+sync/async client SDK (:mod:`~repro.service.client`) and a trace load
+generator (:mod:`~repro.service.loadgen`).  Start one from the CLI with
+``vn2 serve`` or in-process with :func:`start_service_thread`.
+"""
+
+from repro.service.client import (
+    AsyncServiceClient,
+    BackoffPolicy,
+    ServiceClient,
+    ServiceUnavailable,
+    SubmitResult,
+    http_get_json,
+)
+from repro.service.metrics import LatencyWindow, ShardCounters
+from repro.service.protocol import PROTOCOL_VERSION, ProtocolError
+from repro.service.server import (
+    DeploymentShard,
+    DiagnosisService,
+    ServiceConfig,
+    ServiceHandle,
+    start_service_thread,
+)
+
+_LAZY = {"LoadgenReport", "replay_trace"}
+
+
+def __getattr__(name: str):
+    # Lazy so `python -m repro.service.loadgen` doesn't trigger runpy's
+    # already-imported warning (the loadgen imports this package).
+    if name in _LAZY:
+        from repro.service import loadgen
+
+        return getattr(loadgen, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "AsyncServiceClient",
+    "BackoffPolicy",
+    "DeploymentShard",
+    "DiagnosisService",
+    "LatencyWindow",
+    "LoadgenReport",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceHandle",
+    "ServiceUnavailable",
+    "ShardCounters",
+    "SubmitResult",
+    "http_get_json",
+    "replay_trace",
+    "start_service_thread",
+]

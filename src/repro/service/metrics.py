@@ -1,0 +1,80 @@
+"""Operator metrics for the sink service: counters and latency quantiles.
+
+Kept dependency-free and allocation-light: one fixed-size ring buffer per
+shard for ingest latencies (p50/p99 over the most recent window — a
+long-lived sink must not keep every sample), plus plain integer counters.
+Everything here is called from the server's event loop, so observing a
+sample is O(1) and quantiles are only computed when ``/metrics`` asks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+
+class LatencyWindow:
+    """Rolling window of latency samples with on-demand quantiles.
+
+    Args:
+        size: Samples retained (oldest overwritten first).
+    """
+
+    def __init__(self, size: int = 4096):
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        self._buf = np.zeros(size, dtype=float)
+        self._next = 0
+        self.count = 0  #: lifetime samples observed
+
+    def observe(self, seconds: float) -> None:
+        """Record one sample (O(1))."""
+        self._buf[self._next] = seconds
+        self._next = (self._next + 1) % len(self._buf)
+        self.count += 1
+
+    def _window(self) -> np.ndarray:
+        n = min(self.count, len(self._buf))
+        return self._buf[:n]
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Latency quantile over the retained window (None when empty)."""
+        window = self._window()
+        if window.size == 0:
+            return None
+        return float(np.quantile(window, q))
+
+    def snapshot(self) -> dict:
+        """The ``/metrics`` view: count, p50/p99/max over the window."""
+        window = self._window()
+        if window.size == 0:
+            return {"count": 0, "p50_ms": None, "p99_ms": None, "max_ms": None}
+        p50, p99 = np.quantile(window, [0.5, 0.99])
+        return {
+            "count": self.count,
+            "p50_ms": round(float(p50) * 1000.0, 3),
+            "p99_ms": round(float(p99) * 1000.0, 3),
+            "max_ms": round(float(window.max()) * 1000.0, 3),
+        }
+
+
+@dataclass
+class ShardCounters:
+    """Per-deployment ingest accounting (the session tracks the rest)."""
+
+    batches_accepted: int = 0
+    batches_rejected: int = 0  #: backpressure acks sent (never drops)
+    packets_accepted: int = 0
+    events_emitted: int = 0
+    latency: LatencyWindow = field(default_factory=LatencyWindow)
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "batches_accepted": self.batches_accepted,
+            "batches_rejected": self.batches_rejected,
+            "packets_accepted": self.packets_accepted,
+            "events_emitted": self.events_emitted,
+            "ingest_latency": self.latency.snapshot(),
+        }

@@ -1,0 +1,283 @@
+"""The sink service's wire protocol: newline-delimited JSON, version 1.
+
+One JSON object per line, over a plain TCP stream.  Both directions use
+the same framing; every message carries ``{"v": 1, "type": ...}``.
+
+Client → server:
+
+* ``ingest`` — ``{"v", "type", "seq", "deployment", "packets": [...]}``
+  where each packet is the canonical snapshot-row object of the JSONL
+  trace codec (:func:`repro.traces.io.row_obj`): ``node_id``, ``epoch``,
+  ``generated_at``, optional ``received_at`` and a ``values`` list of
+  exactly the 43 catalog metrics.  A batch is acked atomically: either
+  every packet is queued or none is.
+* ``subscribe`` — ``{"v", "type", "seq", "deployment"}``; the server
+  answers ``subscribed`` and then streams ``event`` messages for that
+  deployment over the same connection (several subscriptions can share a
+  connection).
+
+Server → client:
+
+* ``hello`` — sent once on connect: server name, protocol version,
+  metric-catalog width (a client talking to a sink with a different
+  catalog should stop right there).
+* ``ack`` — answers one ``ingest``: ``accepted`` (batch size, or 0),
+  ``queued`` (the shard's queue depth in packets after the ack) and, on
+  backpressure, ``retry_after`` seconds with ``reason: "queue_full"``.
+  Backpressure is always explicit — the server never silently drops a
+  packet it acked.
+* ``subscribed`` — answers one ``subscribe``.
+* ``event`` — one incident transition:
+  ``{"deployment", "event": {kind, incident_id, time, hazard, node_ids,
+  start, end, peak_strength, total_strength, n_observations}}`` — the
+  exact object ``vn2 watch --output`` writes, full float precision, so
+  served events can be compared bit for bit against a local replay.
+* ``error`` — a rejected message: ``code`` (machine-readable, see
+  :data:`ERROR_CODES`), ``message`` (human-readable), and the offending
+  ``seq`` when the client supplied one.  Errors are per-message; the
+  connection stays usable.
+
+Validation is strict and total: unknown types, missing fields, wrong
+value-vector width, non-finite floats and malformed deployment names are
+all rejected with ``error`` before anything touches a queue.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.metrics.catalog import NUM_METRICS
+
+#: Protocol version spoken by this module.
+PROTOCOL_VERSION = 1
+
+#: Deployment names: DNS-label-ish, 1-64 chars.
+DEPLOYMENT_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$")
+
+#: Hard cap on packets per ingest batch (keeps per-line memory bounded).
+MAX_BATCH = 4096
+
+#: Machine-readable ``error.code`` values the server can send.
+ERROR_CODES = (
+    "bad_json",          # line is not a JSON object
+    "bad_version",       # missing/unsupported "v"
+    "bad_type",          # unknown or missing "type"
+    "bad_deployment",    # malformed deployment name
+    "bad_packet",        # malformed packet in an ingest batch
+    "bad_request",       # structurally invalid message
+)
+
+
+class ProtocolError(ValueError):
+    """A message that fails validation; ``code`` names the reason."""
+
+    def __init__(self, code: str, message: str, seq: Optional[int] = None):
+        super().__init__(message)
+        self.code = code
+        self.seq = seq
+
+
+def encode(message: dict) -> bytes:
+    """Frame one message for the wire (compact JSON + newline)."""
+    return (json.dumps(message, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode(line) -> dict:
+    """Parse one wire line into a message object (no semantic checks)."""
+    if isinstance(line, (bytes, bytearray)):
+        line = line.decode("utf-8", errors="replace")
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError("bad_json", f"not valid JSON: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError("bad_json", "message must be a JSON object")
+    return obj
+
+
+def _check_envelope(msg: dict) -> Tuple[str, Optional[int]]:
+    """Validate the ``v``/``type``/``seq`` envelope; return (type, seq)."""
+    seq = msg.get("seq")
+    if seq is not None and not isinstance(seq, int):
+        raise ProtocolError("bad_request", "seq must be an integer")
+    version = msg.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            "bad_version",
+            f"unsupported protocol version {version!r} "
+            f"(this sink speaks v{PROTOCOL_VERSION})",
+            seq,
+        )
+    mtype = msg.get("type")
+    if not isinstance(mtype, str):
+        raise ProtocolError("bad_type", "missing message type", seq)
+    return mtype, seq
+
+
+def check_deployment(name, seq: Optional[int] = None) -> str:
+    """Validate a deployment name; return it."""
+    if not isinstance(name, str) or not DEPLOYMENT_RE.match(name):
+        raise ProtocolError(
+            "bad_deployment",
+            f"deployment must match {DEPLOYMENT_RE.pattern}, got {name!r}",
+            seq,
+        )
+    return name
+
+
+def parse_packet(obj, seq: Optional[int] = None) -> Tuple[int, int, float, np.ndarray]:
+    """Validate one wire packet into ``(node_id, epoch, generated_at, values)``.
+
+    The tuple is exactly what
+    :meth:`repro.core.streaming.StreamingDiagnosisSession.push_packet`
+    takes.  Checks: integer ``node_id >= 0`` and ``epoch >= 0``, finite
+    ``generated_at``, and a ``values`` list of exactly
+    :data:`~repro.metrics.catalog.NUM_METRICS` finite numbers.
+    """
+    if not isinstance(obj, dict):
+        raise ProtocolError("bad_packet", "packet must be a JSON object", seq)
+    try:
+        node_id = obj["node_id"]
+        epoch = obj["epoch"]
+        generated_at = obj["generated_at"]
+        values = obj["values"]
+    except KeyError as exc:
+        raise ProtocolError("bad_packet", f"packet missing {exc}", seq) from exc
+    if not isinstance(node_id, int) or isinstance(node_id, bool) or node_id < 0:
+        raise ProtocolError(
+            "bad_packet", f"node_id must be a non-negative integer, got {node_id!r}", seq
+        )
+    if not isinstance(epoch, int) or isinstance(epoch, bool) or epoch < 0:
+        raise ProtocolError(
+            "bad_packet", f"epoch must be a non-negative integer, got {epoch!r}", seq
+        )
+    if not isinstance(generated_at, (int, float)) or not math.isfinite(generated_at):
+        raise ProtocolError(
+            "bad_packet", f"generated_at must be a finite number, got {generated_at!r}", seq
+        )
+    if not isinstance(values, list) or len(values) != NUM_METRICS:
+        got = len(values) if isinstance(values, list) else type(values).__name__
+        raise ProtocolError(
+            "bad_packet",
+            f"values must list exactly {NUM_METRICS} catalog metrics, got {got}",
+            seq,
+        )
+    array = np.asarray(values, dtype=float)
+    if array.shape != (NUM_METRICS,) or not np.all(np.isfinite(array)):
+        raise ProtocolError(
+            "bad_packet", "values must be finite numbers", seq
+        )
+    return int(node_id), int(epoch), float(generated_at), array
+
+
+def parse_ingest(msg: dict) -> Tuple[Optional[int], str, List[Tuple[int, int, float, np.ndarray]]]:
+    """Validate a full ``ingest`` message → (seq, deployment, packets)."""
+    _mtype, seq = _check_envelope(msg)
+    deployment = check_deployment(msg.get("deployment"), seq)
+    packets = msg.get("packets")
+    if not isinstance(packets, list) or not packets:
+        raise ProtocolError("bad_request", "packets must be a non-empty list", seq)
+    if len(packets) > MAX_BATCH:
+        raise ProtocolError(
+            "bad_request", f"batch of {len(packets)} exceeds MAX_BATCH={MAX_BATCH}", seq
+        )
+    return seq, deployment, [parse_packet(p, seq) for p in packets]
+
+
+# --------------------------------------------------------------------------
+# message constructors (server side unless noted)
+# --------------------------------------------------------------------------
+
+
+def hello(server: str = "repro.service") -> dict:
+    return {
+        "v": PROTOCOL_VERSION,
+        "type": "hello",
+        "server": server,
+        "n_metrics": NUM_METRICS,
+    }
+
+
+def ingest(deployment: str, packets: List[dict], seq: Optional[int] = None) -> dict:
+    """(Client side.)  Build an ingest message from row objects."""
+    msg = {"v": PROTOCOL_VERSION, "type": "ingest", "deployment": deployment,
+           "packets": packets}
+    if seq is not None:
+        msg["seq"] = seq
+    return msg
+
+
+def subscribe(deployment: str, seq: Optional[int] = None) -> dict:
+    """(Client side.)  Build a subscribe message."""
+    msg = {"v": PROTOCOL_VERSION, "type": "subscribe", "deployment": deployment}
+    if seq is not None:
+        msg["seq"] = seq
+    return msg
+
+
+def ack(
+    seq: Optional[int],
+    accepted: int,
+    queued: int,
+    retry_after: Optional[float] = None,
+) -> dict:
+    msg = {"v": PROTOCOL_VERSION, "type": "ack", "seq": seq,
+           "accepted": accepted, "queued": queued}
+    if retry_after is not None:
+        msg["retry_after"] = retry_after
+        msg["reason"] = "queue_full"
+    return msg
+
+
+def subscribed(seq: Optional[int], deployment: str) -> dict:
+    return {"v": PROTOCOL_VERSION, "type": "subscribed", "seq": seq,
+            "deployment": deployment}
+
+
+def error(code: str, message: str, seq: Optional[int] = None) -> dict:
+    assert code in ERROR_CODES, code
+    return {"v": PROTOCOL_VERSION, "type": "error", "seq": seq,
+            "code": code, "message": message}
+
+
+def incident_event_obj(event) -> dict:
+    """One :class:`~repro.core.incidents.IncidentEvent` as a JSON object.
+
+    The shared shape: ``vn2 watch --output`` lines, the service's
+    ``event`` payloads and ``GET /incidents`` entries all use it, so the
+    three surfaces stay comparable byte for byte.
+    """
+    incident = event.incident
+    return {
+        "kind": event.kind,
+        "incident_id": event.incident_id,
+        "time": event.time,
+        **incident_obj(incident),
+    }
+
+
+def incident_obj(incident) -> dict:
+    """One :class:`~repro.core.incidents.Incident` as a JSON object."""
+    return {
+        "hazard": incident.hazard,
+        "node_ids": list(incident.node_ids),
+        "start": incident.start,
+        "end": incident.end,
+        "peak_strength": incident.peak_strength,
+        "total_strength": incident.total_strength,
+        "n_observations": incident.n_observations,
+    }
+
+
+def event_message(deployment: str, event) -> dict:
+    return {
+        "v": PROTOCOL_VERSION,
+        "type": "event",
+        "deployment": deployment,
+        "event": incident_event_obj(event),
+    }

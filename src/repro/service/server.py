@@ -1,0 +1,597 @@
+"""The diagnosis sink server: many deployments, one asyncio process.
+
+Architecture (the paper's sink, made multi-tenant):
+
+* Every named *deployment* gets its own shard: a private
+  :class:`~repro.core.streaming.StreamingDiagnosisSession` fed by a
+  bounded ingest queue and drained by a dedicated worker task.  Shards
+  share nothing but the fitted model (which is read-only after training),
+  so a hot deployment saturating its queue cannot stall another's
+  diagnosis — its producers are backpressured instead.
+* Backpressure is explicit: when a batch would push a shard's queue past
+  ``queue_size`` packets, the server acks ``accepted: 0`` with a
+  ``retry_after`` hint.  An acked packet is never dropped; a rejected
+  batch is never partially queued.
+* Two listeners: a TCP NDJSON port for ingest/subscribe
+  (:mod:`repro.service.protocol`) and a minimal HTTP port for operators
+  (``GET /health``, ``GET /metrics``, ``GET /incidents``).
+
+Determinism: one deployment's packets are processed in arrival order by
+one worker, through the same per-state NNLS path as
+:meth:`VN2.diagnose_stream`, so the served event stream for a trace
+replayed in canonical order is bit-identical to a local batch replay.
+
+For synchronous callers (tests, benchmarks, examples) use
+:func:`start_service_thread`, which runs the event loop in a daemon
+thread and returns a handle with the bound ports and a blocking
+``stop()``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from repro.core.pipeline import VN2
+from repro.core.streaming import StreamingDiagnosisSession
+from repro.service import protocol
+from repro.service.metrics import LatencyWindow, ShardCounters
+
+#: Bytes allowed per NDJSON line (a MAX_BATCH ingest of 43 floats fits).
+_LINE_LIMIT = 1 << 24
+
+_STOP = object()  # queue sentinel: drain and exit the worker
+
+
+@dataclass
+class ServiceConfig:
+    """Knobs of one :class:`DiagnosisService` instance.
+
+    Attributes:
+        host: Bind address for both listeners.
+        port: TCP ingest/subscribe port (0 = ephemeral, see
+            :attr:`DiagnosisService.port` after start).
+        http_port: Operator HTTP port (0 = ephemeral).
+        queue_size: Per-shard ingest bound, in *packets*; a batch that
+            would exceed it is backpressured.
+        retry_after_s: The hint sent with a backpressure ack.
+        threshold_ratio / min_strength / time_gap_s / radius_m /
+        max_epoch_gap: Forwarded to every shard's
+            :class:`~repro.core.streaming.StreamingDiagnosisSession`.
+        max_closed_incidents: Closed-incident retention per shard (a
+            long-lived sink should set this; ``None`` keeps all).
+        positions: Optional node positions shared by all shards.
+        latency_window: Ingest-latency samples retained per shard.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 7433
+    http_port: int = 7434
+    queue_size: int = 8192
+    retry_after_s: float = 0.05
+    threshold_ratio: Optional[float] = None
+    min_strength: float = 0.2
+    time_gap_s: float = 600.0
+    radius_m: float = 60.0
+    max_epoch_gap: Optional[int] = None
+    max_closed_incidents: Optional[int] = 10000
+    positions: Optional[Dict[int, Tuple[float, float]]] = None
+    latency_window: int = 4096
+
+    def __post_init__(self):
+        if self.queue_size < 1:
+            raise ValueError(f"queue_size must be >= 1, got {self.queue_size}")
+        if self.retry_after_s <= 0:
+            raise ValueError(
+                f"retry_after_s must be > 0, got {self.retry_after_s}"
+            )
+
+
+class DeploymentShard:
+    """One deployment's session, queue and worker."""
+
+    def __init__(self, name: str, service: "DiagnosisService"):
+        self.name = name
+        self.service = service
+        config = service.config
+        self.session = StreamingDiagnosisSession(
+            service.tool,
+            positions=config.positions,
+            threshold_ratio=config.threshold_ratio,
+            max_epoch_gap=config.max_epoch_gap,
+            min_strength=config.min_strength,
+            time_gap_s=config.time_gap_s,
+            radius_m=config.radius_m,
+            max_closed_incidents=config.max_closed_incidents,
+        )
+        self.queue: asyncio.Queue = asyncio.Queue()
+        self.pending = 0  #: packets queued but not yet diagnosed
+        self.peak_pending = 0
+        self.counters = ShardCounters(
+            latency=LatencyWindow(config.latency_window)
+        )
+        self.subscribers: Set[asyncio.Queue] = set()
+        self._resume = asyncio.Event()
+        self._resume.set()
+        self.worker = asyncio.get_running_loop().create_task(
+            self._run(), name=f"shard:{name}"
+        )
+
+    # -- test/benchmark hook: freeze the worker to observe backpressure --
+
+    def pause(self) -> None:
+        """Stop draining the queue (packets keep queueing up)."""
+        self._resume.clear()
+
+    def unpause(self) -> None:
+        self._resume.set()
+
+    # ------------------------------------------------------------------
+
+    def try_enqueue(self, packets, now: float) -> bool:
+        """Queue a batch atomically; False = backpressure (nothing queued)."""
+        if self.pending + len(packets) > self.service.config.queue_size:
+            self.counters.batches_rejected += 1
+            return False
+        self.pending += len(packets)
+        self.peak_pending = max(self.peak_pending, self.pending)
+        self.counters.batches_accepted += 1
+        self.counters.packets_accepted += len(packets)
+        self.queue.put_nowait((packets, now))
+        return True
+
+    def publish(self, events) -> None:
+        """Fan one shard's incident events out to its subscribers."""
+        if not events:
+            return
+        self.counters.events_emitted += len(events)
+        if not self.subscribers:
+            return
+        messages = [protocol.event_message(self.name, e) for e in events]
+        for outbox in self.subscribers:
+            for message in messages:
+                outbox.put_nowait(message)
+
+    async def _run(self) -> None:
+        while True:
+            item = await self.queue.get()
+            if item is _STOP:
+                return
+            await self._resume.wait()
+            packets, enqueued_at = item
+            for packet in packets:
+                update = self.session.push_packet(*packet)
+                self.pending -= 1
+                if update is not None and update.events:
+                    self.publish(update.events)
+            self.counters.latency.observe(time.monotonic() - enqueued_at)
+            # One batch per loop tick: keep sibling shards and the
+            # listeners responsive under a sustained ingest burst.
+            await asyncio.sleep(0)
+
+    async def drain(self) -> None:
+        """Process everything queued, then flush open incidents."""
+        self.queue.put_nowait(_STOP)
+        self._resume.set()
+        await self.worker
+        self.publish(self.session.finish())
+
+    def snapshot(self) -> dict:
+        """The ``/metrics`` entry for this shard."""
+        return {
+            **self.session.counters(),
+            **self.counters.snapshot(),
+            "queue_depth_packets": self.pending,
+            "queue_peak_packets": self.peak_pending,
+            "subscribers": len(self.subscribers),
+        }
+
+
+class _Connection:
+    """One TCP client: a reader loop plus a serialized outbox writer."""
+
+    def __init__(self, service, reader, writer):
+        self.service = service
+        self.reader = reader
+        self.writer = writer
+        self.outbox: asyncio.Queue = asyncio.Queue()
+        self.subscriptions: Set[DeploymentShard] = set()
+        self.writer_task: Optional[asyncio.Task] = None
+        self._closed = False
+
+    def send(self, message: dict) -> None:
+        self.outbox.put_nowait(message)
+
+    async def _write_loop(self) -> None:
+        while True:
+            message = await self.outbox.get()
+            if message is _STOP:
+                break
+            self.writer.write(protocol.encode(message))
+            # Coalesce whatever queued up behind it before draining once.
+            while True:
+                try:
+                    message = self.outbox.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if message is _STOP:
+                    await self.writer.drain()
+                    return
+                self.writer.write(protocol.encode(message))
+            await self.writer.drain()
+
+    async def flush_and_close(self) -> None:
+        """Drain the outbox, then close (idempotent; double calls happen
+        when a client disconnects during a server drain)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.outbox.put_nowait(_STOP)
+        if self.writer_task is not None:
+            try:
+                await self.writer_task
+            except (ConnectionError, OSError):
+                pass
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+class DiagnosisService:
+    """The multi-deployment sink server (see module docstring).
+
+    Args:
+        tool: A fitted/loaded :class:`~repro.core.pipeline.VN2` model,
+            shared read-only by every shard.
+        config: Service knobs; defaults are production-ish.
+    """
+
+    def __init__(self, tool: VN2, config: Optional[ServiceConfig] = None):
+        tool._require_fitted()
+        self.tool = tool
+        self.config = config or ServiceConfig()
+        self.shards: Dict[str, DeploymentShard] = {}
+        self._connections: Set[_Connection] = set()
+        self._tcp_server: Optional[asyncio.AbstractServer] = None
+        self._http_server: Optional[asyncio.AbstractServer] = None
+        self._started_at: Optional[float] = None
+        self._stopping = False
+        self.port: Optional[int] = None  #: bound TCP port (after start)
+        self.http_port: Optional[int] = None  #: bound HTTP port (after start)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind both listeners; resolves :attr:`port` / :attr:`http_port`."""
+        config = self.config
+        self._tcp_server = await asyncio.start_server(
+            self._handle_tcp, config.host, config.port, limit=_LINE_LIMIT
+        )
+        self._http_server = await asyncio.start_server(
+            self._handle_http, config.host, config.http_port
+        )
+        self.port = self._tcp_server.sockets[0].getsockname()[1]
+        self.http_port = self._http_server.sockets[0].getsockname()[1]
+        self._started_at = time.monotonic()
+
+    async def stop(self, drain: bool = True) -> None:
+        """Shut down; with ``drain`` (the SIGTERM path) every queued packet
+        is diagnosed and open incidents are flush-closed to subscribers
+        before connections go away."""
+        if self._stopping:
+            return
+        self._stopping = True
+        for server in (self._tcp_server, self._http_server):
+            if server is not None:
+                server.close()
+        if drain:
+            for shard in self.shards.values():
+                await shard.drain()
+        else:
+            for shard in self.shards.values():
+                shard.worker.cancel()
+        for connection in list(self._connections):
+            await connection.flush_and_close()
+        for server in (self._tcp_server, self._http_server):
+            if server is not None:
+                await server.wait_closed()
+
+    async def serve_forever(self, stop_event: Optional[asyncio.Event] = None) -> None:
+        """Run until ``stop_event`` is set (``vn2 serve`` wires signals to it)."""
+        if stop_event is None:
+            stop_event = asyncio.Event()
+        await stop_event.wait()
+        await self.stop(drain=True)
+
+    def shard(self, deployment: str) -> DeploymentShard:
+        """The shard for a deployment, created on first use."""
+        shard = self.shards.get(deployment)
+        if shard is None:
+            shard = self.shards[deployment] = DeploymentShard(deployment, self)
+        return shard
+
+    # ------------------------------------------------------------------
+    # TCP: ingest + subscribe
+    # ------------------------------------------------------------------
+
+    async def _handle_tcp(self, reader, writer) -> None:
+        connection = _Connection(self, reader, writer)
+        self._connections.add(connection)
+        connection.writer_task = asyncio.get_running_loop().create_task(
+            connection._write_loop()
+        )
+        connection.send(protocol.hello())
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, ConnectionError):
+                    break  # line over limit, or peer vanished mid-line
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    self._dispatch(connection, line)
+                except protocol.ProtocolError as exc:
+                    connection.send(
+                        protocol.error(exc.code, str(exc), exc.seq)
+                    )
+        finally:
+            for shard in connection.subscriptions:
+                shard.subscribers.discard(connection.outbox)
+            await connection.flush_and_close()
+            self._connections.discard(connection)
+
+    def _dispatch(self, connection: _Connection, line: bytes) -> None:
+        message = protocol.decode(line)
+        mtype, seq = protocol._check_envelope(message)
+        if mtype == "ingest":
+            seq, deployment, packets = protocol.parse_ingest(message)
+            shard = self.shard(deployment)
+            if shard.try_enqueue(packets, time.monotonic()):
+                connection.send(protocol.ack(seq, len(packets), shard.pending))
+            else:
+                connection.send(
+                    protocol.ack(
+                        seq, 0, shard.pending,
+                        retry_after=self.config.retry_after_s,
+                    )
+                )
+        elif mtype == "subscribe":
+            deployment = protocol.check_deployment(message.get("deployment"), seq)
+            shard = self.shard(deployment)
+            shard.subscribers.add(connection.outbox)
+            connection.subscriptions.add(shard)
+            connection.send(protocol.subscribed(seq, deployment))
+        else:
+            raise protocol.ProtocolError(
+                "bad_type", f"unknown message type {mtype!r}", seq
+            )
+
+    # ------------------------------------------------------------------
+    # HTTP: operator surface
+    # ------------------------------------------------------------------
+
+    def metrics_snapshot(self) -> dict:
+        """The ``GET /metrics`` document."""
+        per_shard = {
+            name: shard.snapshot() for name, shard in sorted(self.shards.items())
+        }
+        total_keys = (
+            "packets", "states", "exceptions", "incidents_open",
+            "incidents_closed", "incidents_evicted", "batches_accepted",
+            "batches_rejected", "packets_accepted", "events_emitted",
+            "queue_depth_packets",
+        )
+        totals = {
+            key: sum(s[key] for s in per_shard.values()) for key in total_keys
+        }
+        uptime = (
+            None if self._started_at is None
+            else round(time.monotonic() - self._started_at, 3)
+        )
+        return {
+            "server": {
+                "uptime_s": uptime,
+                "deployments": len(per_shard),
+                "queue_size": self.config.queue_size,
+                "protocol_version": protocol.PROTOCOL_VERSION,
+            },
+            "totals": totals,
+            "deployments": per_shard,
+        }
+
+    def incidents_snapshot(self, deployment: Optional[str] = None) -> dict:
+        """The ``GET /incidents`` document (open + retained closed)."""
+        names = (
+            [deployment] if deployment is not None else sorted(self.shards)
+        )
+        out = {}
+        for name in names:
+            shard = self.shards.get(name)
+            if shard is None:
+                continue
+            tracker = shard.session.tracker
+            out[name] = {
+                "open": [
+                    protocol.incident_obj(i) for i in tracker.open_incidents()
+                ],
+                "closed": [
+                    protocol.incident_obj(i) for i in tracker.incidents
+                ],
+                "closed_total": tracker.n_closed_total,
+                "evicted": tracker.n_evicted,
+            }
+        return {"deployments": out}
+
+    def health_snapshot(self) -> dict:
+        """The ``GET /health`` document."""
+        import repro
+
+        return {
+            "status": "draining" if self._stopping else "ok",
+            "version": repro.__version__,
+            "deployments": len(self.shards),
+        }
+
+    async def _handle_http(self, reader, writer) -> None:
+        try:
+            request_line = await reader.readline()
+            while True:  # drain headers; we never need them
+                header = await reader.readline()
+                if header in (b"\r\n", b"\n", b""):
+                    break
+            parts = request_line.decode("latin-1").split()
+            if len(parts) < 2 or parts[0] != "GET":
+                self._http_reply(writer, 405, {"error": "GET only"})
+                return
+            path, _, query = parts[1].partition("?")
+            params = {}
+            for pair in query.split("&"):
+                key, _, value = pair.partition("=")
+                if key:
+                    params[key] = value
+            if path == "/health":
+                self._http_reply(writer, 200, self.health_snapshot())
+            elif path == "/metrics":
+                self._http_reply(writer, 200, self.metrics_snapshot())
+            elif path == "/incidents":
+                self._http_reply(
+                    writer, 200,
+                    self.incidents_snapshot(params.get("deployment")),
+                )
+            else:
+                self._http_reply(writer, 404, {"error": f"no route {path}"})
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    def _http_reply(writer, status: int, body: dict) -> None:
+        reason = {200: "OK", 404: "Not Found", 405: "Method Not Allowed"}
+        payload = json.dumps(body).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {reason.get(status, 'Error')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + payload)
+
+
+# --------------------------------------------------------------------------
+# synchronous embedding
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class ServiceHandle:
+    """A running service owned by a background event-loop thread."""
+
+    service: DiagnosisService
+    loop: asyncio.AbstractEventLoop
+    thread: threading.Thread
+    _stopped: bool = field(default=False, repr=False)
+
+    @property
+    def host(self) -> str:
+        return self.service.config.host
+
+    @property
+    def port(self) -> int:
+        return self.service.port
+
+    @property
+    def http_port(self) -> int:
+        return self.service.http_port
+
+    def call(self, coro_fn, *args):
+        """Run a coroutine on the service loop; block for its result."""
+        return asyncio.run_coroutine_threadsafe(
+            coro_fn(*args), self.loop
+        ).result(timeout=60.0)
+
+    def run_sync(self, fn, *args):
+        """Run plain callable on the loop thread (shard pokes in tests)."""
+        done = threading.Event()
+        box = {}
+
+        def _invoke():
+            try:
+                box["result"] = fn(*args)
+            except BaseException as exc:  # surfaced to the caller below
+                box["error"] = exc
+            done.set()
+
+        self.loop.call_soon_threadsafe(_invoke)
+        done.wait(timeout=60.0)
+        if "error" in box:
+            raise box["error"]
+        return box.get("result")
+
+    def stop(self, drain: bool = True) -> None:
+        """Drain (optionally), stop the loop and join the thread."""
+        if self._stopped:
+            return
+        self._stopped = True
+        asyncio.run_coroutine_threadsafe(
+            self.service.stop(drain), self.loop
+        ).result(timeout=120.0)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=30.0)
+
+    def __enter__(self) -> "ServiceHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def start_service_thread(
+    tool: VN2, config: Optional[ServiceConfig] = None
+) -> ServiceHandle:
+    """Start a :class:`DiagnosisService` on a daemon thread; block until
+    its ports are bound.  The returned handle is a context manager."""
+    service = DiagnosisService(tool, config)
+    started = threading.Event()
+    box: dict = {}
+
+    def _run() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        box["loop"] = loop
+        try:
+            loop.run_until_complete(service.start())
+        except BaseException as exc:
+            box["error"] = exc
+            started.set()
+            loop.close()
+            return
+        started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+    thread = threading.Thread(target=_run, name="repro-service", daemon=True)
+    thread.start()
+    started.wait(timeout=30.0)
+    if "error" in box:
+        raise box["error"]
+    return ServiceHandle(service=service, loop=box["loop"], thread=thread)

@@ -142,6 +142,45 @@ def _frame_from_header(
 # --------------------------------------------------------------------------
 
 
+def row_obj(
+    node_id: int,
+    epoch: int,
+    generated_at: float,
+    received_at: float,
+    values,
+) -> dict:
+    """One snapshot row as the canonical JSON object shape.
+
+    This is the wire format shared by the JSONL trace codec, the tailing
+    reader and the sink service's ingest protocol — one place to change
+    the field names.  ``values`` must already be a plain list (pre-round
+    it for the lossy trace codec; the service sends full precision).
+    """
+    return {
+        "node_id": int(node_id),
+        "epoch": int(epoch),
+        "generated_at": float(generated_at),
+        "received_at": float(received_at),
+        "values": values,
+    }
+
+
+def row_from_obj(obj: dict) -> SnapshotRow:
+    """Parse one canonical row object back into a :class:`SnapshotRow`.
+
+    ``received_at`` is optional on the wire (a live packet's receive time
+    is the sink's concern); it defaults to ``generated_at``.
+    """
+    generated_at = float(obj["generated_at"])
+    return SnapshotRow(
+        node_id=int(obj["node_id"]),
+        epoch=int(obj["epoch"]),
+        generated_at=generated_at,
+        received_at=float(obj.get("received_at", generated_at)),
+        values=np.asarray(obj["values"], dtype=float),
+    )
+
+
 def save_frame_jsonl(frame: TraceFrame, path: Union[str, Path]) -> None:
     """Write a frame to ``path`` in JSONL format (gzip-free, diff-able).
 
@@ -155,13 +194,13 @@ def save_frame_jsonl(frame: TraceFrame, path: Union[str, Path]) -> None:
         for i in range(len(frame)):
             fh.write(
                 json.dumps(
-                    {
-                        "node_id": int(frame.node_ids[i]),
-                        "epoch": int(frame.epochs[i]),
-                        "generated_at": float(frame.generated_at[i]),
-                        "received_at": float(frame.received_at[i]),
-                        "values": rounded[i].tolist(),
-                    }
+                    row_obj(
+                        frame.node_ids[i],
+                        frame.epochs[i],
+                        frame.generated_at[i],
+                        frame.received_at[i],
+                        rounded[i].tolist(),
+                    )
                 )
                 + "\n"
             )
@@ -448,13 +487,7 @@ def tail_frame_jsonl(
                         _check_header(obj, path)
                         saw_header = True
                         continue
-                    yield SnapshotRow(
-                        node_id=int(obj["node_id"]),
-                        epoch=int(obj["epoch"]),
-                        generated_at=float(obj["generated_at"]),
-                        received_at=float(obj["received_at"]),
-                        values=np.asarray(obj["values"], dtype=float),
-                    )
+                    yield row_from_obj(obj)
                 continue
             if not follow:
                 return

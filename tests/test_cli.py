@@ -18,6 +18,39 @@ def test_requires_command():
         build_parser().parse_args([])
 
 
+def test_version_flag(capsys):
+    import repro
+
+    with pytest.raises(SystemExit) as exc:
+        build_parser().parse_args(["--version"])
+    assert exc.value.code == 0
+    assert capsys.readouterr().out.strip() == f"vn2 {repro.__version__}"
+    # Single-sourced: the CLI reports exactly the package's version.
+    assert repro.__version__.count(".") == 2
+
+
+def test_serve_parser_defaults():
+    args = build_parser().parse_args(["serve", "model"])
+    assert args.model == "model"
+    assert (args.host, args.port, args.http_port) == ("127.0.0.1", 7433, 7434)
+    assert args.queue_size == 8192
+    assert args.retry_after == pytest.approx(0.05)
+    assert args.max_closed == 10000
+    assert args.ready_file is None
+
+
+def test_serve_parser_accepts_tuned_knobs():
+    args = build_parser().parse_args([
+        "serve", "model", "--port", "0", "--http-port", "0",
+        "--queue-size", "128", "--retry-after", "0.01",
+        "--time-gap", "300", "--radius", "45", "--max-closed", "-1",
+        "--ready-file", "ports.json",
+    ])
+    assert args.queue_size == 128
+    assert args.max_closed == -1  # mapped to unlimited by _cmd_serve
+    assert args.ready_file == "ports.json"
+
+
 def test_simulate_train_diagnose_flow(tmp_path, capsys):
     trace_path = tmp_path / "trace.jsonl"
     rc = main([

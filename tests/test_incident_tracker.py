@@ -176,3 +176,68 @@ def test_flush_is_idempotent_and_describe_renders():
     assert "congestion" in event.incident.describe()
     assert len(tracker.flush()) == 1
     assert tracker.flush() == []
+
+
+# ---------------------------------------------------------------------------
+# max_closed retention cap
+# ---------------------------------------------------------------------------
+
+
+def _n_disjoint_incidents(tracker, n, gap=2000.0):
+    """Open and gap-close ``n`` single-observation incidents in sequence."""
+    for i in range(n):
+        start = i * gap
+        tracker.add(_obs(start=start, end=start + 600.0, strength=0.1 * (i + 1)))
+
+
+def test_default_retention_is_unlimited():
+    tracker = IncidentTracker(time_gap_s=600.0)
+    _n_disjoint_incidents(tracker, 50)
+    tracker.flush()
+    assert tracker.max_closed is None
+    assert len(tracker.incidents) == 50
+    assert tracker.n_closed_total == 50
+    assert tracker.n_evicted == 0
+
+
+def test_max_closed_caps_retention_and_counts_evictions():
+    tracker = IncidentTracker(time_gap_s=600.0, max_closed=3)
+    _n_disjoint_incidents(tracker, 10)
+    tracker.flush()
+    assert len(tracker.incidents) == 3
+    assert tracker.n_closed_total == 10
+    assert tracker.n_evicted == 7
+    # Close-order eviction: the retained ones are the newest three.
+    starts = [inc.start for inc in tracker.incidents]
+    assert starts == sorted(starts)
+    assert starts[0] == 7 * 2000.0
+
+
+def test_max_closed_does_not_change_the_event_stream():
+    capped = IncidentTracker(time_gap_s=600.0, max_closed=1)
+    free = IncidentTracker(time_gap_s=600.0)
+    streams = []
+    for tracker in (capped, free):
+        events = []
+        for i in range(6):
+            start = i * 2000.0
+            events += tracker.add(_obs(start=start, end=start + 600.0))
+        events += tracker.flush()
+        streams.append(events)
+    capped_events, free_events = streams
+    assert [e.kind for e in capped_events] == [e.kind for e in free_events]
+    assert [e.incident for e in capped_events] == [e.incident for e in free_events]
+
+
+def test_max_closed_zero_retains_nothing():
+    tracker = IncidentTracker(max_closed=0)
+    tracker.add(_obs())
+    tracker.flush()
+    assert tracker.incidents == []
+    assert tracker.n_closed_total == 1
+    assert tracker.n_evicted == 1
+
+
+def test_max_closed_rejects_negative():
+    with pytest.raises(ValueError, match="max_closed"):
+        IncidentTracker(max_closed=-1)

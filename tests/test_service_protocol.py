@@ -1,0 +1,208 @@
+"""Wire-protocol validation: every malformed message is rejected with a
+machine-readable code, every well-formed one round-trips exactly.
+
+No sockets here — the protocol module is pure functions, so these tests
+pin the message grammar the server and SDK both rely on.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.metrics.catalog import NUM_METRICS
+from repro.service import protocol
+
+
+def _packet(**overrides):
+    obj = {
+        "node_id": 7,
+        "epoch": 3,
+        "generated_at": 1200.5,
+        "values": [0.5] * NUM_METRICS,
+    }
+    obj.update(overrides)
+    return obj
+
+
+def _ingest(**overrides):
+    msg = protocol.ingest("city-a", [_packet()], seq=1)
+    msg.update(overrides)
+    return msg
+
+
+def test_encode_decode_roundtrip():
+    msg = _ingest()
+    assert protocol.decode(protocol.encode(msg)) == msg
+
+
+def test_encode_is_single_line():
+    assert protocol.encode(_ingest()).count(b"\n") == 1
+
+
+def test_decode_rejects_non_json_and_non_object():
+    with pytest.raises(protocol.ProtocolError) as exc:
+        protocol.decode(b"not json\n")
+    assert exc.value.code == "bad_json"
+    with pytest.raises(protocol.ProtocolError) as exc:
+        protocol.decode(b"[1, 2]\n")
+    assert exc.value.code == "bad_json"
+
+
+def test_version_mismatch_rejected():
+    with pytest.raises(protocol.ProtocolError) as exc:
+        protocol.parse_ingest(_ingest(v=2))
+    assert exc.value.code == "bad_version"
+    assert exc.value.seq == 1  # seq still echoed so the client can match
+
+
+def test_missing_type_rejected():
+    msg = _ingest()
+    del msg["type"]
+    with pytest.raises(protocol.ProtocolError) as exc:
+        protocol._check_envelope(msg)
+    assert exc.value.code == "bad_type"
+
+
+@pytest.mark.parametrize("name", [
+    "", "a" * 65, "has space", "/slash", None, 42, "-leading-dash",
+])
+def test_bad_deployment_names_rejected(name):
+    with pytest.raises(protocol.ProtocolError) as exc:
+        protocol.check_deployment(name)
+    assert exc.value.code == "bad_deployment"
+
+
+@pytest.mark.parametrize("name", ["a", "city-a", "CitySee_2011", "x.y-z", "9lives"])
+def test_good_deployment_names_accepted(name):
+    assert protocol.check_deployment(name) == name
+
+
+def test_parse_packet_returns_session_tuple():
+    node_id, epoch, generated_at, values = protocol.parse_packet(_packet())
+    assert (node_id, epoch, generated_at) == (7, 3, 1200.5)
+    assert values.shape == (NUM_METRICS,)
+    assert values.dtype == float
+
+
+@pytest.mark.parametrize("mutation, field", [
+    ({"node_id": -1}, "node_id"),
+    ({"node_id": "7"}, "node_id"),
+    ({"node_id": True}, "node_id"),
+    ({"epoch": -2}, "epoch"),
+    ({"epoch": 1.5}, "epoch"),
+    ({"generated_at": float("nan")}, "generated_at"),
+    ({"generated_at": "soon"}, "generated_at"),
+    ({"values": [0.5] * (NUM_METRICS - 1)}, "values"),
+    ({"values": [0.5] * (NUM_METRICS + 1)}, "values"),
+    ({"values": "zeros"}, "values"),
+])
+def test_malformed_packet_fields_rejected(mutation, field):
+    with pytest.raises(protocol.ProtocolError) as exc:
+        protocol.parse_packet(_packet(**mutation))
+    assert exc.value.code == "bad_packet"
+    assert field in str(exc.value)
+
+
+def test_non_finite_values_rejected():
+    values = [0.5] * NUM_METRICS
+    values[10] = math.inf
+    with pytest.raises(protocol.ProtocolError) as exc:
+        protocol.parse_packet(_packet(values=values))
+    assert exc.value.code == "bad_packet"
+
+
+def test_missing_packet_field_rejected():
+    obj = _packet()
+    del obj["values"]
+    with pytest.raises(protocol.ProtocolError) as exc:
+        protocol.parse_packet(obj)
+    assert exc.value.code == "bad_packet"
+
+
+def test_parse_ingest_happy_path():
+    seq, deployment, packets = protocol.parse_ingest(
+        protocol.ingest("city-a", [_packet(), _packet(epoch=4)], seq=9)
+    )
+    assert seq == 9
+    assert deployment == "city-a"
+    assert [p[1] for p in packets] == [3, 4]
+
+
+@pytest.mark.parametrize("packets", [[], None, "x"])
+def test_parse_ingest_requires_nonempty_list(packets):
+    with pytest.raises(protocol.ProtocolError) as exc:
+        protocol.parse_ingest(_ingest(packets=packets))
+    assert exc.value.code == "bad_request"
+
+
+def test_parse_ingest_caps_batch_size():
+    msg = _ingest(packets=[_packet()] * (protocol.MAX_BATCH + 1))
+    with pytest.raises(protocol.ProtocolError) as exc:
+        protocol.parse_ingest(msg)
+    assert exc.value.code == "bad_request"
+
+
+def test_ack_shapes():
+    plain = protocol.ack(5, accepted=32, queued=100)
+    assert plain["type"] == "ack" and "retry_after" not in plain
+    pushed = protocol.ack(5, accepted=0, queued=8192, retry_after=0.05)
+    assert pushed["retry_after"] == 0.05
+    assert pushed["reason"] == "queue_full"
+
+
+def test_error_codes_are_closed_set():
+    for code in protocol.ERROR_CODES:
+        assert protocol.error(code, "msg")["code"] == code
+    with pytest.raises(AssertionError):
+        protocol.error("made_up", "msg")
+
+
+def test_hello_advertises_catalog_width():
+    msg = protocol.hello()
+    assert msg["n_metrics"] == NUM_METRICS
+    assert msg["v"] == protocol.PROTOCOL_VERSION
+
+
+def test_incident_event_obj_matches_watch_log_shape():
+    """The service event payload and `vn2 watch --output` lines must stay
+    the same object — the CI differential depends on it."""
+    from repro.cli import _event_json
+    from repro.core.incidents import IncidentEvent, IncidentTracker, Observation
+
+    tracker = IncidentTracker()
+    (event,) = tracker.add(Observation(
+        node_id=3, time_from=0.0, time_to=600.0, cause_index=1,
+        hazard="congestion", strength=0.4,
+    ))
+    assert isinstance(event, IncidentEvent)
+    assert json.loads(_event_json(event)) == protocol.incident_event_obj(event)
+    assert set(protocol.incident_event_obj(event)) == {
+        "kind", "incident_id", "time", "hazard", "node_ids", "start", "end",
+        "peak_strength", "total_strength", "n_observations",
+    }
+
+
+def test_event_message_wraps_deployment():
+    from repro.core.incidents import IncidentTracker, Observation
+
+    tracker = IncidentTracker()
+    (event,) = tracker.add(Observation(
+        node_id=3, time_from=0.0, time_to=600.0, cause_index=1,
+        hazard="congestion", strength=0.4,
+    ))
+    msg = protocol.event_message("city-a", event)
+    assert msg["deployment"] == "city-a"
+    assert msg["event"]["kind"] == "open"
+    # Full float precision on the wire: values survive a JSON round trip.
+    assert protocol.decode(protocol.encode(msg)) == msg
+
+
+def test_values_accept_numpy_row_via_tolist():
+    row = np.linspace(0.0, 1.0, NUM_METRICS)
+    packet = _packet(values=row.tolist())
+    _, _, _, parsed = protocol.parse_packet(packet)
+    assert np.array_equal(parsed, row)
