@@ -1,0 +1,89 @@
+"""Telemetry overhead: instrumentation-on vs off, paired, under 5%.
+
+The observability PR's acceptance gate: with the metrics registry
+enabled (the default — ``VN2_OBS=1``) a CitySee fit and a streaming
+ingest replay must cost at most 5% more wall-clock than the same work
+against :data:`~repro.obs.NULL_REGISTRY`.  Rounds alternate off/on and
+the minimum per mode is compared, so scheduler noise has to hit every
+round of one mode to flip the verdict; a small absolute slack keeps the
+gate meaningful on fast machines where 5% of the runtime approaches
+timer jitter.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.pipeline import VN2, VN2Config
+from repro.core.streaming import StreamingDiagnosisSession, iter_packets
+from repro.obs import NULL_REGISTRY, MetricsRegistry, set_registry
+
+ROUNDS = 3
+MAX_OVERHEAD = 0.05
+ABS_SLACK_S = 0.02  # timer jitter floor for the paired comparison
+
+
+def _timed_fit(frame, registry) -> float:
+    previous = set_registry(registry)
+    try:
+        t0 = time.perf_counter()
+        VN2(VN2Config(rank=20)).fit(frame)
+        return time.perf_counter() - t0
+    finally:
+        set_registry(previous)
+
+
+def _timed_ingest(tool, packets, registry) -> float:
+    session = StreamingDiagnosisSession(tool, registry=registry)
+    t0 = time.perf_counter()
+    for packet in packets:
+        session.push_packet(*packet)
+    return time.perf_counter() - t0
+
+
+def _paired(run) -> tuple:
+    """Alternating off/on rounds; the per-mode minimum is the estimate."""
+    off, on = [], []
+    for _ in range(ROUNDS):
+        off.append(run(NULL_REGISTRY))
+        on.append(run(MetricsRegistry(enabled=True)))
+    return min(off), min(on)
+
+
+def _assert_overhead(label: str, off_s: float, on_s: float) -> None:
+    bound = (1.0 + MAX_OVERHEAD) * off_s + ABS_SLACK_S
+    print(f"{label}: off {off_s:.3f}s  on {on_s:.3f}s  "
+          f"ratio {on_s / off_s:.3f}  (bound {bound:.3f}s)")
+    assert on_s <= bound, (
+        f"{label}: instrumentation-on {on_s:.3f}s exceeds "
+        f"{MAX_OVERHEAD:.0%} over off {off_s:.3f}s"
+    )
+
+
+def test_bench_obs_overhead_fit(benchmark, citysee_default_trace):
+    off_s, on_s = benchmark.pedantic(
+        lambda: _paired(lambda reg: _timed_fit(citysee_default_trace, reg)),
+        rounds=1, iterations=1,
+    )
+    print("\n=== Telemetry overhead: default CitySee fit ===")
+    _assert_overhead("fit", off_s, on_s)
+
+
+def test_bench_obs_overhead_streaming(benchmark, citysee_tool,
+                                      citysee_default_trace):
+    packets = list(iter_packets(citysee_default_trace))[:20_000]
+
+    # sanity: the enabled mode really records (this is not a no-op pair)
+    check = MetricsRegistry(enabled=True)
+    _timed_ingest(citysee_tool, packets[:100], check)
+    assert check.counter("repro_streaming_packets_total").value == 100
+
+    off_s, on_s = benchmark.pedantic(
+        lambda: _paired(
+            lambda reg: _timed_ingest(citysee_tool, packets, reg)
+        ),
+        rounds=1, iterations=1,
+    )
+    print("\n=== Telemetry overhead: streaming ingest ===")
+    print(f"packets: {len(packets)}")
+    _assert_overhead("ingest", off_s, on_s)

@@ -16,6 +16,10 @@ Commands:
 * ``vn2 experiment`` — run one of the paper's figure/table harnesses.
 * ``vn2 sweep`` — run a multi-seed scenario sweep through the parallel
   runner and score every deployment against its fault schedule.
+* ``vn2 profile`` — run any other subcommand under the span tracer and
+  print its span tree, hot-spot table and (optionally) a spans JSONL.
+* ``vn2 stats`` — fetch and pretty-print a running service's
+  ``/metrics`` (or its raw Prometheus exposition).
 
 Commands that generate more than one independent simulator run accept
 ``--jobs N`` to shard the runs across a process pool (output is
@@ -235,6 +239,30 @@ def _cmd_watch(args: argparse.Namespace) -> int:
                 log.write(_event_json(event) + "\n")
                 log.flush()
 
+    # --stats-every: one-line registry snapshot on stderr (stdout keeps
+    # the event-line format; the JSONL log file is untouched).
+    stats_every = getattr(args, "stats_every", None)
+    stats_state = {"at": _time.monotonic(), "packets": 0}
+
+    def maybe_stats() -> None:
+        now = _time.monotonic()
+        elapsed = now - stats_state["at"]
+        if elapsed < stats_every:
+            return
+        counts = session.counters()
+        # --stats-every 0 on a coarse clock can see elapsed == 0.0
+        delta = counts["packets"] - stats_state["packets"]
+        rate = delta / elapsed if elapsed > 0 else 0.0
+        print(
+            f"[stats] packets={counts['packets']} ({rate:.1f}/s) "
+            f"states={counts['states']} exceptions={counts['exceptions']} "
+            f"incidents open={counts['incidents_open']} "
+            f"closed={counts['incidents_closed']}",
+            file=sys.stderr,
+        )
+        stats_state["at"] = now
+        stats_state["packets"] = counts["packets"]
+
     try:
         rows = tail_frame_jsonl(
             args.trace,
@@ -249,6 +277,8 @@ def _cmd_watch(args: argparse.Namespace) -> int:
                 )
                 if update is not None and update.events:
                     emit(update.events)
+                if stats_every is not None:
+                    maybe_stats()
         emit(session.finish())
     finally:
         if log is not None:
@@ -526,6 +556,83 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs import Tracer, set_tracer
+
+    command = list(args.cmd)
+    if command and command[0] == "--":
+        command = command[1:]
+    if not command:
+        print("vn2 profile: give a subcommand to run, e.g. "
+              "vn2 profile train citysee:tiny", file=sys.stderr)
+        return 2
+    if command[0] == "profile":
+        print("vn2 profile: cannot profile itself", file=sys.stderr)
+        return 2
+
+    tracer = Tracer(enabled=True, capture_alloc=args.alloc)
+    previous = set_tracer(tracer)
+    try:
+        try:
+            with tracer.span("vn2 " + command[0], argv=command[1:]):
+                code = main(command)
+        except SystemExit as exc:  # argparse errors inside the subcommand
+            code = exc.code if isinstance(exc.code, int) else 1
+    finally:
+        set_tracer(previous)
+
+    print()
+    print(f"profile: vn2 {' '.join(command)}")
+    print(tracer.render(max_depth=args.max_depth))
+    print()
+    print(tracer.top_table(args.top))
+    if args.output:
+        tracer.export_jsonl(args.output)
+        print(f"spans -> {args.output}")
+    return code
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json as _json
+    from urllib.request import urlopen
+
+    url = f"http://{args.host}:{args.port}/metrics"
+    if args.prometheus:
+        url += "?format=prometheus"
+    try:
+        with urlopen(url, timeout=args.timeout) as response:
+            body = response.read().decode("utf-8")
+    except OSError as exc:
+        print(f"vn2 stats: cannot reach {url}: {exc}", file=sys.stderr)
+        return 1
+    if args.prometheus or args.as_json:
+        print(body, end="" if body.endswith("\n") else "\n")
+        return 0
+    doc = _json.loads(body)
+    server = doc["server"]
+    print(
+        f"server: {server['deployments']} deployments, "
+        f"uptime {server['uptime_s']}s, "
+        f"queue_size {server['queue_size']}, "
+        f"protocol v{server['protocol_version']}"
+    )
+    print("totals:")
+    for key, value in doc["totals"].items():
+        print(f"  {key:<22s} {value}")
+    for name, shard in doc["deployments"].items():
+        latency = shard.get("ingest_latency") or {}
+        print(
+            f"deployment {name}: "
+            f"packets={shard['packets']} states={shard['states']} "
+            f"exceptions={shard['exceptions']} "
+            f"open={shard['incidents_open']} "
+            f"closed={shard['incidents_closed']} "
+            f"queue={shard['queue_depth_packets']} "
+            f"p50={latency.get('p50_ms')}ms p99={latency.get('p99_ms')}ms"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for tests)."""
     import repro
@@ -626,6 +733,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="incident gap expiry")
     p.add_argument("--radius", type=float, default=60.0, metavar="METERS",
                    help="incident spatial merge radius")
+    p.add_argument("--stats-every", type=float, default=None, metavar="SECONDS",
+                   help="print a one-line counters snapshot to stderr every "
+                        "N seconds (stdout event format is unchanged)")
     p.set_defaults(func=_cmd_watch)
 
     p = sub.add_parser(
@@ -733,6 +843,38 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write per-job timing JSON (CI artifact format)")
     add_jobs_option(p)
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "profile",
+        help="run any vn2 subcommand under the span tracer; print its "
+             "span tree and hot-spot table",
+    )
+    p.add_argument("cmd", nargs=argparse.REMAINDER, metavar="command...",
+                   help="the subcommand to run, e.g. train citysee:tiny "
+                        "(profile options must come before it)")
+    p.add_argument("--top", type=int, default=15, metavar="N",
+                   help="rows in the hot-spot table")
+    p.add_argument("--max-depth", type=int, default=None, metavar="D",
+                   help="truncate the span tree below this depth")
+    p.add_argument("--alloc", action="store_true",
+                   help="also capture tracemalloc peak allocations (slower)")
+    p.add_argument("--output", default=None, metavar="FILE",
+                   help="write the spans as JSONL (one span per line)")
+    p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser(
+        "stats",
+        help="fetch and print a running service's /metrics",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7434,
+                   help="the service's operator HTTP port")
+    p.add_argument("--prometheus", action="store_true",
+                   help="print the raw Prometheus text exposition")
+    p.add_argument("--json", dest="as_json", action="store_true",
+                   help="print the raw JSON document")
+    p.add_argument("--timeout", type=float, default=5.0, metavar="SECONDS")
+    p.set_defaults(func=_cmd_stats)
 
     return parser
 

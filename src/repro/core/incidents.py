@@ -31,11 +31,13 @@ incident peak/total strengths).
 from __future__ import annotations
 
 import math
+import weakref
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs import MetricsRegistry, get_registry
 from repro.core.inference import infer_weights_batch, sparsify_inferred
 from repro.core.pipeline import VN2
 from repro.core.states import StateMatrix
@@ -212,6 +214,10 @@ class IncidentTracker:
         max_closed: Retention cap on :attr:`incidents` (``None`` =
             unlimited).  Eviction is close-order (oldest first) and never
             touches *open* incidents or the event stream.
+        registry: Metrics registry for the opened/closed/evicted counters
+            and the ``repro_incidents_open`` gauge; defaults to
+            :func:`repro.obs.get_registry`.
+        metric_labels: Constant labels stamped on those metrics.
     """
 
     def __init__(
@@ -220,6 +226,8 @@ class IncidentTracker:
         time_gap_s: float = 600.0,
         radius_m: float = 60.0,
         max_closed: Optional[int] = None,
+        registry: Optional[MetricsRegistry] = None,
+        metric_labels: Optional[Mapping[str, str]] = None,
     ):
         if max_closed is not None and max_closed < 0:
             raise ValueError(f"max_closed must be >= 0, got {max_closed}")
@@ -236,14 +244,51 @@ class IncidentTracker:
         self.n_evicted = 0
         #: Lifetime closed-incident count (evicted ones included).
         self.n_closed_total = 0
+        reg = get_registry() if registry is None else registry
+        self.registry = reg
+        labels = dict(metric_labels) if metric_labels else None
+        self._m_opened = reg.counter(
+            "repro_incidents_opened_total", "Incident clusters opened", labels
+        )
+        self._m_closed = reg.counter(
+            "repro_incidents_closed_total",
+            "Incident clusters closed (lifetime, evicted included)",
+            labels,
+        )
+        self._m_evicted = reg.counter(
+            "repro_incidents_evicted_total",
+            "Closed incidents evicted by the max_closed retention cap",
+            labels,
+        )
+        if reg.enabled:
+            # Callback gauge bound through a weakref: the registry never
+            # keeps a dead tracker alive, and re-registration (a new
+            # tracker with the same labels) simply takes over the gauge.
+            def _open_count(ref=weakref.ref(self)):
+                tracker = ref()
+                return float(tracker.n_open) if tracker is not None else 0.0
+
+            reg.gauge(
+                "repro_incidents_open",
+                "Currently open incident clusters",
+                labels,
+                fn=_open_count,
+            )
+
+    @property
+    def n_open(self) -> int:
+        """Number of currently open incident clusters (all hazards)."""
+        return sum(len(c) for c in self._open.values())
 
     def _retain(self, incident: Incident) -> None:
         self.incidents.append(incident)
         self.n_closed_total += 1
+        self._m_closed.inc()
         if self.max_closed is not None and len(self.incidents) > self.max_closed:
             drop = len(self.incidents) - self.max_closed
             del self.incidents[:drop]
             self.n_evicted += drop
+            self._m_evicted.inc(drop)
 
     def _near(self, node_id: int, cluster_nodes: Sequence[int]) -> bool:
         if self.positions is None:
@@ -312,6 +357,7 @@ class IncidentTracker:
                 "count": 1,
             }
             self._next_id += 1
+            self._m_opened.inc()
             clusters.append(home)
             events.append(
                 IncidentEvent("open", self._snapshot(home), home["id"], obs.time_to)

@@ -11,10 +11,13 @@ single-cause diagnosis trees).
 
 from __future__ import annotations
 
+import time
 from typing import Tuple
 
 import numpy as np
 from scipy.optimize import nnls
+
+from repro.obs import get_registry
 
 
 def infer_single(Psi: np.ndarray, state: np.ndarray) -> Tuple[np.ndarray, float]:
@@ -123,6 +126,7 @@ def infer_weights_batch(
     n = states.shape[0]
     if n == 0 or r == 0:
         return np.zeros((n, r)), np.linalg.norm(states, axis=1)
+    _t0 = time.perf_counter()
 
     A = Psi.T  # (m, r): the design matrix of min ‖A x - b‖, x >= 0
     B = states.T  # (m, n)
@@ -168,6 +172,19 @@ def infer_weights_batch(
 
     X = np.maximum(X, 0.0)
     residuals = np.linalg.norm(B - A @ X, axis=0)
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter(
+            "repro_core_nnls_batches_total", "Batch NNLS sweeps solved"
+        ).inc()
+        registry.counter(
+            "repro_core_nnls_states_total",
+            "States diagnosed through batch NNLS",
+        ).inc(n)
+        registry.histogram(
+            "repro_core_nnls_batch_seconds",
+            "Wall time of one batch NNLS sweep",
+        ).observe(time.perf_counter() - _t0)
     return X.T, residuals
 
 

@@ -31,6 +31,8 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.obs import get_registry
+
 _EPS = 1e-10
 
 
@@ -283,6 +285,15 @@ def nmf(
             previous_loss = loss
     if not loss_history:
         loss_history = [previous_loss]
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter(
+            "repro_core_nmf_runs_total", "NMF factorizations performed"
+        ).inc()
+        registry.counter(
+            "repro_core_nmf_iterations_total",
+            "Multiplicative-update iterations across all NMF runs",
+        ).inc(iterations)
     return NMFResult(
         W=W,
         Psi=Psi,

@@ -21,13 +21,13 @@ with the compression factor chosen automatically from a rank sweep when
 from __future__ import annotations
 
 import json
-import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.obs import get_registry, span
 from repro.core.exceptions import ExceptionSet, detect_exceptions
 from repro.core.inference import (
     active_causes,
@@ -176,15 +176,22 @@ class VN2:
         A :class:`~repro.traces.frame.TraceFrame` is the fast path; a
         legacy :class:`Trace` is columnarized once at this boundary.
         """
-        t0 = time.perf_counter()
-        states = build_states(trace)
-        states_seconds = time.perf_counter() - t0
-        self.fit_states(states)
-        self.timings_ = {"states": states_seconds, **self.timings_}
+        with span("fit"):
+            with span("fit.states") as sp:
+                states = build_states(trace)
+            self.fit_states(states)
+            self.timings_ = {"states": sp.wall_s, **self.timings_}
         return self
 
     def fit_states(self, states: StateMatrix) -> "VN2":
-        """Train from pre-built network states."""
+        """Train from pre-built network states.
+
+        Every stage runs under a :func:`repro.obs.span` (``fit.exceptions``
+        … ``fit.interpret``) — ``vn2 profile train`` renders them as a
+        tree — and the :attr:`timings_` dict keeps its seed-era keys
+        (``states``/``exceptions``/``nmf``/``sparsify``) derived from the
+        same measurements.
+        """
         if len(states) < 2:
             raise ValueError(
                 f"need at least 2 states to train, got {len(states)}"
@@ -204,32 +211,33 @@ class VN2:
         epsilon = (z * z).sum(axis=1)
         self._train_max_eps = float(np.max(epsilon))
 
-        t0 = time.perf_counter()
-        if self.config.filter_exceptions:
-            # epsilon is exactly deviation_scores(values); hand it over so
-            # the detector skips its own identical pass.
-            self.exceptions_ = detect_exceptions(
-                states,
-                threshold_ratio=self.config.exception_threshold,
-                epsilon=epsilon,
-            )
-            training = self.exceptions_.states
-        else:
-            self.exceptions_ = None
-            training = states
-        self.timings_["exceptions"] = time.perf_counter() - t0
+        with span("fit.exceptions", n_states=len(states)) as sp:
+            if self.config.filter_exceptions:
+                # epsilon is exactly deviation_scores(values); hand it over
+                # so the detector skips its own identical pass.
+                self.exceptions_ = detect_exceptions(
+                    states,
+                    threshold_ratio=self.config.exception_threshold,
+                    epsilon=epsilon,
+                )
+                training = self.exceptions_.states
+            else:
+                self.exceptions_ = None
+                training = states
+        self.timings_["exceptions"] = sp.wall_s
         if len(training) < 2:
             raise ValueError(
                 "exception filter left fewer than 2 states; lower the "
                 "threshold or disable filter_exceptions"
             )
 
-        self.normalizer_ = MinMaxNormalizer.fit(
-            training.values, pad_fraction=self.config.normalizer_pad
-        )
-        E = self.normalizer_.transform(training.values)
+        with span("fit.normalize"):
+            self.normalizer_ = MinMaxNormalizer.fit(
+                training.values, pad_fraction=self.config.normalizer_pad
+            )
+            E = self.normalizer_.transform(training.values)
 
-        t0 = time.perf_counter()
+        nmf_seconds = 0.0
         rank = self.config.rank
         if rank is None:
             candidates = [
@@ -237,32 +245,38 @@ class VN2:
             ]
             if not candidates:
                 candidates = [min(E.shape)]
-            self.rank_sweep_ = rank_sweep(
+            with span("fit.rank_sweep", candidates=candidates) as sp:
+                self.rank_sweep_ = rank_sweep(
+                    E,
+                    candidates,
+                    retention=self.config.retention,
+                    n_iter=self.config.nmf_iterations,
+                    init=self.config.nmf_init,
+                    rng=np.random.default_rng(self.config.seed),
+                )
+                rank = choose_rank(self.rank_sweep_)
+            nmf_seconds += sp.wall_s
+        rank = int(min(rank, min(E.shape)))
+        self.rank_ = rank
+
+        with span("fit.nmf", rank=rank, shape=list(E.shape)) as sp:
+            self.nmf_ = nmf(
                 E,
-                candidates,
-                retention=self.config.retention,
+                rank,
                 n_iter=self.config.nmf_iterations,
                 init=self.config.nmf_init,
                 rng=np.random.default_rng(self.config.seed),
             )
-            rank = choose_rank(self.rank_sweep_)
-        rank = int(min(rank, min(E.shape)))
-        self.rank_ = rank
+        nmf_seconds += sp.wall_s
+        # Seed-compatible key: rank sweep and final factorization together,
+        # exactly what the old ad-hoc stopwatch covered.
+        self.timings_["nmf"] = nmf_seconds
 
-        self.nmf_ = nmf(
-            E,
-            rank,
-            n_iter=self.config.nmf_iterations,
-            init=self.config.nmf_init,
-            rng=np.random.default_rng(self.config.seed),
-        )
-        self.timings_["nmf"] = time.perf_counter() - t0
-
-        t0 = time.perf_counter()
-        self.sparsify_ = sparsify_weights(
-            self.nmf_.W, retention=self.config.retention
-        )
-        self.timings_["sparsify"] = time.perf_counter() - t0
+        with span("fit.sparsify") as sp:
+            self.sparsify_ = sparsify_weights(
+                self.nmf_.W, retention=self.config.retention
+            )
+        self.timings_["sparsify"] = sp.wall_s
         # Usage-based baseline detection mirrors the paper's testbed
         # reasoning ("Ψ7 is used much more than any other feature, so it
         # must represent normal states") — which is only sound when the
@@ -274,11 +288,20 @@ class VN2:
             if not self.config.filter_exceptions
             else None
         )
-        self.labels_ = self._interpreter.interpret(
-            self.psi_display(),
-            energies=self._row_energies(),
-            usage=usage,
-        )
+        with span("fit.interpret"):
+            self.labels_ = self._interpreter.interpret(
+                self.psi_display(),
+                energies=self._row_energies(),
+                usage=usage,
+            )
+        registry = get_registry()
+        registry.counter(
+            "repro_core_fits_total", "VN2 models fitted in this process"
+        ).inc()
+        registry.counter(
+            "repro_core_fit_states_total",
+            "Network states consumed by VN2 fits",
+        ).inc(len(states))
         return self
 
     # ------------------------------------------------------------------
@@ -407,9 +430,9 @@ class VN2:
                 f"states must have {NUM_METRICS} metrics, got {values.shape[1]}"
             )
         normalized = self._normalize_states(values)
-        t0 = time.perf_counter()
-        weights, residuals = infer_weights_batch(self.nmf_.Psi, normalized)
-        self.timings_["nnls"] = time.perf_counter() - t0
+        with span("diagnose.nnls", n_states=values.shape[0]) as sp:
+            weights, residuals = infer_weights_batch(self.nmf_.Psi, normalized)
+        self.timings_["nnls"] = sp.wall_s
         norms = np.linalg.norm(normalized, axis=1)
         return [
             self._build_report(weights[i], float(residuals[i]), float(norms[i]))
@@ -523,9 +546,9 @@ class VN2:
         self._require_fitted()
         values = states.values if isinstance(states, StateMatrix) else states
         normalized = self._normalize_states(values)
-        t0 = time.perf_counter()
-        weights, _residuals = infer_weights_batch(self.nmf_.Psi, normalized)
-        self.timings_["nnls"] = time.perf_counter() - t0
+        with span("diagnose.nnls", n_states=normalized.shape[0]) as sp:
+            weights, _residuals = infer_weights_batch(self.nmf_.Psi, normalized)
+        self.timings_["nnls"] = sp.wall_s
         return weights
 
     # ------------------------------------------------------------------

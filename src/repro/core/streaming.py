@@ -30,11 +30,13 @@ exactly.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, Tuple, Union
+from typing import Iterable, Iterator, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.obs import LATENCY_BUCKETS, MetricsRegistry, get_registry
 from repro.core.exceptions import StreamingExceptionDetector
 from repro.core.incidents import (
     IncidentEvent,
@@ -129,6 +131,11 @@ class StreamingDiagnosisSession:
         max_closed_incidents: Retention cap on closed incidents kept in
             ``tracker.incidents`` (``None`` = keep all; see
             :class:`~repro.core.incidents.IncidentTracker`).
+        registry: Metrics registry to report into; defaults to the
+            process-wide :func:`repro.obs.get_registry`.  The sink
+            service passes its own private registry per shard.
+        metric_labels: Constant labels stamped on every metric this
+            session (and its tracker) emits, e.g. ``{"deployment": name}``.
 
     A model without training statistics (saved by an older version)
     cannot screen, so — exactly like the batch aggregator's fallback —
@@ -148,6 +155,8 @@ class StreamingDiagnosisSession:
         time_gap_s: float = 600.0,
         radius_m: float = 60.0,
         max_closed_incidents: Optional[int] = None,
+        registry: Optional[MetricsRegistry] = None,
+        metric_labels: Optional[Mapping[str, str]] = None,
     ):
         tool._require_fitted()
         self.tool = tool
@@ -161,11 +170,47 @@ class StreamingDiagnosisSession:
         self.builder = StreamingStateBuilder(
             max_epoch_gap=max_epoch_gap, per_epoch_rate=per_epoch_rate
         )
+        self.registry = get_registry() if registry is None else registry
+        labels = dict(metric_labels) if metric_labels else None
         self.tracker = IncidentTracker(
             positions=positions,
             time_gap_s=time_gap_s,
             radius_m=radius_m,
             max_closed=max_closed_incidents,
+            registry=self.registry,
+            metric_labels=labels,
+        )
+        reg = self.registry
+        # ``_obs_on`` gates the per-packet perf_counter pair; the metric
+        # handles themselves are no-op singletons when the registry is
+        # disabled, so inc() stays safe either way.
+        self._obs_on = reg.enabled
+        self._m_packets = reg.counter(
+            "repro_streaming_packets_total", "Report packets ingested", labels
+        )
+        self._m_states = reg.counter(
+            "repro_streaming_states_total", "Network states completed", labels
+        )
+        self._m_exceptions = reg.counter(
+            "repro_streaming_exceptions_total",
+            "States flagged by the ε exception screen",
+            labels,
+        )
+        self._m_observations = reg.counter(
+            "repro_streaming_observations_total",
+            "Hazard observations extracted from exception states",
+            labels,
+        )
+        self._m_events = reg.counter(
+            "repro_streaming_incident_events_total",
+            "Incident open/update/close transitions emitted",
+            labels,
+        )
+        self._m_latency = reg.histogram(
+            "repro_streaming_packet_seconds",
+            "Per-packet ingest latency (push_packet wall time)",
+            labels,
+            buckets=LATENCY_BUCKETS,
         )
         self._has_stats = getattr(tool, "_train_mean", None) is not None
         self._fallback: Optional[StreamingExceptionDetector] = (
@@ -198,7 +243,7 @@ class StreamingDiagnosisSession:
             "packets": self.n_packets,
             "states": self.n_states,
             "exceptions": self.n_exceptions,
-            "incidents_open": sum(len(c) for c in tracker._open.values()),
+            "incidents_open": tracker.n_open,
             "incidents_closed": tracker.n_closed_total,
             "incidents_evicted": tracker.n_evicted,
         }
@@ -211,13 +256,21 @@ class StreamingDiagnosisSession:
         values: np.ndarray,
     ) -> Optional[StreamUpdate]:
         """Ingest one report packet; return the update it completed, if any."""
+        if not self._obs_on:
+            state = self.builder.push(node_id, epoch, generated_at, values)
+            if state is None:
+                return None
+            return self.push_state(state)
+        t0 = time.perf_counter()
+        self._m_packets.inc()
         state = self.builder.push(node_id, epoch, generated_at, values)
-        if state is None:
-            return None
-        return self.push_state(state)
+        update = None if state is None else self.push_state(state)
+        self._m_latency.observe(time.perf_counter() - t0)
+        return update
 
     def push_state(self, state: StreamedState) -> StreamUpdate:
         """Screen, diagnose and cluster one completed state."""
+        self._m_states.inc()
         if self._has_stats:
             score = float(self.tool._exception_scores(state.values)[0])
             flagged = score >= self.threshold_ratio
@@ -237,6 +290,7 @@ class StreamingDiagnosisSession:
                 events=[],
             )
         self.n_exceptions += 1
+        self._m_exceptions.inc()
         # ONE per-state solve — identical to observation_weights(), reused
         # for the report so batch and stream agree bit for bit on
         # observation strengths without a second NNLS.
@@ -257,6 +311,10 @@ class StreamingDiagnosisSession:
             weights=sparse,
         )
         events = [e for obs in observations for e in self.tracker.add(obs)]
+        if observations:
+            self._m_observations.inc(len(observations))
+        if events:
+            self._m_events.inc(len(events))
         return StreamUpdate(
             state=state,
             score=score,

@@ -1,0 +1,61 @@
+"""``repro.obs`` — the unified telemetry core.
+
+VN2 is a visibility tool; this package is its visibility into *itself*:
+
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
+  gauges and fixed-bucket histograms, cheap enough to leave enabled and
+  a strict no-op when disabled, with Prometheus text exposition.
+* :mod:`repro.obs.tracing` — nested :func:`span` tracing with wall/CPU
+  time and optional tracemalloc peaks, JSONL export and a text tree
+  renderer; what ``vn2 profile`` prints.
+
+Both are dependency-free (pure stdlib) and shared by every subsystem:
+``VN2.fit`` stages, the NNLS/NMF solvers, the streaming diagnosis
+session, trace IO, the scenario runner and the sink service all report
+here.  ``VN2_OBS=0`` disables the default registry process-wide; code
+that wants private metrics (the service does) constructs its own
+registry and passes it down.
+
+See ``docs/observability.md`` for the metric naming convention and a
+how-to-add-a-metric walkthrough.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    LATENCY_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+    validate_exposition,
+)
+from repro.obs.tracing import (
+    Span,
+    Tracer,
+    format_seconds,
+    get_tracer,
+    set_tracer,
+    span,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "LATENCY_BUCKETS",
+    "NULL_REGISTRY",
+    "get_registry",
+    "set_registry",
+    "validate_exposition",
+    "Span",
+    "Tracer",
+    "format_seconds",
+    "get_tracer",
+    "set_tracer",
+    "span",
+]

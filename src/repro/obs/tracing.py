@@ -1,0 +1,384 @@
+"""Span-based tracing: where did the wall-clock, CPU and memory go?
+
+A :class:`Span` measures one named region — wall time, CPU time and
+(optionally) the tracemalloc peak inside it — and nests: spans opened
+while another span is active become its children, so a whole ``vn2
+train`` run renders as one tree.  The context manager **always times**;
+what the enabled flag controls is whether the finished span is *kept* in
+the tracer's tree.  That split lets call sites use the measured times
+directly (``VN2.fit`` feeds its ``timings_`` dict from the spans) while
+the un-profiled hot path pays only a couple of clock reads per span.
+
+Spans are plain data: :meth:`Span.to_dict` / :meth:`Span.from_dict`
+round-trip through JSON, which is how the process-pool runner ships each
+worker's span tree back to the parent for merging
+(:meth:`Tracer.attach`), and how ``vn2 profile --output`` exports a run
+(flattened JSONL, one span per line with ``span_id``/``parent_id``).
+
+Rendering: :meth:`Tracer.render` draws the tree with per-span wall/CPU
+time and share-of-parent; :meth:`Tracer.top_table` aggregates by span
+name into a self-time-sorted hot-spot table.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+__all__ = ["Span", "Tracer", "get_tracer", "span", "format_seconds"]
+
+
+def format_seconds(seconds: Optional[float]) -> str:
+    """Human-scale duration: ``1.234s`` / ``56.7ms`` / ``890us``."""
+    if seconds is None:
+        return "-"
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds * 1e6:.0f}us"
+
+
+def _format_bytes(n: Optional[int]) -> str:
+    if n is None:
+        return "-"
+    if n >= 1 << 30:
+        return f"{n / (1 << 30):.2f}GB"
+    if n >= 1 << 20:
+        return f"{n / (1 << 20):.1f}MB"
+    if n >= 1 << 10:
+        return f"{n / (1 << 10):.1f}KB"
+    return f"{n}B"
+
+
+class Span:
+    """One timed region of a run, possibly with children.
+
+    Attributes:
+        name: Dotted region name (``"fit.nmf"``, ``"runner.job"``).
+        attrs: Small JSON-able context (``rank=25``, ``job="citysee…"``).
+        wall_s: Wall-clock seconds (None while still open).
+        cpu_s: Process CPU seconds across the span.
+        peak_bytes: Peak tracemalloc allocation inside the span, when the
+            tracer captures allocations (else None).
+        status: ``"ok"`` or ``"error"``.
+        error: ``TypeName: message`` of the exception that crossed the
+            span boundary, when status is ``"error"``.
+        children: Nested spans, in start order.
+    """
+
+    __slots__ = (
+        "name", "attrs", "wall_s", "cpu_s", "peak_bytes",
+        "status", "error", "children",
+        "_t0_wall", "_t0_cpu", "_peak_seen",
+    )
+
+    def __init__(self, name: str, attrs: Optional[dict] = None):
+        self.name = name
+        self.attrs = dict(attrs or {})
+        self.wall_s: Optional[float] = None
+        self.cpu_s: Optional[float] = None
+        self.peak_bytes: Optional[int] = None
+        self.status = "ok"
+        self.error: Optional[str] = None
+        self.children: List["Span"] = []
+        self._t0_wall = 0.0
+        self._t0_cpu = 0.0
+        self._peak_seen = 0
+
+    # -- lifecycle (driven by Tracer.span) -----------------------------
+
+    def _start(self, capture_alloc: bool) -> None:
+        if capture_alloc:
+            import tracemalloc
+
+            if tracemalloc.is_tracing():
+                tracemalloc.reset_peak()
+        self._t0_cpu = time.process_time()
+        self._t0_wall = time.perf_counter()
+
+    def _finish(self, capture_alloc: bool) -> None:
+        self.wall_s = time.perf_counter() - self._t0_wall
+        self.cpu_s = time.process_time() - self._t0_cpu
+        if capture_alloc:
+            import tracemalloc
+
+            if tracemalloc.is_tracing():
+                # reset_peak in a child span erased our running peak;
+                # children report theirs upward via _peak_seen.
+                self.peak_bytes = max(
+                    tracemalloc.get_traced_memory()[1], self._peak_seen
+                )
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> dict:
+        out = {"name": self.name, "wall_s": self.wall_s, "cpu_s": self.cpu_s}
+        if self.attrs:
+            out["attrs"] = self.attrs
+        if self.peak_bytes is not None:
+            out["peak_bytes"] = self.peak_bytes
+        if self.status != "ok":
+            out["status"] = self.status
+            out["error"] = self.error
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+    @classmethod
+    def from_dict(cls, obj: dict) -> "Span":
+        span = cls(obj["name"], obj.get("attrs"))
+        span.wall_s = obj.get("wall_s")
+        span.cpu_s = obj.get("cpu_s")
+        span.peak_bytes = obj.get("peak_bytes")
+        span.status = obj.get("status", "ok")
+        span.error = obj.get("error")
+        span.children = [
+            cls.from_dict(child) for child in obj.get("children", ())
+        ]
+        return span
+
+    # -- traversal -----------------------------------------------------
+
+    def walk(self) -> Iterator["Span"]:
+        """This span, then every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    @property
+    def self_s(self) -> Optional[float]:
+        """Wall seconds not accounted to any child."""
+        if self.wall_s is None:
+            return None
+        child_total = sum(c.wall_s or 0.0 for c in self.children)
+        return max(self.wall_s - child_total, 0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, wall={format_seconds(self.wall_s)}, "
+            f"children={len(self.children)})"
+        )
+
+
+class Tracer:
+    """Collects span trees for one logical run.
+
+    Args:
+        enabled: Keep finished spans in :attr:`roots` (the context
+            manager always *times*; disabled tracers just don't record).
+        capture_alloc: Also capture tracemalloc peaks — requires
+            ``tracemalloc.start()`` (``vn2 profile --memory`` does both).
+
+    Single-threaded by design: one tracer per run/worker; the runner
+    gives every pool worker its own and merges the serialized trees.
+    """
+
+    def __init__(self, enabled: bool = False, capture_alloc: bool = False):
+        self.enabled = enabled
+        self.capture_alloc = capture_alloc
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        """Time a region; record it in the tree when enabled.
+
+        Exceptions propagate untouched; the span they cross is marked
+        ``status="error"`` with the exception's type and message.
+        """
+        node = Span(name, attrs)
+        recording = self.enabled
+        if recording:
+            if self._stack:
+                self._stack[-1].children.append(node)
+            else:
+                self.roots.append(node)
+            self._stack.append(node)
+        node._start(self.capture_alloc and recording)
+        try:
+            yield node
+        except BaseException as exc:
+            node.status = "error"
+            node.error = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            node._finish(self.capture_alloc and recording)
+            if recording:
+                popped = self._stack.pop()
+                assert popped is node, "span stack corrupted"
+                if self._stack and node.peak_bytes is not None:
+                    parent = self._stack[-1]
+                    parent._peak_seen = max(parent._peak_seen, node.peak_bytes)
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def attach(self, tree: Union[dict, Span]) -> Optional[Span]:
+        """Graft a finished span tree (e.g. from a pool worker) into the
+        tracer — under the currently open span, or as a new root.  A
+        no-op on a disabled tracer (returns None)."""
+        if not self.enabled:
+            return None
+        node = tree if isinstance(tree, Span) else Span.from_dict(tree)
+        if self._stack:
+            self._stack[-1].children.append(node)
+        else:
+            self.roots.append(node)
+        return node
+
+    def clear(self) -> None:
+        self.roots = []
+        self._stack = []
+
+    # -- reporting -----------------------------------------------------
+
+    def render(self, max_depth: Optional[int] = None) -> str:
+        """The span tree as indented text (names, wall/CPU, % of parent)."""
+        lines: List[str] = []
+        for root in self.roots:
+            self._render_span(root, "", True, None, lines, max_depth, 0)
+        return "\n".join(lines)
+
+    def _render_span(self, node, prefix, is_last, parent_wall, lines,
+                     max_depth, depth) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
+        connector = "" if not prefix and depth == 0 else ("└─ " if is_last else "├─ ")
+        share = ""
+        if parent_wall and node.wall_s is not None and parent_wall > 0:
+            share = f"  {100.0 * node.wall_s / parent_wall:5.1f}%"
+        extras = ""
+        if node.peak_bytes is not None:
+            extras += f"  peak {_format_bytes(node.peak_bytes)}"
+        if node.status != "ok":
+            extras += f"  ERROR({node.error})"
+        if node.attrs:
+            rendered = ", ".join(f"{k}={v}" for k, v in node.attrs.items())
+            extras += f"  [{rendered}]"
+        label = f"{prefix}{connector}{node.name}"
+        timing = (
+            f"wall {format_seconds(node.wall_s):>9s}  "
+            f"cpu {format_seconds(node.cpu_s):>9s}"
+        )
+        lines.append(f"{label:<48s} {timing}{share}{extras}")
+        child_prefix = prefix + ("   " if is_last else "│  ")
+        if depth == 0 and not prefix:
+            child_prefix = ""
+        for i, child in enumerate(node.children):
+            self._render_span(
+                child, child_prefix, i == len(node.children) - 1,
+                node.wall_s, lines, max_depth, depth + 1,
+            )
+
+    def top_table(self, n: int = 15) -> str:
+        """Hot spots aggregated by span name, sorted by self wall time."""
+        agg: Dict[str, dict] = {}
+        for root in self.roots:
+            for node in root.walk():
+                row = agg.setdefault(
+                    node.name,
+                    {"count": 0, "wall": 0.0, "self": 0.0, "cpu": 0.0},
+                )
+                row["count"] += 1
+                row["wall"] += node.wall_s or 0.0
+                row["self"] += node.self_s or 0.0
+                row["cpu"] += node.cpu_s or 0.0
+        rows = sorted(agg.items(), key=lambda kv: -kv[1]["self"])[:n]
+        if not rows:
+            return "(no spans recorded)"
+        lines = [
+            f"{'span':<32s} {'count':>6s} {'self':>10s} {'total':>10s} {'cpu':>10s}"
+        ]
+        for name, row in rows:
+            lines.append(
+                f"{name:<32s} {row['count']:>6d} "
+                f"{format_seconds(row['self']):>10s} "
+                f"{format_seconds(row['wall']):>10s} "
+                f"{format_seconds(row['cpu']):>10s}"
+            )
+        return "\n".join(lines)
+
+    # -- export --------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """Flatten every tree to JSONL: one span per line, parent-linked.
+
+        Each line carries ``span_id`` (depth-first order), ``parent_id``
+        (None for roots), ``depth``, and the span's measured fields —
+        trivially loadable into pandas or jq without recursion.
+        """
+        lines: List[str] = []
+        next_id = [0]
+
+        def _emit(node: Span, parent_id: Optional[int], depth: int) -> None:
+            span_id = next_id[0]
+            next_id[0] += 1
+            record = {
+                "span_id": span_id,
+                "parent_id": parent_id,
+                "depth": depth,
+                "name": node.name,
+                "wall_s": node.wall_s,
+                "cpu_s": node.cpu_s,
+                "self_s": node.self_s,
+                "status": node.status,
+            }
+            if node.attrs:
+                record["attrs"] = node.attrs
+            if node.peak_bytes is not None:
+                record["peak_bytes"] = node.peak_bytes
+            if node.error is not None:
+                record["error"] = node.error
+            lines.append(json.dumps(record))
+            for child in node.children:
+                _emit(child, span_id, depth + 1)
+
+        for root in self.roots:
+            _emit(root, None, 0)
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def export_jsonl(self, path: Union[str, Path]) -> None:
+        """Write :meth:`to_jsonl` to ``path`` (parents created)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_jsonl(), encoding="utf-8")
+
+
+_default_tracer = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer (disabled unless ``vn2 profile`` turns it
+    on — spans still time, they just aren't retained)."""
+    return _default_tracer
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` process-wide; returns the previous tracer.
+
+    ``vn2 profile`` installs an enabled tracer around the wrapped
+    subcommand, and pool workers install a local one so nested spans land
+    in the tree they serialize back to the submitting process.
+    """
+    global _default_tracer
+    previous = _default_tracer
+    _default_tracer = tracer
+    return previous
+
+
+@contextmanager
+def span(name: str, **attrs):
+    """``with span("fit.nmf", rank=r) as sp:`` against the global tracer.
+
+    Always yields a measured :class:`Span` (``sp.wall_s`` is valid after
+    the block); the span only lands in the profile tree when the global
+    tracer is enabled.
+    """
+    with _default_tracer.span(name, **attrs) as node:
+        yield node

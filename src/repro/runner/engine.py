@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
+from repro.obs import Tracer, get_tracer, set_tracer
 from repro.runner.jobs import CitySeeJob, JobSpec, TestbedJob, job_cache_path
 from repro.traces.frame import TraceFrame
 from repro.traces.io import load_frame_npz
@@ -86,6 +87,9 @@ class JobResult:
     pid: int = 0
     path: Optional[str] = None  # spooled NPZ cache entry, when cached
     error: Optional[str] = None  # worker-side traceback, when failed
+    #: Serialized ``runner.job`` span tree from the worker (only captured
+    #: when the submitting process had tracing on; see :func:`run_jobs`).
+    spans: Optional[dict] = None
     _frame: Optional[TraceFrame] = field(default=None, repr=False)
 
     @property
@@ -172,18 +176,30 @@ def _run_one(
     use_cache: bool,
     cache_dir: Optional[str],
     spool: bool,
+    trace_spans: bool = False,
 ) -> JobResult:
     """Worker body: execute one job, time it, capture any failure.
 
     Top-level (picklable) so it serves both the pool workers and the
     inline serial path.  When spooling, the frame stays on disk and only
-    the cache path crosses the process boundary.
+    the cache path crosses the process boundary.  With ``trace_spans``
+    the job runs under a worker-local :class:`~repro.obs.Tracer` and the
+    finished ``runner.job`` tree is serialized onto ``result.spans`` —
+    the submitting process grafts it back into its own tracer.
     """
     directory = Path(cache_dir) if cache_dir else None
     result = JobResult(job=job, index=index, pid=os.getpid())
+    tracer = Tracer(enabled=True) if trace_spans else None
+    previous = set_tracer(tracer) if tracer is not None else None
     start = time.perf_counter()
     try:
-        frame = execute_job(job, use_cache=use_cache, cache_dir=directory)
+        if tracer is not None:
+            with tracer.span(
+                "runner.job", job=job.describe(), index=index, pid=os.getpid()
+            ):
+                frame = execute_job(job, use_cache=use_cache, cache_dir=directory)
+        else:
+            frame = execute_job(job, use_cache=use_cache, cache_dir=directory)
         if use_cache:
             result.path = str(job_cache_path(job, directory))
             if not spool:
@@ -192,7 +208,12 @@ def _run_one(
             result._frame = frame
     except Exception:
         result.error = traceback.format_exc()
+    finally:
+        if previous is not None:
+            set_tracer(previous)
     result.seconds = time.perf_counter() - start
+    if tracer is not None and tracer.roots:
+        result.spans = tracer.roots[0].to_dict()
     return result
 
 
@@ -220,13 +241,19 @@ def run_jobs(
     """
     jobs = list(jobs)
     cache_dir_str = str(cache_dir) if cache_dir is not None else None
+    tracer = get_tracer()
+    trace_spans = tracer.enabled
     start = time.perf_counter()
 
     if n_workers <= 1 or len(jobs) <= 1:
         results = [
-            _run_one(i, job, use_cache, cache_dir_str, spool=False)
+            _run_one(
+                i, job, use_cache, cache_dir_str, spool=False,
+                trace_spans=trace_spans,
+            )
             for i, job in enumerate(jobs)
         ]
+        _attach_job_spans(tracer, results)
         return RunReport(
             results=results,
             n_workers=1,
@@ -237,7 +264,9 @@ def run_jobs(
     max_workers = min(n_workers, len(jobs))
     with ProcessPoolExecutor(max_workers=max_workers) as pool:
         future_index = {
-            pool.submit(_run_one, i, job, use_cache, cache_dir_str, True): i
+            pool.submit(
+                _run_one, i, job, use_cache, cache_dir_str, True, trace_spans
+            ): i
             for i, job in enumerate(jobs)
         }
         pending = set(future_index)
@@ -256,8 +285,23 @@ def run_jobs(
                             f"{exc!r}"
                         ),
                     )
+    kept = [r for r in results if r is not None]
+    _attach_job_spans(tracer, kept)
     return RunReport(
-        results=[r for r in results if r is not None],
+        results=kept,
         n_workers=max_workers,
         total_seconds=time.perf_counter() - start,
     )
+
+
+def _attach_job_spans(tracer, results: Sequence[JobResult]) -> None:
+    """Graft worker-captured ``runner.job`` trees into the local tracer.
+
+    Submission order, so the profile tree is deterministic regardless of
+    completion order.
+    """
+    if not tracer.enabled:
+        return
+    for result in results:
+        if result.spans:
+            tracer.attach(result.spans)

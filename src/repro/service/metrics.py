@@ -2,17 +2,25 @@
 
 Kept dependency-free and allocation-light: one fixed-size ring buffer per
 shard for ingest latencies (p50/p99 over the most recent window — a
-long-lived sink must not keep every sample), plus plain integer counters.
-Everything here is called from the server's event loop, so observing a
-sample is O(1) and quantiles are only computed when ``/metrics`` asks.
+long-lived sink must not keep every sample), plus registry-backed
+counters from :mod:`repro.obs`.  Everything here is called from the
+server's event loop, so observing a sample is O(1) and quantiles are only
+computed when ``/metrics`` asks.
+
+The ``/metrics`` JSON document keeps its original shape (ints plus the
+``ingest_latency`` window quantiles); the same counters are *also* what
+``/metrics?format=prometheus`` renders, because they live in the
+service's private :class:`~repro.obs.MetricsRegistry` alongside the
+streaming sessions' metrics.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Mapping, Optional
 
 import numpy as np
+
+from repro.obs import LATENCY_BUCKETS, MetricsRegistry
 
 
 class LatencyWindow:
@@ -60,15 +68,90 @@ class LatencyWindow:
         }
 
 
-@dataclass
 class ShardCounters:
-    """Per-deployment ingest accounting (the session tracks the rest)."""
+    """Per-deployment ingest accounting (the session tracks the rest).
 
-    batches_accepted: int = 0
-    batches_rejected: int = 0  #: backpressure acks sent (never drops)
-    packets_accepted: int = 0
-    events_emitted: int = 0
-    latency: LatencyWindow = field(default_factory=LatencyWindow)
+    Counter state lives in a :class:`~repro.obs.MetricsRegistry` — the
+    service passes its private registry with a ``{"deployment": name}``
+    label set, so one Prometheus scrape covers every shard.  Constructed
+    bare (no registry), a private enabled registry keeps the counters
+    independent, preserving the original plain-int semantics.
+
+    The legacy attribute names (``batches_accepted`` …) remain readable
+    properties; mutation goes through the ``add_*`` methods.
+    """
+
+    def __init__(
+        self,
+        latency: Optional[LatencyWindow] = None,
+        registry: Optional[MetricsRegistry] = None,
+        labels: Optional[Mapping[str, str]] = None,
+    ):
+        reg = MetricsRegistry(enabled=True) if registry is None else registry
+        self.registry = reg
+        labels = dict(labels) if labels else None
+        self.latency = LatencyWindow() if latency is None else latency
+        self._batches_accepted = reg.counter(
+            "repro_service_batches_accepted_total",
+            "Ingest batches queued for diagnosis",
+            labels,
+        )
+        #: backpressure acks sent (never drops)
+        self._batches_rejected = reg.counter(
+            "repro_service_batches_rejected_total",
+            "Ingest batches backpressured (retry_after acks)",
+            labels,
+        )
+        self._packets_accepted = reg.counter(
+            "repro_service_packets_accepted_total",
+            "Packets queued for diagnosis",
+            labels,
+        )
+        self._events_emitted = reg.counter(
+            "repro_service_events_emitted_total",
+            "Incident events fanned out to subscribers",
+            labels,
+        )
+        self._ingest_seconds = reg.histogram(
+            "repro_service_ingest_seconds",
+            "Enqueue-to-diagnosed latency of one ingest batch",
+            labels,
+            buckets=LATENCY_BUCKETS,
+        )
+
+    # -- mutation (event-loop side) ------------------------------------
+
+    def add_batch_accepted(self, n_packets: int) -> None:
+        self._batches_accepted.inc()
+        self._packets_accepted.inc(n_packets)
+
+    def add_batch_rejected(self) -> None:
+        self._batches_rejected.inc()
+
+    def add_events_emitted(self, n_events: int) -> None:
+        self._events_emitted.inc(n_events)
+
+    def observe_latency(self, seconds: float) -> None:
+        self.latency.observe(seconds)
+        self._ingest_seconds.observe(seconds)
+
+    # -- legacy read surface -------------------------------------------
+
+    @property
+    def batches_accepted(self) -> int:
+        return int(self._batches_accepted.value)
+
+    @property
+    def batches_rejected(self) -> int:
+        return int(self._batches_rejected.value)
+
+    @property
+    def packets_accepted(self) -> int:
+        return int(self._packets_accepted.value)
+
+    @property
+    def events_emitted(self) -> int:
+        return int(self._events_emitted.value)
 
     def snapshot(self) -> Dict[str, object]:
         return {

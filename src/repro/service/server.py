@@ -33,11 +33,13 @@ import asyncio
 import json
 import threading
 import time
+import weakref
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Set, Tuple
 
 from repro.core.pipeline import VN2
 from repro.core.streaming import StreamingDiagnosisSession
+from repro.obs import MetricsRegistry
 from repro.service import protocol
 from repro.service.metrics import LatencyWindow, ShardCounters
 
@@ -98,6 +100,7 @@ class DeploymentShard:
         self.name = name
         self.service = service
         config = service.config
+        labels = {"deployment": name}
         self.session = StreamingDiagnosisSession(
             service.tool,
             positions=config.positions,
@@ -107,14 +110,31 @@ class DeploymentShard:
             time_gap_s=config.time_gap_s,
             radius_m=config.radius_m,
             max_closed_incidents=config.max_closed_incidents,
+            registry=service.registry,
+            metric_labels=labels,
         )
         self.queue: asyncio.Queue = asyncio.Queue()
         self.pending = 0  #: packets queued but not yet diagnosed
         self.peak_pending = 0
         self.counters = ShardCounters(
-            latency=LatencyWindow(config.latency_window)
+            latency=LatencyWindow(config.latency_window),
+            registry=service.registry,
+            labels=labels,
         )
         self.subscribers: Set[asyncio.Queue] = set()
+        ref = weakref.ref(self)
+        service.registry.gauge(
+            "repro_service_queue_depth_packets",
+            "Packets queued but not yet diagnosed",
+            labels,
+            fn=lambda: float(ref().pending) if ref() is not None else 0.0,
+        )
+        service.registry.gauge(
+            "repro_service_subscribers",
+            "Live event subscribers of this deployment",
+            labels,
+            fn=lambda: float(len(ref().subscribers)) if ref() is not None else 0.0,
+        )
         self._resume = asyncio.Event()
         self._resume.set()
         self.worker = asyncio.get_running_loop().create_task(
@@ -135,12 +155,11 @@ class DeploymentShard:
     def try_enqueue(self, packets, now: float) -> bool:
         """Queue a batch atomically; False = backpressure (nothing queued)."""
         if self.pending + len(packets) > self.service.config.queue_size:
-            self.counters.batches_rejected += 1
+            self.counters.add_batch_rejected()
             return False
         self.pending += len(packets)
         self.peak_pending = max(self.peak_pending, self.pending)
-        self.counters.batches_accepted += 1
-        self.counters.packets_accepted += len(packets)
+        self.counters.add_batch_accepted(len(packets))
         self.queue.put_nowait((packets, now))
         return True
 
@@ -148,7 +167,7 @@ class DeploymentShard:
         """Fan one shard's incident events out to its subscribers."""
         if not events:
             return
-        self.counters.events_emitted += len(events)
+        self.counters.add_events_emitted(len(events))
         if not self.subscribers:
             return
         messages = [protocol.event_message(self.name, e) for e in events]
@@ -168,7 +187,7 @@ class DeploymentShard:
                 self.pending -= 1
                 if update is not None and update.events:
                     self.publish(update.events)
-            self.counters.latency.observe(time.monotonic() - enqueued_at)
+            self.counters.observe_latency(time.monotonic() - enqueued_at)
             # One batch per loop tick: keep sibling shards and the
             # listeners responsive under a sustained ingest burst.
             await asyncio.sleep(0)
@@ -256,7 +275,29 @@ class DiagnosisService:
         tool._require_fitted()
         self.tool = tool
         self.config = config or ServiceConfig()
+        #: Service-private metrics registry: every shard's session,
+        #: tracker and ingest counters report here with a
+        #: ``deployment`` label, independent of the process default.
+        self.registry = MetricsRegistry(enabled=True)
         self.shards: Dict[str, DeploymentShard] = {}
+        _service_ref = weakref.ref(self)
+        self.registry.gauge(
+            "repro_service_deployments",
+            "Deployment shards currently materialized",
+            fn=lambda: (
+                float(len(_service_ref().shards))
+                if _service_ref() is not None else 0.0
+            ),
+        )
+        self.registry.gauge(
+            "repro_service_uptime_seconds",
+            "Seconds since the listeners were bound",
+            fn=lambda: (
+                time.monotonic() - _service_ref()._started_at
+                if _service_ref() is not None
+                and _service_ref()._started_at is not None else 0.0
+            ),
+        )
         self._connections: Set[_Connection] = set()
         self._tcp_server: Optional[asyncio.AbstractServer] = None
         self._http_server: Optional[asyncio.AbstractServer] = None
@@ -463,7 +504,12 @@ class DiagnosisService:
             if path == "/health":
                 self._http_reply(writer, 200, self.health_snapshot())
             elif path == "/metrics":
-                self._http_reply(writer, 200, self.metrics_snapshot())
+                if params.get("format") == "prometheus":
+                    self._http_reply_text(
+                        writer, 200, self.registry.to_prometheus()
+                    )
+                else:
+                    self._http_reply(writer, 200, self.metrics_snapshot())
             elif path == "/incidents":
                 self._http_reply(
                     writer, 200,
@@ -483,11 +529,27 @@ class DiagnosisService:
 
     @staticmethod
     def _http_reply(writer, status: int, body: dict) -> None:
+        DiagnosisService._http_reply_raw(
+            writer, status, json.dumps(body).encode("utf-8"),
+            "application/json",
+        )
+
+    @staticmethod
+    def _http_reply_text(writer, status: int, body: str) -> None:
+        DiagnosisService._http_reply_raw(
+            writer, status, body.encode("utf-8"),
+            # The Prometheus text exposition content type (format 0.0.4).
+            "text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    @staticmethod
+    def _http_reply_raw(
+        writer, status: int, payload: bytes, content_type: str
+    ) -> None:
         reason = {200: "OK", 404: "Not Found", 405: "Method Not Allowed"}
-        payload = json.dumps(body).encode("utf-8")
         head = (
             f"HTTP/1.1 {status} {reason.get(status, 'Error')}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(payload)}\r\n"
             f"Connection: close\r\n\r\n"
         )

@@ -28,6 +28,7 @@ from typing import IO, Callable, Iterator, Optional, Union
 
 import numpy as np
 
+from repro.obs import get_registry
 from repro.metrics.catalog import METRIC_NAMES, NUM_METRICS
 from repro.traces.frame import TraceFrame, as_frame
 from repro.traces.records import GroundTruth, SnapshotRow, Trace
@@ -370,11 +371,26 @@ def iter_frame_chunks(
     if chunk_rows < 1:
         raise ValueError(f"chunk_rows must be >= 1, got {chunk_rows}")
     if fmt == "jsonl":
-        yield from _iter_chunks_jsonl(path, chunk_rows)
+        chunks = _iter_chunks_jsonl(path, chunk_rows)
     elif fmt == "npz":
-        yield from _iter_chunks_npz(path, chunk_rows)
+        chunks = _iter_chunks_npz(path, chunk_rows)
     else:
         raise ValueError(f"unknown trace format {fmt!r}; expected {FORMATS}")
+    registry = get_registry()
+    if not registry.enabled:
+        yield from chunks
+        return
+    labels = {"format": fmt}
+    m_reads = registry.counter(
+        "repro_io_chunk_reads_total", "Trace chunks read from disk", labels
+    )
+    m_rows = registry.counter(
+        "repro_io_chunk_rows_total", "Snapshot rows read via chunks", labels
+    )
+    for chunk in chunks:
+        m_reads.inc()
+        m_rows.inc(len(chunk.node_ids))
+        yield chunk
 
 
 def _chunk_frame(
@@ -469,6 +485,9 @@ def tail_frame_jsonl(
             the tail (e.g. wired to a signal handler).
     """
     path = Path(path)
+    m_rows = get_registry().counter(
+        "repro_io_tail_rows_total", "Snapshot rows yielded by JSONL tails"
+    )
     buffer = ""
     saw_header = False
     idle = 0.0
@@ -487,6 +506,7 @@ def tail_frame_jsonl(
                         _check_header(obj, path)
                         saw_header = True
                         continue
+                    m_rows.inc()
                     yield row_from_obj(obj)
                 continue
             if not follow:

@@ -235,6 +235,33 @@ def test_http_metrics_shape(served, testbed_frame):
     assert latency["p99_ms"] >= latency["p50_ms"]
 
 
+def test_http_metrics_prometheus(served):
+    from urllib.request import urlopen
+
+    from repro.obs import validate_exposition
+
+    url = (
+        f"http://{served.host}:{served.http_port}/metrics?format=prometheus"
+    )
+    with urlopen(url, timeout=10.0) as response:
+        assert response.headers.get_content_type() == "text/plain"
+        body = response.read().decode("utf-8")
+    assert validate_exposition(body) > 0
+    lines = body.splitlines()
+    assert "# TYPE repro_streaming_packets_total counter" in lines
+    # shard metrics carry the deployment label
+    assert any(
+        line.startswith('repro_service_packets_accepted_total{deployment="ops"}')
+        for line in lines
+    )
+    assert any(
+        line.startswith('repro_streaming_packet_seconds_bucket{')
+        for line in lines
+    )
+    # JSON remains the default rendering
+    assert "totals" in http_get_json(served.host, served.http_port, "/metrics")
+
+
 def test_http_incidents(served):
     doc = http_get_json(served.host, served.http_port, "/incidents")
     ops = doc["deployments"]["ops"]
