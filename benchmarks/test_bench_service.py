@@ -1,19 +1,25 @@
 """Service throughput and backpressure acceptance benches.
 
-Two gates from the service PR:
+Three gates, stacked across two PRs:
 
 * the load generator sustains >= 5,000 packets/s against a local
   ``repro.service`` sink running the default CitySee model, with the
-  shard queue depth bounded the whole way, and
+  shard queue depth bounded the whole way,
 * a deliberately full queue produces explicit backpressure acks — the
-  SDK retries until the worker catches up and not one packet is lost.
+  SDK retries until the worker catches up and not one packet is lost,
+* and the cluster PR's scaling gate: the same fanout load against
+  ``--workers 4`` sustains >= 3x the single-worker aggregate throughput
+  across 8 deployments (>= 100k pkt/s on target hardware), with the
+  merged cluster ``/metrics`` scrape validating mid-run.
 
-Both run the real stack: TCP sockets, NDJSON framing, per-deployment
-shard worker, the streaming diagnosis session.
+All of them run the real stack: TCP sockets, NDJSON framing, shard
+routing, the streaming diagnosis session — and for the scaling gate,
+real forked worker processes.
 """
 
 from __future__ import annotations
 
+import os
 import time
 
 import pytest
@@ -22,10 +28,15 @@ from repro.core.pipeline import VN2, VN2Config
 from repro.core.streaming import iter_packets
 from repro.service import protocol
 from repro.service.client import ServiceClient, http_get_json
-from repro.service.loadgen import replay_trace
+from repro.service.loadgen import replay_trace, replay_trace_fanout
 from repro.service.server import ServiceConfig, start_service_thread
 
 THROUGHPUT_FLOOR_PPS = 5_000
+
+CLUSTER_WORKERS = 4
+CLUSTER_DEPLOYMENTS = 8
+CLUSTER_SCALING_FLOOR = 3.0  #: 4-worker / 1-worker aggregate pps
+CLUSTER_TARGET_PPS = 100_000
 
 
 @pytest.fixture(scope="module")
@@ -182,3 +193,75 @@ def test_bench_service_metrics_endpoint_under_load(citysee_service_tool,
           f"packet counts seen: {polls[:3]} ... {polls[-3:]}")
     assert len(polls) >= 3
     assert polls == sorted(polls)  # monotone ingest counter
+
+
+def _cluster_fanout(tool, frame, workers: int):
+    """One fanout replay against a pool sink; returns (report, scrape)."""
+    from urllib.request import urlopen
+
+    names = [f"bench-{i}" for i in range(CLUSTER_DEPLOYMENTS)]
+    config = ServiceConfig(port=0, http_port=0, workers=workers,
+                           backend="pool")
+    with start_service_thread(tool, config) as handle:
+        report = replay_trace_fanout(
+            ServiceClient(port=handle.port), names, frame, batch_size=512,
+        )
+        url = (f"http://{handle.host}:{handle.http_port}"
+               "/metrics?format=prometheus")
+        with urlopen(url, timeout=10.0) as response:
+            scrape = response.read().decode("utf-8")
+        handle.stop(drain=True)
+    if report.errors:
+        raise AssertionError(f"fanout errors: {report.errors}")
+    return report, scrape
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < CLUSTER_WORKERS + 1,
+    reason=f"cluster scaling gate needs >= {CLUSTER_WORKERS + 1} cores "
+           f"({CLUSTER_WORKERS} workers + front door)",
+)
+def test_bench_cluster_scaling(benchmark, citysee_service_tool,
+                               citysee_default_trace):
+    """The cluster PR's gate: paired 1-worker vs 4-worker fanout.
+
+    Same trace, same 8 deployments, same ``backend="pool"`` machinery —
+    the only variable is worker count, so the ratio isolates what the
+    process pool buys over a single diagnosis process.
+    """
+    from repro.obs import validate_exposition
+
+    frame = citysee_default_trace
+    solo, _ = _cluster_fanout(citysee_service_tool, frame, workers=1)
+
+    clustered, scrape = benchmark.pedantic(
+        lambda: _cluster_fanout(
+            citysee_service_tool, frame, workers=CLUSTER_WORKERS
+        ),
+        rounds=1, iterations=1,
+    )
+    speedup = clustered.throughput_pps / solo.throughput_pps
+
+    print(f"\n=== Cluster scaling ({CLUSTER_DEPLOYMENTS} deployments) ===")
+    print(f"1 worker : {solo.to_text()}")
+    print(f"{CLUSTER_WORKERS} workers: {clustered.to_text()}")
+    print(f"speedup {speedup:.2f}x "
+          f"(floor {CLUSTER_SCALING_FLOOR:.1f}x at {CLUSTER_WORKERS} workers)")
+
+    expected = len(frame) * CLUSTER_DEPLOYMENTS
+    assert solo.packets_sent == clustered.packets_sent == expected
+
+    # The merged mid-run scrape is one valid exposition with every
+    # worker's streaming series present.
+    assert validate_exposition(scrape) > 0
+    for i in range(CLUSTER_WORKERS):
+        assert f'worker="w{i}"' in scrape
+
+    assert speedup >= CLUSTER_SCALING_FLOOR, (
+        f"{CLUSTER_WORKERS}-worker aggregate only {speedup:.2f}x the "
+        f"single-worker rate (floor {CLUSTER_SCALING_FLOOR:.1f}x)"
+    )
+    assert clustered.throughput_pps >= CLUSTER_TARGET_PPS, (
+        f"{clustered.throughput_pps:,.0f} pkt/s aggregate below the "
+        f"{CLUSTER_TARGET_PPS:,} target"
+    )

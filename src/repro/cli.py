@@ -302,13 +302,30 @@ async def _serve_async(tool, config, ready_file: Optional[str]) -> int:
     await service.start()
     print(
         f"vn2 serve: ingest on {config.host}:{service.port}, "
-        f"operator http on {config.host}:{service.http_port}",
+        f"operator http on {config.host}:{service.http_port} "
+        f"(backend: {service.backend.name})",
         flush=True,
     )
+    if not await service.backend.wait_ready(timeout=60.0):
+        print("vn2 serve: shard workers failed to become healthy",
+              flush=True)
+        await service.stop(drain=False)
+        return 1
     if ready_file:
-        # Ephemeral-port handshake for supervisors (the CI smoke uses it).
+        # Ephemeral-port handshake for supervisors (the CI smoke uses
+        # it).  Written only now — after every shard worker reported a
+        # healthy heartbeat — so a supervisor that sees the file can
+        # ingest immediately without racing worker startup.
         with open(ready_file, "w", encoding="utf-8") as fh:
-            json.dump({"port": service.port, "http_port": service.http_port}, fh)
+            json.dump(
+                {
+                    "port": service.port,
+                    "http_port": service.http_port,
+                    "backend": service.backend.name,
+                    "workers": service.backend.describe()["workers"],
+                },
+                fh,
+            )
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
     for sig in (signal.SIGTERM, signal.SIGINT):
@@ -325,7 +342,7 @@ async def _serve_async(tool, config, ready_file: Optional[str]) -> int:
         f"vn2 serve: drained; {totals['packets']} packets -> "
         f"{totals['states']} states, {totals['exceptions']} exceptions, "
         f"{totals['incidents_closed']} incidents across "
-        f"{len(service.shards)} deployments",
+        f"{len(service.backend.deployments())} deployments",
         flush=True,
     )
     return 0
@@ -362,6 +379,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             else args.max_closed
         ),
         positions=positions,
+        workers=args.workers,
     )
     return asyncio.run(_serve_async(tool, config, args.ready_file))
 
@@ -768,8 +786,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--positions-from", default=None, metavar="TRACE",
                    help="trace file whose header supplies node positions "
                         "for spatial incident clustering")
+    p.add_argument("--workers", type=int, default=0, metavar="N",
+                   help="shard worker processes; <=1 keeps diagnosis "
+                        "in-process, >=2 shards deployments over a "
+                        "consistent-hash-routed process pool")
     p.add_argument("--ready-file", default=None, metavar="FILE",
-                   help="write the bound ports as JSON once listening "
+                   help="write the bound ports as JSON once listening and "
+                        "every shard worker is heartbeating "
                         "(for supervisors using --port 0)")
     p.set_defaults(func=_cmd_serve)
 

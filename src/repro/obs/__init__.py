@@ -29,6 +29,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     get_registry,
+    merge_dumps,
     set_registry,
     validate_exposition,
 )
@@ -50,6 +51,7 @@ __all__ = [
     "LATENCY_BUCKETS",
     "NULL_REGISTRY",
     "get_registry",
+    "merge_dumps",
     "set_registry",
     "validate_exposition",
     "Span",

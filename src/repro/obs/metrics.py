@@ -47,6 +47,7 @@ __all__ = [
     "LATENCY_BUCKETS",
     "NULL_REGISTRY",
     "get_registry",
+    "merge_dumps",
     "set_registry",
     "validate_exposition",
 ]
@@ -418,6 +419,88 @@ class MetricsRegistry:
             self._kinds.clear()
             self._helps.clear()
 
+    # -- cross-process merge -------------------------------------------
+
+    def dump(self) -> dict:
+        """Full, mergeable state of every series.
+
+        Unlike :meth:`snapshot` (which renders *derived* values such as
+        histogram quantiles), a dump keeps raw histogram bucket counts so
+        two processes' dumps can be summed without loss.  This is the
+        payload a sink-cluster worker ships to the front door for the
+        merged ``/metrics`` rollup; gauges are resolved through their
+        callbacks at dump time.
+        """
+        out: Dict[str, dict] = {}
+        for name, series in self.collect().items():
+            entry: Dict[str, object] = {
+                "kind": self._kinds[name],
+                "help": self._helps.get(name, ""),
+                "series": [],
+            }
+            for metric in series:
+                record: Dict[str, object] = {"labels": dict(metric.labels)}
+                if metric.kind == "histogram":
+                    record["buckets"] = list(metric.bounds)
+                    record["counts"] = metric.bucket_counts()
+                    record["sum"] = metric.sum
+                    record["count"] = metric.count
+                else:
+                    value = metric.value
+                    record["value"] = (
+                        float(value) if isinstance(value, float) else value
+                    )
+                entry["series"].append(record)
+            out[name] = entry
+        return out
+
+    def merge_dump(self, dump: Mapping[str, dict]) -> None:
+        """Fold one :meth:`dump` into this registry.
+
+        Counters and gauges add; histograms add bucket by bucket (the
+        bucket bounds must match — every repro metric name has one fixed
+        bucket layout, so a mismatch means two incompatible versions and
+        raises).  Series are matched by ``(name, labels)``: give each
+        producer distinguishing labels (the cluster stamps ``worker``)
+        when summing would hide information.
+        """
+        for name, entry in dump.items():
+            kind = entry.get("kind")
+            for record in entry.get("series", ()):
+                labels = record.get("labels") or None
+                if kind == "counter":
+                    self.counter(name, entry.get("help", ""), labels).inc(
+                        int(record.get("value", 0))
+                    )
+                elif kind == "gauge":
+                    gauge = self.gauge(name, entry.get("help", ""), labels)
+                    value = record.get("value", 0.0)
+                    if value is None or (
+                        isinstance(value, float) and math.isnan(value)
+                    ):
+                        value = 0.0  # dead callback at dump time adds nothing
+                    gauge.inc(float(value))
+                elif kind == "histogram":
+                    bounds = tuple(record.get("buckets", ()))
+                    histogram = self.histogram(
+                        name, entry.get("help", ""), labels,
+                        buckets=bounds or DEFAULT_BUCKETS,
+                    )
+                    if histogram.bounds != bounds:
+                        raise ValueError(
+                            f"histogram {name!r}: dump buckets {bounds} do "
+                            f"not match registered {histogram.bounds}"
+                        )
+                    counts = record.get("counts", ())
+                    for i, bucket_count in enumerate(counts):
+                        histogram._counts[i] += int(bucket_count)
+                    histogram.sum += float(record.get("sum", 0.0))
+                    histogram.count += int(record.get("count", 0))
+                else:
+                    raise ValueError(
+                        f"cannot merge metric {name!r} of kind {kind!r}"
+                    )
+
     # -- exposition ----------------------------------------------------
 
     def to_prometheus(self) -> str:
@@ -452,6 +535,21 @@ class MetricsRegistry:
                         f"{name}{label_str} {_format_value(metric.value)}"
                     )
         return "\n".join(lines) + ("\n" if lines else "")
+
+
+def merge_dumps(dumps: Iterable[Mapping[str, dict]]) -> MetricsRegistry:
+    """Build one registry holding the sum of several :meth:`dump` payloads.
+
+    The cluster front door calls this with its own dump plus one per
+    worker to render a single merged ``/metrics`` scrape.  Matching
+    ``(name, labels)`` series sum, so producers that must stay distinct
+    in the rollup (per-worker session counters) need a distinguishing
+    label before dumping.
+    """
+    merged = MetricsRegistry(enabled=True)
+    for dump in dumps:
+        merged.merge_dump(dump)
+    return merged
 
 
 #: A permanently disabled registry: pass it anywhere a ``registry``

@@ -16,6 +16,11 @@ from repro.runner.engine import (
     execute_job,
     run_jobs,
 )
+from repro.runner.pool import (
+    ProcessPool,
+    WorkerHandle,
+    attach_span_trees,
+)
 from repro.runner.jobs import (
     CitySeeJob,
     JobSpec,
@@ -31,9 +36,12 @@ __all__ = [
     "CitySeeJob",
     "JobResult",
     "JobSpec",
+    "ProcessPool",
     "RunReport",
     "RunnerError",
     "TestbedJob",
+    "WorkerHandle",
+    "attach_span_trees",
     "citysee_seed_sweep",
     "citysee_study_jobs",
     "execute_job",

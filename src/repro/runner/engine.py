@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.obs import Tracer, get_tracer, set_tracer
 from repro.runner.jobs import CitySeeJob, JobSpec, TestbedJob, job_cache_path
+from repro.runner.pool import attach_span_trees
 from repro.traces.frame import TraceFrame
 from repro.traces.io import load_frame_npz
 
@@ -298,10 +299,8 @@ def _attach_job_spans(tracer, results: Sequence[JobResult]) -> None:
     """Graft worker-captured ``runner.job`` trees into the local tracer.
 
     Submission order, so the profile tree is deterministic regardless of
-    completion order.
+    completion order.  The mechanics live in
+    :func:`repro.runner.pool.attach_span_trees`, shared with the sink
+    service's cluster backend.
     """
-    if not tracer.enabled:
-        return
-    for result in results:
-        if result.spans:
-            tracer.attach(result.spans)
+    attach_span_trees(tracer, [(r.index, r.spans) for r in results])

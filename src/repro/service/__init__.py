@@ -1,14 +1,24 @@
 """``repro.service``: the deployed diagnosis sink.
 
-The streaming core behind a network boundary: an asyncio TCP/HTTP server
-(:mod:`~repro.service.server`) hosting one
+The streaming core behind a network boundary: an asyncio TCP/HTTP front
+door (:mod:`~repro.service.server`) routing one
 :class:`~repro.core.streaming.StreamingDiagnosisSession` shard per named
-deployment, an NDJSON wire protocol (:mod:`~repro.service.protocol`), a
+deployment onto a :class:`~repro.service.backends.ShardBackend` —
+in-process asyncio tasks by default, or a consistent-hash-routed pool of
+worker processes (:mod:`~repro.service.worker`) with ``workers=N``.
+Plus an NDJSON wire protocol (:mod:`~repro.service.protocol`), a
 sync/async client SDK (:mod:`~repro.service.client`) and a trace load
 generator (:mod:`~repro.service.loadgen`).  Start one from the CLI with
-``vn2 serve`` or in-process with :func:`start_service_thread`.
+``vn2 serve [--workers N]`` or in-process with
+:func:`start_service_thread`.
 """
 
+from repro.service.backends import (
+    HashRing,
+    InprocBackend,
+    ProcessPoolBackend,
+    ShardBackend,
+)
 from repro.service.client import (
     AsyncServiceClient,
     BackoffPolicy,
@@ -27,7 +37,7 @@ from repro.service.server import (
     start_service_thread,
 )
 
-_LAZY = {"LoadgenReport", "replay_trace"}
+_LAZY = {"LoadgenReport", "replay_trace", "FanoutReport", "replay_trace_fanout"}
 
 
 def __getattr__(name: str):
@@ -45,17 +55,23 @@ __all__ = [
     "BackoffPolicy",
     "DeploymentShard",
     "DiagnosisService",
+    "FanoutReport",
+    "HashRing",
+    "InprocBackend",
     "LatencyWindow",
     "LoadgenReport",
     "PROTOCOL_VERSION",
+    "ProcessPoolBackend",
     "ProtocolError",
     "ServiceClient",
     "ServiceConfig",
     "ServiceHandle",
     "ServiceUnavailable",
+    "ShardBackend",
     "ShardCounters",
     "SubmitResult",
     "http_get_json",
     "replay_trace",
+    "replay_trace_fanout",
     "start_service_thread",
 ]

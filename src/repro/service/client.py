@@ -156,6 +156,20 @@ class ServiceClient:
                 time.sleep(self.backoff.delay(attempts, self.rng))
                 attempts += 1
 
+    def clone(self) -> "ServiceClient":
+        """A fresh, unconnected client with this one's endpoint/policy.
+
+        The multi-connection loadgen fanout opens one connection per
+        deployment this way; the clone gets its own jitter source so
+        sibling connections don't back off in lockstep.
+        """
+        return ServiceClient(
+            host=self.host,
+            port=self.port,
+            timeout=self.timeout,
+            backoff=self.backoff,
+        )
+
     def close(self) -> None:
         for closer in (self._file, self._sock):
             if closer is not None:

@@ -9,20 +9,33 @@ queues slow the generator down instead of losing packets, and the
 returned report counts the retries so a benchmark can prove backpressure
 actually engaged.
 
+Two shapes of load:
+
+* :func:`replay_trace` — one deployment over one connection (the
+  original, unchanged).
+* :func:`replay_trace_fanout` — the *cluster* load shape: N deployments,
+  each replaying the same trace over its **own connection** from its own
+  thread (``client.clone()`` per deployment).  One connection per
+  deployment matters because a single lockstep request/ack connection
+  serializes acks and can't saturate a multi-worker sink.
+
 Also runnable as a script (the CI service job does)::
 
     python -m repro.service.loadgen trace.jsonl --port 7433 \
         --deployment citysee --batch 256 --report report.json
+    python -m repro.service.loadgen trace.jsonl --port 7433 \
+        --fanout 8 --batch 256 --report report.json   # dep-0 .. dep-7
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import threading
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Optional, Union
+from typing import List, Optional, Union
 
 from repro.core.streaming import iter_packets
 from repro.service.client import ServiceClient, SubmitResult
@@ -134,6 +147,94 @@ def replay_trace(
     )
 
 
+@dataclass
+class FanoutReport:
+    """Aggregate of one multi-deployment, multi-connection replay."""
+
+    deployments: List[str]
+    packets_sent: int
+    wall_s: float
+    throughput_pps: float  #: aggregate over all deployments
+    backpressure_retries: int
+    reconnects: int
+    errors: List[str] = field(default_factory=list)
+    per_deployment: List[LoadgenReport] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        lines = [
+            f"fanout over {len(self.deployments)} deployments: "
+            f"{self.packets_sent} packets in {self.wall_s:.2f}s = "
+            f"{self.throughput_pps:,.0f} pkt/s aggregate; "
+            f"{self.backpressure_retries} backpressure retries, "
+            f"{self.reconnects} reconnects"
+        ]
+        lines += [f"  {r.deployment}: {r.to_text()}" for r in self.per_deployment]
+        lines += [f"  ERROR {e}" for e in self.errors]
+        return "\n".join(lines)
+
+
+def replay_trace_fanout(
+    client: ServiceClient,
+    deployments: List[str],
+    trace: Union[str, Path, TraceFrame],
+    speed: Optional[float] = None,
+    batch_size: int = 256,
+    max_packets: Optional[int] = None,
+) -> FanoutReport:
+    """Replay the same trace into every deployment concurrently.
+
+    ``client`` supplies the endpoint; each deployment gets its own
+    cloned connection and thread.  ``max_packets`` is per deployment.
+    A thread that raises is reported in ``errors`` rather than killing
+    its siblings (the cluster chaos test relies on survivors finishing).
+    """
+    if not deployments:
+        raise ValueError("deployments must be non-empty")
+    frame = trace if isinstance(trace, TraceFrame) else load_frame(trace)
+    reports: List[Optional[LoadgenReport]] = [None] * len(deployments)
+    errors: List[str] = []
+    lock = threading.Lock()
+
+    def _one(index: int, deployment: str) -> None:
+        try:
+            with client.clone() as conn:
+                report = replay_trace(
+                    conn, deployment, frame,
+                    speed=speed, batch_size=batch_size,
+                    max_packets=max_packets,
+                )
+            reports[index] = report
+        except Exception as exc:
+            with lock:
+                errors.append(f"{deployment}: {type(exc).__name__}: {exc}")
+
+    threads = [
+        threading.Thread(
+            target=_one, args=(i, name), name=f"loadgen-{name}", daemon=True
+        )
+        for i, name in enumerate(deployments)
+    ]
+    t_start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - t_start
+
+    done = [r for r in reports if r is not None]
+    packets = sum(r.packets_sent for r in done)
+    return FanoutReport(
+        deployments=list(deployments),
+        packets_sent=packets,
+        wall_s=wall,
+        throughput_pps=packets / wall if wall > 0 else 0.0,
+        backpressure_retries=sum(r.backpressure_retries for r in done),
+        reconnects=sum(r.reconnects for r in done),
+        errors=errors,
+        per_deployment=done,
+    )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.service.loadgen",
@@ -143,6 +244,10 @@ def main(argv=None) -> int:
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=7433)
     parser.add_argument("--deployment", default="loadgen")
+    parser.add_argument("--fanout", type=int, default=None, metavar="N",
+                        help="replay into N deployments concurrently "
+                             "(<deployment>-0 .. <deployment>-{N-1}), one "
+                             "connection each — the cluster load shape")
     parser.add_argument("--speed", type=float, default=None,
                         help="trace-time multiplier (default: flat out)")
     parser.add_argument("--batch", type=int, default=256)
@@ -150,6 +255,23 @@ def main(argv=None) -> int:
     parser.add_argument("--report", default=None, metavar="FILE",
                         help="also write the report as JSON")
     args = parser.parse_args(argv)
+
+    if args.fanout is not None:
+        if args.fanout < 1:
+            parser.error(f"--fanout must be >= 1, got {args.fanout}")
+        names = [f"{args.deployment}-{i}" for i in range(args.fanout)]
+        report = replay_trace_fanout(
+            ServiceClient(host=args.host, port=args.port),
+            names,
+            args.trace,
+            speed=args.speed,
+            batch_size=args.batch,
+            max_packets=args.max_packets,
+        )
+        print(report.to_text())
+        if args.report:
+            Path(args.report).write_text(json.dumps(asdict(report), indent=2))
+        return 1 if report.errors else 0
 
     with ServiceClient(host=args.host, port=args.port) as client:
         report = replay_trace(

@@ -16,11 +16,39 @@ streaming sessions' metrics.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from typing import Dict, Iterable, Mapping, Optional
 
 import numpy as np
 
 from repro.obs import LATENCY_BUCKETS, MetricsRegistry
+
+#: Keys of :meth:`StreamingDiagnosisSession.counters` — the session-side
+#: half of a shard snapshot.  The cluster backend seeds these to zero for
+#: a route whose worker has not acked a batch yet.
+SESSION_COUNTER_KEYS = (
+    "packets", "states", "exceptions",
+    "incidents_open", "incidents_closed", "incidents_evicted",
+)
+
+#: Every integer key summed into the ``/metrics`` ``totals`` section.
+#: Shared by the inproc and pool backends so the JSON document keeps one
+#: shape regardless of where the shards execute.
+SHARD_TOTAL_KEYS = SESSION_COUNTER_KEYS + (
+    "batches_accepted", "batches_rejected", "packets_accepted",
+    "events_emitted", "queue_depth_packets",
+)
+
+
+def empty_session_counters() -> Dict[str, int]:
+    return {key: 0 for key in SESSION_COUNTER_KEYS}
+
+
+def sum_shard_totals(per_shard: Mapping[str, Mapping]) -> Dict[str, int]:
+    """Roll per-shard snapshots up into the ``totals`` document."""
+    return {
+        key: sum(s[key] for s in per_shard.values())
+        for key in SHARD_TOTAL_KEYS
+    }
 
 
 class LatencyWindow:

@@ -281,3 +281,140 @@ def event_message(deployment: str, event) -> dict:
         "deployment": deployment,
         "event": incident_event_obj(event),
     }
+
+
+# --------------------------------------------------------------------------
+# internal worker wire messages (cluster backend <-> shard workers)
+# --------------------------------------------------------------------------
+#
+# The multi-process backend speaks a second, *internal* protocol over the
+# worker pipes (:mod:`repro.runner.pool`).  These are pickled dicts, not
+# NDJSON — numpy value vectors and registry dumps ride through unchanged —
+# but they keep the same ``type``-tagged envelope discipline so both wire
+# layers validate the same way.  Front door → worker types carry no
+# prefix; worker → front door types are ``w_``-prefixed so a message's
+# direction is readable in logs.
+
+#: Front door → worker message types.
+WORKER_DOWN_TYPES = (
+    "assign",          # route a deployment's shard to this worker
+    "ingest",          # one parsed packet batch for a deployment
+    "drain",           # flush one shard (handoff): finish + report back
+    "drain_all",       # graceful shutdown: finish every shard, then exit
+    "metrics_query",   # request a registry dump + shard snapshots
+    "incidents_query", # request the incidents document
+)
+
+#: Worker → front door message types.
+WORKER_UP_TYPES = (
+    "w_hello",      # first message after start: worker id + pid
+    "w_heartbeat",  # periodic liveness + shard/packet counts
+    "w_ack",        # one ingest batch fully diagnosed (+ emitted events)
+    "w_drained",    # answer to drain: final events + session counters
+    "w_metrics",    # answer to metrics_query
+    "w_incidents",  # answer to incidents_query
+    "w_bye",        # answer to drain_all: final registry dump + spans
+    "w_error",      # worker-side failure (shard kept alive if possible)
+)
+
+
+def check_worker_message(msg) -> str:
+    """Validate a worker-pipe message envelope; return its type.
+
+    Intentionally shallow — the pipe is a trusted in-process boundary, so
+    this guards against version/shape drift between front door and
+    worker, not against malicious input.
+    """
+    if not isinstance(msg, dict):
+        raise ProtocolError("bad_request", "worker message must be a dict")
+    if msg.get("v") != PROTOCOL_VERSION:
+        raise ProtocolError(
+            "bad_version",
+            f"worker message version {msg.get('v')!r} != {PROTOCOL_VERSION}",
+        )
+    mtype = msg.get("type")
+    if mtype not in WORKER_DOWN_TYPES and mtype not in WORKER_UP_TYPES:
+        raise ProtocolError("bad_type", f"unknown worker message {mtype!r}")
+    return mtype
+
+
+def assign(deployment: str, worker: str) -> dict:
+    return {"v": PROTOCOL_VERSION, "type": "assign",
+            "deployment": deployment, "worker": worker}
+
+
+def shard_ingest(deployment: str, batch_id: int, packets: list) -> dict:
+    """``packets`` are parsed tuples from :func:`parse_packet` — the
+    exact ``push_packet`` arguments, so the worker re-validates nothing."""
+    return {"v": PROTOCOL_VERSION, "type": "ingest",
+            "deployment": deployment, "batch_id": batch_id,
+            "packets": packets}
+
+
+def shard_drain(deployment: str) -> dict:
+    return {"v": PROTOCOL_VERSION, "type": "drain", "deployment": deployment}
+
+
+def drain_all() -> dict:
+    return {"v": PROTOCOL_VERSION, "type": "drain_all"}
+
+
+def metrics_query(req: int) -> dict:
+    return {"v": PROTOCOL_VERSION, "type": "metrics_query", "req": req}
+
+
+def incidents_query(req: int, deployment: Optional[str] = None) -> dict:
+    return {"v": PROTOCOL_VERSION, "type": "incidents_query", "req": req,
+            "deployment": deployment}
+
+
+def worker_hello(worker: str, pid: int) -> dict:
+    return {"v": PROTOCOL_VERSION, "type": "w_hello",
+            "worker": worker, "pid": pid}
+
+
+def worker_heartbeat(
+    worker: str, pid: int, ts: float, shards: int, packets: int
+) -> dict:
+    return {"v": PROTOCOL_VERSION, "type": "w_heartbeat", "worker": worker,
+            "pid": pid, "ts": ts, "shards": shards, "packets": packets}
+
+
+def worker_ack(
+    deployment: str, batch_id: int, accepted: int,
+    events: list, counters: dict,
+) -> dict:
+    """``events`` are :func:`incident_event_obj` dicts in emission order;
+    ``counters`` is the shard session's live counter dict."""
+    return {"v": PROTOCOL_VERSION, "type": "w_ack",
+            "deployment": deployment, "batch_id": batch_id,
+            "accepted": accepted, "events": events, "counters": counters}
+
+
+def worker_drained(deployment: str, events: list, counters: dict) -> dict:
+    return {"v": PROTOCOL_VERSION, "type": "w_drained",
+            "deployment": deployment, "events": events, "counters": counters}
+
+
+def worker_metrics(
+    req: int, worker: str, dump: dict, shards: list
+) -> dict:
+    """``dump`` is a :meth:`repro.obs.MetricsRegistry.dump`; ``shards``
+    lists per-deployment snapshot dicts (pending is front-door-side)."""
+    return {"v": PROTOCOL_VERSION, "type": "w_metrics", "req": req,
+            "worker": worker, "dump": dump, "shards": shards}
+
+
+def worker_incidents(req: int, worker: str, incidents: dict) -> dict:
+    return {"v": PROTOCOL_VERSION, "type": "w_incidents", "req": req,
+            "worker": worker, "incidents": incidents}
+
+
+def worker_bye(worker: str, dump: dict, spans: Optional[list] = None) -> dict:
+    return {"v": PROTOCOL_VERSION, "type": "w_bye", "worker": worker,
+            "dump": dump, "spans": spans or []}
+
+
+def worker_error(worker: str, message: str, deployment: Optional[str] = None) -> dict:
+    return {"v": PROTOCOL_VERSION, "type": "w_error", "worker": worker,
+            "message": message, "deployment": deployment}

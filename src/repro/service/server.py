@@ -1,25 +1,33 @@
-"""The diagnosis sink server: many deployments, one asyncio process.
+"""The diagnosis sink server: a front-door router over a shard backend.
 
-Architecture (the paper's sink, made multi-tenant):
+Architecture (the paper's sink, made multi-tenant and horizontally
+scalable):
 
-* Every named *deployment* gets its own shard: a private
-  :class:`~repro.core.streaming.StreamingDiagnosisSession` fed by a
-  bounded ingest queue and drained by a dedicated worker task.  Shards
-  share nothing but the fitted model (which is read-only after training),
-  so a hot deployment saturating its queue cannot stall another's
-  diagnosis — its producers are backpressured instead.
+* The server owns the listeners and the wire contract; *where* a
+  deployment's :class:`~repro.core.streaming.StreamingDiagnosisSession`
+  runs is a :class:`~repro.service.backends.ShardBackend` decision:
+  in-process asyncio shards (the default, and the PR 4 architecture
+  verbatim) or a consistent-hash-routed pool of worker processes
+  (``ServiceConfig(workers=N)`` / ``vn2 serve --workers N``).  See
+  :mod:`repro.service.backends`.
+* Every named *deployment* still gets its own shard — a private session
+  fed in arrival order.  Shards share nothing but the fitted model
+  (read-only after training), so a hot deployment cannot stall
+  another's diagnosis — its producers are backpressured instead.
 * Backpressure is explicit: when a batch would push a shard's queue past
   ``queue_size`` packets, the server acks ``accepted: 0`` with a
   ``retry_after`` hint.  An acked packet is never dropped; a rejected
   batch is never partially queued.
 * Two listeners: a TCP NDJSON port for ingest/subscribe
   (:mod:`repro.service.protocol`) and a minimal HTTP port for operators
-  (``GET /health``, ``GET /metrics``, ``GET /incidents``).
+  (``GET /health``, ``GET /metrics``, ``GET /incidents``; in cluster
+  mode ``/metrics?format=prometheus`` is the merged all-process scrape).
 
 Determinism: one deployment's packets are processed in arrival order by
-one worker, through the same per-state NNLS path as
+one shard owner, through the same per-state NNLS path as
 :meth:`VN2.diagnose_stream`, so the served event stream for a trace
-replayed in canonical order is bit-identical to a local batch replay.
+replayed in canonical order is bit-identical to a local batch replay —
+in *both* backends (the cluster keeps per-deployment FIFO end to end).
 
 For synchronous callers (tests, benchmarks, examples) use
 :func:`start_service_thread`, which runs the event loop in a daemon
@@ -41,7 +49,11 @@ from repro.core.pipeline import VN2
 from repro.core.streaming import StreamingDiagnosisSession
 from repro.obs import MetricsRegistry
 from repro.service import protocol
-from repro.service.metrics import LatencyWindow, ShardCounters
+from repro.service.metrics import (
+    LatencyWindow,
+    ShardCounters,
+    sum_shard_totals,
+)
 
 #: Bytes allowed per NDJSON line (a MAX_BATCH ingest of 43 floats fits).
 _LINE_LIMIT = 1 << 24
@@ -68,6 +80,15 @@ class ServiceConfig:
             long-lived sink should set this; ``None`` keeps all).
         positions: Optional node positions shared by all shards.
         latency_window: Ingest-latency samples retained per shard.
+        workers: Shard worker processes.  ``<= 1`` keeps shards in the
+            server process (:class:`~repro.service.backends.InprocBackend`);
+            ``>= 2`` runs them in a process pool.
+        backend: ``"auto"`` (pick from ``workers``), ``"inproc"``, or
+            ``"pool"`` (forces the pool even at one worker — the cluster
+            tests use this to exercise the pool path cheaply).
+        heartbeat_s: Worker heartbeat period (pool backend).
+        drain_timeout_s: Seconds a graceful drain waits for every worker
+            to flush and say goodbye before hard-stopping the pool.
     """
 
     host: str = "127.0.0.1"
@@ -83,6 +104,10 @@ class ServiceConfig:
     max_closed_incidents: Optional[int] = 10000
     positions: Optional[Dict[int, Tuple[float, float]]] = None
     latency_window: int = 4096
+    workers: int = 0
+    backend: str = "auto"
+    heartbeat_s: float = 0.5
+    drain_timeout_s: float = 30.0
 
     def __post_init__(self):
         if self.queue_size < 1:
@@ -90,6 +115,18 @@ class ServiceConfig:
         if self.retry_after_s <= 0:
             raise ValueError(
                 f"retry_after_s must be > 0, got {self.retry_after_s}"
+            )
+        if self.backend not in ("auto", "inproc", "pool"):
+            raise ValueError(
+                f"backend must be auto|inproc|pool, got {self.backend!r}"
+            )
+        if self.backend == "inproc" and self.workers > 1:
+            raise ValueError(
+                f"backend='inproc' cannot host workers={self.workers}"
+            )
+        if self.heartbeat_s <= 0:
+            raise ValueError(
+                f"heartbeat_s must be > 0, got {self.heartbeat_s}"
             )
 
 
@@ -218,7 +255,7 @@ class _Connection:
         self.reader = reader
         self.writer = writer
         self.outbox: asyncio.Queue = asyncio.Queue()
-        self.subscriptions: Set[DeploymentShard] = set()
+        self.subscriptions: Set[str] = set()  #: subscribed deployments
         self.writer_task: Optional[asyncio.Task] = None
         self._closed = False
 
@@ -278,14 +315,19 @@ class DiagnosisService:
         #: Service-private metrics registry: every shard's session,
         #: tracker and ingest counters report here with a
         #: ``deployment`` label, independent of the process default.
+        #: (Pool workers keep their own registries; the merged scrape is
+        #: rendered by the backend via :func:`repro.obs.merge_dumps`.)
         self.registry = MetricsRegistry(enabled=True)
-        self.shards: Dict[str, DeploymentShard] = {}
+        from repro.service.backends import make_backend
+
+        #: Where shards execute; see :mod:`repro.service.backends`.
+        self.backend = make_backend(self)
         _service_ref = weakref.ref(self)
         self.registry.gauge(
             "repro_service_deployments",
             "Deployment shards currently materialized",
             fn=lambda: (
-                float(len(_service_ref().shards))
+                float(len(_service_ref().backend.deployments()))
                 if _service_ref() is not None else 0.0
             ),
         )
@@ -310,9 +352,23 @@ class DiagnosisService:
     # lifecycle
     # ------------------------------------------------------------------
 
+    @property
+    def shards(self) -> Dict[str, "DeploymentShard"]:
+        """The inproc backend's shard table (empty in cluster mode).
+
+        Kept as the compatibility surface tests and benchmarks poke
+        (``service.shards["name"].pause()`` …); cluster-mode callers use
+        :meth:`metrics_snapshot` / ``backend.describe()`` instead.
+        """
+        return getattr(self.backend, "shards", {})
+
     async def start(self) -> None:
-        """Bind both listeners; resolves :attr:`port` / :attr:`http_port`."""
+        """Start the shard backend, then bind both listeners; resolves
+        :attr:`port` / :attr:`http_port`.  Workers spawn before the
+        listeners accept traffic (readiness is gated separately — see
+        :meth:`~repro.service.backends.ShardBackend.wait_ready`)."""
         config = self.config
+        await self.backend.start()
         self._tcp_server = await asyncio.start_server(
             self._handle_tcp, config.host, config.port, limit=_LINE_LIMIT
         )
@@ -334,11 +390,9 @@ class DiagnosisService:
             if server is not None:
                 server.close()
         if drain:
-            for shard in self.shards.values():
-                await shard.drain()
+            await self.backend.drain()
         else:
-            for shard in self.shards.values():
-                shard.worker.cancel()
+            await self.backend.abort()
         for connection in list(self._connections):
             await connection.flush_and_close()
         for server in (self._tcp_server, self._http_server):
@@ -353,11 +407,12 @@ class DiagnosisService:
         await self.stop(drain=True)
 
     def shard(self, deployment: str) -> DeploymentShard:
-        """The shard for a deployment, created on first use."""
-        shard = self.shards.get(deployment)
-        if shard is None:
-            shard = self.shards[deployment] = DeploymentShard(deployment, self)
-        return shard
+        """The inproc shard for a deployment, created on first use.
+
+        Only meaningful on the inproc backend (raises otherwise); the
+        dispatch path goes through ``self.backend`` and works on both.
+        """
+        return self.backend.shard(deployment)
 
     # ------------------------------------------------------------------
     # TCP: ingest + subscribe
@@ -387,8 +442,8 @@ class DiagnosisService:
                         protocol.error(exc.code, str(exc), exc.seq)
                     )
         finally:
-            for shard in connection.subscriptions:
-                shard.subscribers.discard(connection.outbox)
+            for deployment in connection.subscriptions:
+                self.backend.unsubscribe(deployment, connection.outbox)
             await connection.flush_and_close()
             self._connections.discard(connection)
 
@@ -397,21 +452,22 @@ class DiagnosisService:
         mtype, seq = protocol._check_envelope(message)
         if mtype == "ingest":
             seq, deployment, packets = protocol.parse_ingest(message)
-            shard = self.shard(deployment)
-            if shard.try_enqueue(packets, time.monotonic()):
-                connection.send(protocol.ack(seq, len(packets), shard.pending))
+            accepted, queued = self.backend.try_enqueue(
+                deployment, packets, time.monotonic()
+            )
+            if accepted:
+                connection.send(protocol.ack(seq, len(packets), queued))
             else:
                 connection.send(
                     protocol.ack(
-                        seq, 0, shard.pending,
+                        seq, 0, queued,
                         retry_after=self.config.retry_after_s,
                     )
                 )
         elif mtype == "subscribe":
             deployment = protocol.check_deployment(message.get("deployment"), seq)
-            shard = self.shard(deployment)
-            shard.subscribers.add(connection.outbox)
-            connection.subscriptions.add(shard)
+            self.backend.subscribe(deployment, connection.outbox)
+            connection.subscriptions.add(deployment)
             connection.send(protocol.subscribed(seq, deployment))
         else:
             raise protocol.ProtocolError(
@@ -423,19 +479,16 @@ class DiagnosisService:
     # ------------------------------------------------------------------
 
     def metrics_snapshot(self) -> dict:
-        """The ``GET /metrics`` document."""
-        per_shard = {
-            name: shard.snapshot() for name, shard in sorted(self.shards.items())
-        }
-        total_keys = (
-            "packets", "states", "exceptions", "incidents_open",
-            "incidents_closed", "incidents_evicted", "batches_accepted",
-            "batches_rejected", "packets_accepted", "events_emitted",
-            "queue_depth_packets",
-        )
-        totals = {
-            key: sum(s[key] for s in per_shard.values()) for key in total_keys
-        }
+        """The ``GET /metrics`` document.
+
+        Synchronous by contract (tests call it via ``run_sync``): it
+        renders the backend's current view.  In cluster mode the
+        session-side counters are as fresh as the latest worker ack —
+        the HTTP handler awaits ``backend.refresh()`` first to tighten
+        that to "right now".
+        """
+        per_shard = self.backend.shard_snapshots()
+        totals = sum_shard_totals(per_shard)
         uptime = (
             None if self._started_at is None
             else round(time.monotonic() - self._started_at, 3)
@@ -446,42 +499,42 @@ class DiagnosisService:
                 "deployments": len(per_shard),
                 "queue_size": self.config.queue_size,
                 "protocol_version": protocol.PROTOCOL_VERSION,
+                "backend": self.backend.name,
             },
             "totals": totals,
             "deployments": per_shard,
         }
 
     def incidents_snapshot(self, deployment: Optional[str] = None) -> dict:
-        """The ``GET /incidents`` document (open + retained closed)."""
+        """The ``GET /incidents`` document (open + retained closed).
+
+        Synchronous inproc path; cluster mode answers over the worker
+        pipes, so the HTTP handler awaits ``backend.incidents_doc``
+        (this method then reports the shards this process hosts: none).
+        """
+        from repro.service.backends import _tracker_doc
+
+        out = {}
         names = (
             [deployment] if deployment is not None else sorted(self.shards)
         )
-        out = {}
         for name in names:
             shard = self.shards.get(name)
-            if shard is None:
-                continue
-            tracker = shard.session.tracker
-            out[name] = {
-                "open": [
-                    protocol.incident_obj(i) for i in tracker.open_incidents()
-                ],
-                "closed": [
-                    protocol.incident_obj(i) for i in tracker.incidents
-                ],
-                "closed_total": tracker.n_closed_total,
-                "evicted": tracker.n_evicted,
-            }
+            if shard is not None:
+                out[name] = _tracker_doc(shard.session.tracker)
         return {"deployments": out}
 
     def health_snapshot(self) -> dict:
         """The ``GET /health`` document."""
         import repro
 
+        described = self.backend.describe()
         return {
             "status": "draining" if self._stopping else "ok",
             "version": repro.__version__,
-            "deployments": len(self.shards),
+            "deployments": len(self.backend.deployments()),
+            "backend": described["backend"],
+            "workers": described["workers"],
         }
 
     async def _handle_http(self, reader, writer) -> None:
@@ -505,16 +558,19 @@ class DiagnosisService:
                 self._http_reply(writer, 200, self.health_snapshot())
             elif path == "/metrics":
                 if params.get("format") == "prometheus":
+                    # Inproc: this process's registry.  Cluster: the
+                    # merged rollup across the front door + every worker.
                     self._http_reply_text(
-                        writer, 200, self.registry.to_prometheus()
+                        writer, 200, await self.backend.prometheus_text()
                     )
                 else:
+                    await self.backend.refresh()
                     self._http_reply(writer, 200, self.metrics_snapshot())
             elif path == "/incidents":
-                self._http_reply(
-                    writer, 200,
-                    self.incidents_snapshot(params.get("deployment")),
+                doc = await self.backend.incidents_doc(
+                    params.get("deployment")
                 )
+                self._http_reply(writer, 200, {"deployments": doc})
             else:
                 self._http_reply(writer, 404, {"error": f"no route {path}"})
             await writer.drain()
@@ -625,10 +681,14 @@ class ServiceHandle:
 
 
 def start_service_thread(
-    tool: VN2, config: Optional[ServiceConfig] = None
+    tool: VN2,
+    config: Optional[ServiceConfig] = None,
+    ready_timeout_s: float = 30.0,
 ) -> ServiceHandle:
     """Start a :class:`DiagnosisService` on a daemon thread; block until
-    its ports are bound.  The returned handle is a context manager."""
+    its ports are bound **and** its backend reports ready (inproc:
+    immediate; pool: every worker heartbeating).  The returned handle is
+    a context manager."""
     service = DiagnosisService(tool, config)
     started = threading.Event()
     box: dict = {}
@@ -639,6 +699,13 @@ def start_service_thread(
         box["loop"] = loop
         try:
             loop.run_until_complete(service.start())
+            if not loop.run_until_complete(
+                service.backend.wait_ready(ready_timeout_s)
+            ):
+                raise RuntimeError(
+                    f"service backend {service.backend.name!r} not ready "
+                    f"after {ready_timeout_s}s"
+                )
         except BaseException as exc:
             box["error"] = exc
             started.set()

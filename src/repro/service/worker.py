@@ -1,0 +1,225 @@
+"""Shard worker process: the cluster backend's unit of parallelism.
+
+:func:`worker_main` is the top-level target each
+:class:`repro.runner.pool.ProcessPool` child runs.  A worker owns a set
+of deployment shards — each a private
+:class:`~repro.core.streaming.StreamingDiagnosisSession` — and converses
+with the front door over its pipe using the internal worker messages of
+:mod:`repro.service.protocol`:
+
+* ``ingest`` batches arrive **already parsed** (the front door validated
+  them once); the worker pushes every packet through its session and
+  answers ``w_ack`` carrying the incident-event objects the batch
+  emitted, in emission order.  The pipe is FIFO both ways, so one
+  deployment's events reach the front door in exactly the order its
+  session produced them — the cluster's per-deployment ordering
+  guarantee needs nothing more.
+* ``drain`` flushes one shard (shard handoff / rebalance); ``drain_all``
+  flushes everything, ships the worker's metrics-registry dump and span
+  trees in ``w_bye``, and exits — the graceful-SIGTERM path.
+* Heartbeats go up whenever the pipe has been idle for a beat, so the
+  front door can gate readiness (``--ready-file``) and notice wedged
+  workers without extra machinery.
+
+Sessions are created lazily on first ingest.  That makes worker-death
+handoff trivially robust: the surviving worker that inherits a
+deployment needs no setup message — the first replayed batch
+materializes a fresh session.  Each session stamps its metrics with
+``{"deployment", "worker"}`` labels so the merged cluster rollup never
+collapses two workers' series (and a handed-off deployment's history
+stays attributed to the worker that produced it).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, Optional
+
+from repro.obs import MetricsRegistry
+from repro.service import protocol
+
+__all__ = ["ShardWorker", "worker_main"]
+
+#: Default seconds of pipe idleness between heartbeats.
+HEARTBEAT_S = 0.5
+
+#: Session-construction knobs :func:`worker_main` forwards from its
+#: ``options`` dict (the backend fills them from :class:`ServiceConfig`).
+SESSION_OPTION_KEYS = (
+    "positions", "threshold_ratio", "max_epoch_gap", "min_strength",
+    "time_gap_s", "radius_m", "max_closed_incidents",
+)
+
+
+class ShardWorker:
+    """The in-child state machine (separate from the pipe loop for tests).
+
+    Args:
+        worker_id: Pool-assigned id (``w0``…); becomes the ``worker``
+            metric label on every session this worker creates.
+        tool: The fitted model (read-only; rides the fork).
+        options: Session kwargs (:data:`SESSION_OPTION_KEYS`) plus
+            ``heartbeat_s``.
+    """
+
+    def __init__(self, worker_id: str, tool, options: Optional[dict] = None):
+        self.worker_id = worker_id
+        self.tool = tool
+        self.options = dict(options or {})
+        self.registry = MetricsRegistry(enabled=True)
+        self.sessions: Dict[str, object] = {}
+        self.n_packets = 0
+
+    def session(self, deployment: str):
+        """The deployment's session, created on first use."""
+        session = self.sessions.get(deployment)
+        if session is None:
+            from repro.core.streaming import StreamingDiagnosisSession
+
+            kwargs = {
+                key: self.options[key]
+                for key in SESSION_OPTION_KEYS
+                if key in self.options
+            }
+            session = StreamingDiagnosisSession(
+                self.tool,
+                registry=self.registry,
+                metric_labels={
+                    "deployment": deployment, "worker": self.worker_id
+                },
+                **kwargs,
+            )
+            self.sessions[deployment] = session
+        return session
+
+    # -- message handlers (each returns the reply message or None) -----
+
+    def handle_assign(self, msg: dict) -> None:
+        # Routing is the front door's job; materializing the session now
+        # just warms it up before the first batch lands.
+        self.session(msg["deployment"])
+        return None
+
+    def handle_ingest(self, msg: dict) -> dict:
+        deployment = msg["deployment"]
+        session = self.session(deployment)
+        events = []
+        for packet in msg["packets"]:
+            update = session.push_packet(*packet)
+            if update is not None and update.events:
+                events.extend(
+                    protocol.incident_event_obj(e) for e in update.events
+                )
+        self.n_packets += len(msg["packets"])
+        return protocol.worker_ack(
+            deployment, msg["batch_id"], len(msg["packets"]),
+            events, session.counters(),
+        )
+
+    def handle_drain(self, msg: dict) -> dict:
+        deployment = msg["deployment"]
+        session = self.sessions.pop(deployment, None)
+        if session is None:
+            return protocol.worker_drained(deployment, [], {})
+        events = [protocol.incident_event_obj(e) for e in session.finish()]
+        return protocol.worker_drained(deployment, events, session.counters())
+
+    def drain_all(self):
+        """Flush every shard; yield the ``w_drained`` messages then ``w_bye``."""
+        for deployment in sorted(self.sessions):
+            yield self.handle_drain({"deployment": deployment})
+        yield protocol.worker_bye(self.worker_id, self.registry.dump())
+
+    def handle_metrics_query(self, msg: dict) -> dict:
+        shards = [
+            {"deployment": name, **session.counters()}
+            for name, session in sorted(self.sessions.items())
+        ]
+        return protocol.worker_metrics(
+            msg["req"], self.worker_id, self.registry.dump(), shards
+        )
+
+    def handle_incidents_query(self, msg: dict) -> dict:
+        target = msg.get("deployment")
+        names = [target] if target is not None else sorted(self.sessions)
+        out = {}
+        for name in names:
+            session = self.sessions.get(name)
+            if session is None:
+                continue
+            tracker = session.tracker
+            out[name] = {
+                "open": [
+                    protocol.incident_obj(i) for i in tracker.open_incidents()
+                ],
+                "closed": [
+                    protocol.incident_obj(i) for i in tracker.incidents
+                ],
+                "closed_total": tracker.n_closed_total,
+                "evicted": tracker.n_evicted,
+            }
+        return protocol.worker_incidents(msg["req"], self.worker_id, out)
+
+    def heartbeat(self) -> dict:
+        return protocol.worker_heartbeat(
+            self.worker_id, os.getpid(), time.time(),
+            len(self.sessions), self.n_packets,
+        )
+
+
+def worker_main(conn, worker_id: str, tool, options: Optional[dict] = None) -> None:
+    """Child-process entry point: pipe loop around a :class:`ShardWorker`.
+
+    Protocol: send ``w_hello``, then serve messages until ``drain_all``
+    (graceful exit) or pipe EOF (the front door died — exit quietly; an
+    orphaned diagnosis worker has nobody to report to).
+    """
+    state = ShardWorker(worker_id, tool, options)
+    heartbeat_s = float(state.options.get("heartbeat_s", HEARTBEAT_S))
+    try:
+        conn.send(protocol.worker_hello(worker_id, os.getpid()))
+        while True:
+            if not conn.poll(heartbeat_s):
+                conn.send(state.heartbeat())
+                continue
+            msg = conn.recv()
+            mtype = protocol.check_worker_message(msg)
+            try:
+                if mtype == "ingest":
+                    conn.send(state.handle_ingest(msg))
+                elif mtype == "assign":
+                    state.handle_assign(msg)
+                elif mtype == "drain":
+                    conn.send(state.handle_drain(msg))
+                elif mtype == "drain_all":
+                    for reply in state.drain_all():
+                        conn.send(reply)
+                    return
+                elif mtype == "metrics_query":
+                    conn.send(state.handle_metrics_query(msg))
+                elif mtype == "incidents_query":
+                    conn.send(state.handle_incidents_query(msg))
+                else:  # an "up" type arriving downstream = version drift
+                    raise protocol.ProtocolError(
+                        "bad_type", f"unexpected downstream {mtype!r}"
+                    )
+            except protocol.ProtocolError:
+                raise
+            except Exception as exc:  # keep serving other shards
+                import traceback
+
+                traceback.print_exc()
+                conn.send(
+                    protocol.worker_error(
+                        worker_id, f"{type(exc).__name__}: {exc}",
+                        msg.get("deployment"),
+                    )
+                )
+    except (EOFError, OSError, BrokenPipeError, KeyboardInterrupt):
+        return
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
