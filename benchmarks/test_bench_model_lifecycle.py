@@ -1,0 +1,216 @@
+"""Model-lifecycle acceptance benches: cheap absorbs, fast warm solves.
+
+Two paired gates, both on the default CitySee model, both written to
+``BENCH_pr8.json`` (``VN2_BENCH_DIR``) so CI keeps the numbers as an
+artifact:
+
+* **Absorb speedup**: absorbing a new batch of states with
+  :func:`~repro.core.lifecycle.incremental_refit` (warm-started NMF +
+  early stop) is >= 5x faster than the cold ``VN2.fit`` it replaces.
+* **Warm-start p99**: per-packet streaming diagnosis through the
+  warm-started solver pipeline (normal-equations Cholesky solves +
+  cross-packet factorization cache + support seeding) has a p99 >=
+  1.3x better than the per-packet diagnosis it replaced — cold block
+  pivoting that starts every solve from zero and refactorizes every
+  passive set with ``lstsq`` per call (the seed's solve path, kept
+  verbatim in this module as the baseline).  Run at
+  ``threshold_ratio=0.0`` so every completed state takes the solver
+  path (the warm start's whole surface).
+
+The same-solver cold-vs-warm ratio is *recorded* in the artifact too,
+but deliberately not gated: on the default CitySee model NNLS supports
+are dense (~19 of 20 causes active), so block pivoting's first pivot
+already lands on a near-correct support and seeding alone is worth only
+a few percent — the measured latency win comes from the factorization
+reuse the warm session carries across packets.
+
+Both gates are wall-clock ratios of *paired* runs in the same process,
+so machine speed divides out; a tiny runner skips rather than flakes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.lifecycle import incremental_refit
+from repro.core.pipeline import VN2, VN2Config
+from repro.core.streaming import StreamingDiagnosisSession, iter_packets
+from repro.obs import MetricsRegistry
+
+ABSORB_SPEEDUP_FLOOR = 5.0
+WARM_P99_FLOOR = 1.3
+
+_TINY_RUNNER = (
+    (os.cpu_count() or 1) < 2
+    and not os.environ.get("VN2_BENCH_FORCE")
+)
+
+
+def _record(key: str, payload: dict) -> None:
+    """Merge one bench's results into the PR's benchmark artifact."""
+    path = os.path.join(
+        os.environ.get("VN2_BENCH_DIR", "."), "BENCH_pr8.json"
+    )
+    doc = {}
+    if os.path.exists(path):
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError):
+            doc = {}
+    doc[key] = payload
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2)
+
+
+@pytest.mark.skipif(_TINY_RUNNER, reason="paired timing gate needs >1 core")
+def test_bench_incremental_absorb_speedup(benchmark, citysee_default_trace):
+    """incremental_refit vs the cold fit it replaces, same final data."""
+    from repro.core.states import build_states
+
+    frame = citysee_default_trace
+    mid = float(np.quantile(np.asarray(frame.generated_at), 0.8))
+    history = frame.window(0.0, mid)
+    fresh = frame.window(mid, float(np.max(frame.generated_at)) + 1.0)
+    # filter_exceptions=False is the shape where the refit's row-aligned
+    # warm seed applies (old rows keep their previous weights) — and
+    # also the shape where the cold fit actually pays for NMF over the
+    # full state set, i.e. the cost the incremental path exists to dodge.
+    config = VN2Config(rank=20, filter_exceptions=False)
+
+    base = VN2(config).fit(history)
+    new_states = build_states(fresh)
+
+    def cold_fit():
+        t0 = time.perf_counter()
+        VN2(config).fit(frame)
+        return time.perf_counter() - t0
+
+    def absorb():
+        import copy
+
+        tool = copy.deepcopy(base)
+        t0 = time.perf_counter()
+        incremental_refit(tool, new_states, warm_iterations=60, tol=1e-3)
+        return time.perf_counter() - t0, tool
+
+    cold_s = cold_fit()
+    warm_s, updated = benchmark.pedantic(absorb, rounds=1, iterations=1)
+    speedup = cold_s / warm_s
+
+    print("\n=== Incremental absorb vs cold fit (default CitySee) ===")
+    print(f"cold VN2.fit      : {cold_s:.2f} s ({len(frame)} packets)")
+    print(f"incremental_refit : {warm_s:.2f} s "
+          f"({len(new_states)} new states absorbed)")
+    print(f"speedup {speedup:.1f}x (floor {ABSORB_SPEEDUP_FLOOR:.0f}x)")
+
+    _record("absorb_speedup", {
+        "cold_fit_s": cold_s,
+        "incremental_refit_s": warm_s,
+        "speedup": speedup,
+        "floor": ABSORB_SPEEDUP_FLOOR,
+        "n_new_states": len(new_states),
+        "warm_sweeps_used": updated.nmf_.n_iter,
+    })
+
+    # The absorb still produces a usable model of the same shape.
+    assert updated.rank_ == 20
+    assert updated.model_version != base.model_version
+    assert speedup >= ABSORB_SPEEDUP_FLOOR, (
+        f"absorb only {speedup:.1f}x faster than a cold fit "
+        f"(floor {ABSORB_SPEEDUP_FLOOR:.0f}x)"
+    )
+
+
+def _baseline_solve_passive_sets(A, B, F, AtA, AtB, cache=None):
+    """The seed's per-call solve path, verbatim: ``lstsq`` on the design
+    matrix for every passive-set pattern, refactorized on every call.
+
+    This is what per-packet diagnosis paid before the warm-started solver
+    pipeline (no normal equations, no cross-packet factor reuse); the p99
+    gate measures the streaming ingest improvement against it.  ``AtA`` /
+    ``AtB`` / ``cache`` are accepted only to match the current signature.
+    """
+    r, k = F.shape
+    X = np.zeros((r, k))
+    if k == 0 or not F.any():
+        return X
+    patterns, inverse = np.unique(F.T, axis=0, return_inverse=True)
+    for g in range(patterns.shape[0]):
+        passive = np.flatnonzero(patterns[g])
+        if passive.size == 0:
+            continue
+        cols = np.flatnonzero(inverse == g)
+        solution = np.linalg.lstsq(A[:, passive], B[:, cols], rcond=None)[0]
+        X[np.ix_(passive, cols)] = solution
+    return X
+
+
+@pytest.mark.skipif(_TINY_RUNNER, reason="paired timing gate needs >1 core")
+def test_bench_warm_start_streaming_p99(benchmark, citysee_default_trace):
+    """Paired per-packet latency: warm-started pipeline vs the seed path."""
+    from repro.core import inference
+
+    frame = citysee_default_trace
+    tool = VN2(VN2Config(rank=20)).fit(frame)
+    packets = list(iter_packets(frame))
+
+    def replay(warm: bool) -> np.ndarray:
+        session = StreamingDiagnosisSession(
+            tool,
+            registry=MetricsRegistry(enabled=False),
+            threshold_ratio=0.0,  # every state through the solver
+            warm_start=warm,
+        )
+        times = []
+        for packet in packets:
+            t0 = time.perf_counter()
+            update = session.push_packet(*packet)
+            if update is not None:
+                times.append(time.perf_counter() - t0)
+        session.finish()
+        return np.asarray(times)
+
+    replay(True)  # one warmup pass so allocator/cache effects divide out
+    current = inference._solve_passive_sets
+    inference._solve_passive_sets = _baseline_solve_passive_sets
+    try:
+        baseline = replay(False)
+    finally:
+        inference._solve_passive_sets = current
+    cold = replay(False)  # current solver, no cross-packet caches
+    warm = benchmark.pedantic(lambda: replay(True), rounds=1, iterations=1)
+    assert len(warm) == len(cold) == len(baseline)
+
+    baseline_p99 = float(np.percentile(baseline, 99))
+    cold_p99 = float(np.percentile(cold, 99))
+    warm_p99 = float(np.percentile(warm, 99))
+    ratio = baseline_p99 / warm_p99
+
+    print("\n=== Warm-started NNLS streaming p99 (default CitySee) ===")
+    print(f"baseline p99 (seed lstsq path): {baseline_p99 * 1e3:.3f} ms "
+          f"over {len(baseline)} state solves")
+    print(f"cold p99 (current solver, no caches): {cold_p99 * 1e3:.3f} ms")
+    print(f"warm p99 (seeded + factor cache): {warm_p99 * 1e3:.3f} ms")
+    print(f"improvement {ratio:.2f}x (floor {WARM_P99_FLOOR:.1f}x); "
+          f"same-solver cold/warm {cold_p99 / warm_p99:.2f}x (recorded)")
+
+    _record("warm_start_p99", {
+        "baseline_p99_ms": baseline_p99 * 1e3,
+        "cold_p99_ms": cold_p99 * 1e3,
+        "warm_p99_ms": warm_p99 * 1e3,
+        "improvement": ratio,
+        "same_solver_cold_over_warm": cold_p99 / warm_p99,
+        "floor": WARM_P99_FLOOR,
+        "n_solves": int(len(cold)),
+    })
+
+    assert ratio >= WARM_P99_FLOOR, (
+        f"warm-started ingest p99 only {ratio:.2f}x better than the "
+        f"seed's per-packet solve path (floor {WARM_P99_FLOOR:.1f}x)"
+    )

@@ -18,7 +18,12 @@ import threading
 import time
 
 from repro import VN2, VN2Config
-from repro.service import ServiceClient, ServiceConfig, start_service_thread
+from repro.service import (
+    ServiceClient,
+    ServiceConfig,
+    http_get_json,
+    start_service_thread,
+)
 from repro.simnet import FaultInjector, Network, NetworkConfig, grid_topology
 from repro.simnet.faults import BatteryDrain, Interference
 from repro.simnet.radio import RadioParams
@@ -66,8 +71,12 @@ def main() -> None:
         positions=dict(topology.positions),
     )
     with start_service_thread(model, config) as handle:
+        # The sink reports which model it is serving — the content-hash
+        # version every session's metrics are labelled with.
+        health = http_get_json("127.0.0.1", handle.http_port, "/health")
         print(f"sink listening on 127.0.0.1:{handle.port} "
-              f"(operator http :{handle.http_port})\n")
+              f"(operator http :{handle.http_port}, "
+              f"serving model_version {health['model_version']})\n")
 
         events: list = []
 

@@ -64,6 +64,9 @@ _LAZY_EXPORTS = {
     "VN2": ("repro.core.pipeline", "VN2"),
     "VN2Config": ("repro.core.pipeline", "VN2Config"),
     "DiagnosisReport": ("repro.core.pipeline", "DiagnosisReport"),
+    "ModelIntegrityError": ("repro.core.pipeline", "ModelIntegrityError"),
+    "OnlineVN2Updater": ("repro.core.lifecycle", "OnlineVN2Updater"),
+    "incremental_refit": ("repro.core.lifecycle", "incremental_refit"),
     "NMFResult": ("repro.core.nmf", "NMFResult"),
     "nmf": ("repro.core.nmf", "nmf"),
     "TraceFrame": ("repro.traces.frame", "TraceFrame"),
@@ -92,7 +95,13 @@ if TYPE_CHECKING:  # pragma: no cover - static typing only
     from repro.core.incidents import IncidentTracker
     from repro.core.inference import infer_weights_batch
     from repro.core.nmf import NMFResult, nmf
-    from repro.core.pipeline import VN2, DiagnosisReport, VN2Config
+    from repro.core.lifecycle import OnlineVN2Updater, incremental_refit
+    from repro.core.pipeline import (
+        VN2,
+        DiagnosisReport,
+        ModelIntegrityError,
+        VN2Config,
+    )
     from repro.core.states import StateMatrix, StreamingStateBuilder, build_states
     from repro.core.streaming import StreamingDiagnosisSession
     from repro.service.client import ServiceClient

@@ -12,7 +12,11 @@ Commands:
   stream incident open/update/close events as packets land.
 * ``vn2 serve`` — run the diagnosis sink server: report packets in over
   TCP (many deployments, bounded queues, explicit backpressure),
-  incident events and operator metrics out.
+  incident events and operator metrics out.  ``--refit-every`` /
+  ``--drift-threshold`` arm the online model lifecycle (background
+  refits + zero-downtime rotation).
+* ``vn2 model`` — inspect a saved model (``info``), compare two saves
+  (``diff``), or rotate a running sink to a new save (``rotate``).
 * ``vn2 experiment`` — run one of the paper's figure/table harnesses.
 * ``vn2 sweep`` — run a multi-seed scenario sweep through the parallel
   runner and score every deployment against its fault schedule.
@@ -380,8 +384,106 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ),
         positions=positions,
         workers=args.workers,
+        refit_every_s=args.refit_every,
+        drift_threshold=args.drift_threshold,
+        refit_min_states=args.refit_min_states,
     )
     return asyncio.run(_serve_async(tool, config, args.ready_file))
+
+
+def _cmd_model_info(args: argparse.Namespace) -> int:
+    from repro.core.pipeline import VN2
+
+    tool = VN2.load(args.model)
+    meta = tool._sidecar_meta()
+    norm = meta.get("normalizer") or {}
+    if tool._train_mean is None:
+        stats = "absent (legacy save: every served state is diagnosed)"
+    else:
+        stats = (
+            f"mean/std over {tool._train_mean.shape[0]} metrics, "
+            f"max_eps={tool._train_max_eps:.4f}"
+        )
+    print(f"model: {args.model}")
+    print(f"  model_version: {tool.model_version}")
+    print(f"  rank: {meta['rank']}")
+    print(
+        f"  normalizer: {norm.get('method')} "
+        f"(robust_quantile={norm.get('robust_quantile')})"
+    )
+    print(f"  train stats: {stats}")
+    print(
+        f"  W: {tool.nmf_.W.shape}  Psi: {tool.nmf_.Psi.shape}  "
+        f"W_sparse: {tool.sparsify_.W_sparse.shape}"
+    )
+    for label in tool.labels:
+        flag = " [baseline]" if label.is_baseline else ""
+        print(f"  Ψ{label.index + 1}: {label.primary_hazard or label.family}{flag}")
+    return 0
+
+
+def _cmd_model_diff(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.core.pipeline import VN2
+
+    a = VN2.load(args.model_a)
+    b = VN2.load(args.model_b)
+    print(f"a: {args.model_a} ({a.model_version})")
+    print(f"b: {args.model_b} ({b.model_version})")
+    if a.model_version == b.model_version:
+        print("identical (same model_version)")
+        return 0
+
+    def flatten(doc, prefix=""):
+        flat = {}
+        for key, value in doc.items():
+            name = f"{prefix}{key}"
+            if isinstance(value, dict):
+                flat.update(flatten(value, f"{name}."))
+            else:
+                flat[name] = value
+        return flat
+
+    meta_a, meta_b = flatten(a._sidecar_meta()), flatten(b._sidecar_meta())
+    for key in sorted(set(meta_a) | set(meta_b)):
+        va, vb = meta_a.get(key), meta_b.get(key)
+        if va != vb:
+            print(f"  meta {key}: {va!r} -> {vb!r}")
+    arrays_a, arrays_b = a._payload_arrays(), b._payload_arrays()
+    for name in sorted(set(arrays_a) | set(arrays_b)):
+        arr_a, arr_b = arrays_a.get(name), arrays_b.get(name)
+        if arr_a is None or arr_b is None:
+            print(f"  array {name}: only in {'a' if arr_b is None else 'b'}")
+        elif arr_a.shape != arr_b.shape:
+            print(f"  array {name}: shape {arr_a.shape} -> {arr_b.shape}")
+        elif not np.array_equal(arr_a, arr_b):
+            delta = float(np.max(np.abs(arr_a - arr_b)))
+            print(f"  array {name}: max |delta| = {delta:.3e}")
+    return 1
+
+
+def _cmd_model_rotate(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.service.client import http_post_json
+
+    path = os.path.abspath(args.model)
+    try:
+        result = http_post_json(
+            args.host, args.http_port, "/model", {"path": path},
+            timeout=args.timeout,
+        )
+    except (ConnectionError, OSError) as exc:
+        print(f"vn2 model rotate: {exc}", file=sys.stderr)
+        return 1
+    print(f"rotated {result['previous']} -> {result['model_version']}")
+    for name, boundary in sorted((result.get("boundaries") or {}).items()):
+        print(
+            f"  {name}: boundary at {boundary['packets']} packets / "
+            f"{boundary['states']} states"
+        )
+    return 0
 
 
 def _cmd_incidents(args: argparse.Namespace) -> int:
@@ -794,7 +896,52 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the bound ports as JSON once listening and "
                         "every shard worker is heartbeating "
                         "(for supervisors using --port 0)")
+    p.add_argument("--refit-every", type=float, default=None,
+                   metavar="SECONDS",
+                   help="arm background refits: every N seconds drain the "
+                        "shards' retained exception states and, when the "
+                        "trigger fires, absorb them into a refitted model "
+                        "and rotate it in with zero downtime")
+    p.add_argument("--drift-threshold", type=float, default=None,
+                   help="only refit once some shard's drift score (mean "
+                        "relative NNLS residual) reaches this value "
+                        "(default: refit whenever enough states retained)")
+    p.add_argument("--refit-min-states", type=int, default=32, metavar="N",
+                   help="minimum retained exception states before a "
+                        "scheduled refit is attempted")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "model",
+        help="inspect, compare and rotate saved VN2 models",
+    )
+    model_sub = p.add_subparsers(dest="model_command", required=True)
+    q = model_sub.add_parser(
+        "info",
+        help="print a saved model's version hash, rank, train stats and "
+             "root-cause labels",
+    )
+    q.add_argument("model", help="saved model path (from vn2 train)")
+    q.set_defaults(func=_cmd_model_info)
+    q = model_sub.add_parser(
+        "diff",
+        help="compare two saved models; exit 1 (after printing the "
+             "differing meta/arrays) when they differ",
+    )
+    q.add_argument("model_a")
+    q.add_argument("model_b")
+    q.set_defaults(func=_cmd_model_diff)
+    q = model_sub.add_parser(
+        "rotate",
+        help="rotate a running sink to a saved model with zero downtime "
+             "(POST /model on the operator port)",
+    )
+    q.add_argument("model", help="saved model path, resolved server-side")
+    q.add_argument("--host", default="127.0.0.1")
+    q.add_argument("--http-port", type=int, default=7434,
+                   help="the sink's operator HTTP port")
+    q.add_argument("--timeout", type=float, default=60.0, metavar="SECONDS")
+    q.set_defaults(func=_cmd_model_rotate)
 
     p = sub.add_parser(
         "incidents",

@@ -39,9 +39,20 @@ from repro.core.normalization import MinMaxNormalizer
 from repro.core.nmf import NMFResult, nmf, nmf_best_of, kl_divergence, frobenius_loss
 from repro.core.sparsify import sparsify_weights
 from repro.core.rank_selection import RankSweepResult, rank_sweep, choose_rank
-from repro.core.inference import infer_weights, infer_weights_batch, infer_single
+from repro.core.inference import (
+    NNLSSolverCache,
+    infer_single,
+    infer_weights,
+    infer_weights_batch,
+)
 from repro.core.interpretation import RootCauseInterpreter, RootCauseLabel
-from repro.core.pipeline import VN2, VN2Config, DiagnosisReport
+from repro.core.pipeline import (
+    VN2,
+    VN2Config,
+    DiagnosisReport,
+    ModelIntegrityError,
+)
+from repro.core.lifecycle import OnlineVN2Updater, incremental_refit
 from repro.core.incidents import (
     Incident,
     IncidentAggregator,
@@ -53,6 +64,7 @@ from repro.core.incidents import (
 from repro.core.streaming import (
     StreamingDiagnosisSession,
     StreamUpdate,
+    WarmStartCache,
     iter_packets,
 )
 
@@ -77,6 +89,7 @@ __all__ = [
     "RankSweepResult",
     "rank_sweep",
     "choose_rank",
+    "NNLSSolverCache",
     "infer_weights",
     "infer_weights_batch",
     "infer_single",
@@ -85,6 +98,9 @@ __all__ = [
     "VN2",
     "VN2Config",
     "DiagnosisReport",
+    "ModelIntegrityError",
+    "OnlineVN2Updater",
+    "incremental_refit",
     "Incident",
     "IncidentAggregator",
     "IncidentEvent",
@@ -93,5 +109,6 @@ __all__ = [
     "incidents_from_trace",
     "StreamingDiagnosisSession",
     "StreamUpdate",
+    "WarmStartCache",
     "iter_packets",
 ]

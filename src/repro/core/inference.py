@@ -12,9 +12,10 @@ single-cause diagnosis trees).
 from __future__ import annotations
 
 import time
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
+from scipy.linalg import cho_factor, cho_solve
 from scipy.optimize import nnls
 
 from repro.obs import get_registry
@@ -43,7 +44,13 @@ def infer_single(Psi: np.ndarray, state: np.ndarray) -> Tuple[np.ndarray, float]
     return weights, float(residual)
 
 
-def infer_weights(Psi: np.ndarray, states: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+def infer_weights(
+    Psi: np.ndarray,
+    states: np.ndarray,
+    *,
+    warm_start: np.ndarray = None,
+    solver_cache: "Optional[NNLSSolverCache]" = None,
+) -> Tuple[np.ndarray, np.ndarray]:
     """Batch NNLS: one weight vector per state row.
 
     Delegates to the vectorized :func:`infer_weights_batch`; kept as the
@@ -52,36 +59,143 @@ def infer_weights(Psi: np.ndarray, states: np.ndarray) -> Tuple[np.ndarray, np.n
     Args:
         Psi: (r, m) representative matrix.
         states: (n, m) states.
+        warm_start: Optional (n, r) previous weights seeding each row's
+            initial passive set (see :func:`infer_weights_batch`).
+        solver_cache: Optional cross-call factorization cache (see
+            :class:`NNLSSolverCache`).
 
     Returns:
         (W, residuals): (n, r) weights and length-n residuals.
     """
-    return infer_weights_batch(Psi, states)
+    return infer_weights_batch(
+        Psi, states, warm_start=warm_start, solver_cache=solver_cache
+    )
+
+
+class NNLSSolverCache:
+    """Per-model cache of passive-set factorizations across solves.
+
+    The factorization solved in every pivoting round depends only on Ψ
+    and the passive-set pattern — not on the state — so a streaming
+    session diagnosing packet after packet against one model keeps
+    recomputing the same handful of Cholesky factors (supports cluster
+    around the model's active causes).  A warm-started session hands this
+    cache to :func:`infer_weights_batch` so repeat patterns skip straight
+    to the triangular solves.
+
+    A cached factor is byte-for-byte the factor a cold call would have
+    computed from the same Ψ, so the cache changes solve *speed*, never
+    solved values: sessions with and without it stay bit-identical.  It
+    must be dropped when the model rotates (factors are meaningless
+    against a new Ψ) — :meth:`StreamingDiagnosisSession.set_model` does.
+
+    ``max_patterns`` bounds memory against adversarial support churn; on
+    overflow the cache is simply cleared (deterministic, and harmless —
+    entries rebuild on the next solve).  Hits are counted on
+    ``repro_core_nnls_factor_cache_hits_total``.
+    """
+
+    __slots__ = ("max_patterns", "factors", "hits", "misses", "_m_hits")
+
+    def __init__(self, max_patterns: int = 2048, registry=None, labels=None):
+        if max_patterns < 1:
+            raise ValueError(
+                f"max_patterns must be >= 1, got {max_patterns}"
+            )
+        self.max_patterns = max_patterns
+        self.factors: dict = {}
+        self.hits = 0
+        self.misses = 0
+        reg = get_registry() if registry is None else registry
+        self._m_hits = reg.counter(
+            "repro_core_nnls_factor_cache_hits_total",
+            "Passive-set factorizations reused from the solver cache",
+            dict(labels) if labels else None,
+        )
+
+    def __len__(self) -> int:
+        return len(self.factors)
+
+    def clear(self) -> None:
+        """Drop every factor (model rotation: Ψ changed)."""
+        self.factors.clear()
+
+
+def _pattern_factor(AtA: np.ndarray, passive: np.ndarray):
+    """Factor one passive set's normal-equations Gram block.
+
+    Returns ``("chol", factor)``, or ``("lstsq", None)`` when the block
+    is not numerically positive definite (a rank-deficient pattern, e.g.
+    duplicate Ψ rows) and the solve must fall back to least squares on
+    the design matrix.  Both outcomes are deterministic in the pattern,
+    so cached and fresh factors solve to identical bits.
+    """
+    try:
+        return "chol", cho_factor(
+            AtA[np.ix_(passive, passive)], check_finite=False
+        )
+    except np.linalg.LinAlgError:
+        return "lstsq", None
 
 
 def _solve_passive_sets(
-    A: np.ndarray, B: np.ndarray, F: np.ndarray
+    A: np.ndarray,
+    B: np.ndarray,
+    F: np.ndarray,
+    AtA: np.ndarray,
+    AtB: np.ndarray,
+    cache: Optional[NNLSSolverCache] = None,
 ) -> np.ndarray:
     """Least-squares solve of every column restricted to its passive set.
 
-    Columns sharing a passive-set pattern are solved together with one
-    factorization of ``A[:, pattern]`` (patterns repeat heavily in
-    practice: most states activate the same few causes).
+    Columns sharing a passive-set pattern are solved together through the
+    pattern's normal equations ``AtA[S,S] x = AtB[S]`` with one Cholesky
+    factorization (patterns repeat heavily in practice: most states
+    activate the same few causes), falling back to ``lstsq`` on the
+    design matrix for rank-deficient patterns.  With a ``cache``, factors
+    persist across calls — the cross-packet half of warm-starting — and
+    reuse is bit-identical to recomputation.
     """
     r = F.shape[0]
     k = F.shape[1]
     X = np.zeros((r, k))
     if k == 0 or not F.any():
         return X
-    patterns, inverse = np.unique(F.T, axis=0, return_inverse=True)
+    if k == 1:
+        # Streaming's per-state shape: one column, one pattern — skip the
+        # (comparatively costly) pattern grouping.  Same solve, same bits.
+        patterns = F.T
+        inverse = np.zeros(1, dtype=np.intp)
+    else:
+        patterns, inverse = np.unique(F.T, axis=0, return_inverse=True)
     for g in range(patterns.shape[0]):
         passive = np.flatnonzero(patterns[g])
         if passive.size == 0:
             continue
         cols = np.flatnonzero(inverse == g)
-        solution = np.linalg.lstsq(
-            A[:, passive], B[:, cols], rcond=None
-        )[0]
+        if cache is None:
+            kind, factor = _pattern_factor(AtA, passive)
+        else:
+            key = patterns[g].tobytes()
+            entry = cache.factors.get(key)
+            if entry is None:
+                cache.misses += 1
+                entry = _pattern_factor(AtA, passive)
+                if len(cache.factors) >= cache.max_patterns:
+                    cache.factors.clear()
+                cache.factors[key] = entry
+            else:
+                cache.hits += 1
+                cache._m_hits.inc()
+            kind, factor = entry
+        if kind == "chol":
+            solution = cho_solve(
+                factor, AtB[np.ix_(passive, cols)], check_finite=False
+            )
+        else:
+            solution = np.linalg.lstsq(
+                A[:, passive], B[:, cols], rcond=None
+            )[0]
         X[np.ix_(passive, cols)] = solution
     return X
 
@@ -91,24 +205,46 @@ def infer_weights_batch(
     states: np.ndarray,
     max_iter: int = 100,
     tol: float = 1e-12,
+    *,
+    warm_start: np.ndarray = None,
+    solver_cache: "Optional[NNLSSolverCache]" = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Solve every NNLS problem of a state matrix in one vectorized sweep.
 
     Implements block principal pivoting (Kim & Park, 2011): all columns
     share the precomputed Grams ``ΨΨᵀ`` / ``ΨSᵀ``, passive/active sets are
     exchanged simultaneously across columns, and columns with identical
-    passive sets share one factorization.  Finite termination is enforced
-    with the standard backup (Murty) rule; the rare column that still has
-    not converged after ``max_iter`` exchanges falls back to per-column
-    Lawson-Hanson.  The result satisfies the same KKT conditions scipy's
-    ``nnls`` solves to, so weights agree with :func:`infer_single` to
-    within solver round-off.
+    passive sets share one Cholesky factorization of the pattern's Gram
+    block.  Finite termination is enforced with the standard backup
+    (Murty) rule; the rare column that still has not converged after
+    ``max_iter`` exchanges falls back to per-column Lawson-Hanson.  The
+    result satisfies the same KKT conditions scipy's ``nnls`` solves to,
+    so weights agree with :func:`infer_single` to within solver round-off.
+
+    Warm-starting has two independent, bit-transparent halves:
+
+    * ``warm_start`` seeds each column's initial passive set from the
+      support of a previous solution (e.g. the same node's last
+      diagnosis) instead of the empty set.  Pivoting still runs to the
+      exact same KKT conditions — the final weights are the unique NNLS
+      solution either way, computed by the same passive-set solve — so
+      the seed changes how *fast* a column converges, never what it
+      converges to.
+    * ``solver_cache`` carries passive-set factorizations across calls
+      (they depend only on Ψ and the pattern, and supports repeat
+      heavily within a stream).  A cache hit reuses the exact factor a
+      cold call would recompute, so cached and uncached solves are
+      bit-identical.
 
     Args:
         Psi: (r, m) representative matrix.
         states: (n, m) states.
         max_iter: Pivoting-sweep cap before the scipy fallback.
         tol: Infeasibility tolerance on primal/dual variables.
+        warm_start: Optional (n, r) previous weights; rows of zeros (or
+            ``None``) leave the matching column cold-started.
+        solver_cache: Optional :class:`NNLSSolverCache` shared across
+            calls against the same Ψ (drop it when the model changes).
 
     Returns:
         (W, residuals): (n, r) weights and length-n residuals
@@ -136,6 +272,32 @@ def infer_weights_batch(
     X = np.zeros((r, n))
     Y = -AtB.copy()  # dual: Y = AtA X - AtB
     F = np.zeros((r, n), dtype=bool)  # passive (unconstrained) sets
+    if warm_start is not None:
+        ws = np.atleast_2d(np.asarray(warm_start, dtype=float))
+        if ws.shape != (n, r):
+            raise ValueError(
+                f"warm_start must be ({n}, {r}) to match states x Psi, "
+                f"got {ws.shape}"
+            )
+        F = (ws.T > 0.0)
+        warm_cols = np.flatnonzero(F.any(axis=0))
+        if warm_cols.size:
+            X[:, warm_cols] = _solve_passive_sets(
+                A,
+                B[:, warm_cols],
+                F[:, warm_cols],
+                AtA,
+                AtB[:, warm_cols],
+                solver_cache,
+            )
+            X[~F] = 0.0
+            Y[:, warm_cols] = AtA @ X[:, warm_cols] - AtB[:, warm_cols]
+            registry = get_registry()
+            if registry.enabled:
+                registry.counter(
+                    "repro_core_nnls_warm_starts_total",
+                    "NNLS columns seeded from a previous solution",
+                ).inc(int(warm_cols.size))
     # Backup-rule bookkeeping (per column): full exchanges are allowed
     # while they shrink the infeasible count; otherwise fall back to
     # flipping only the largest infeasible index, which provably
@@ -163,7 +325,9 @@ def infer_weights_batch(
         for j in active[~full_exchange[active]]:  # Murty's rule (rare)
             k = int(np.max(np.flatnonzero(infeasible[:, j])))
             F[k, j] = ~F[k, j]
-        X[:, active] = _solve_passive_sets(A, B[:, active], F[:, active])
+        X[:, active] = _solve_passive_sets(
+            A, B[:, active], F[:, active], AtA, AtB[:, active], solver_cache
+        )
         X[~F] = 0.0
         Y[:, active] = AtA @ X[:, active] - AtB[:, active]
 

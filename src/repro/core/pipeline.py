@@ -20,10 +20,11 @@ with the compression factor chosen automatically from a rank sweep when
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -43,6 +44,41 @@ from repro.core.states import StateMatrix, build_states
 from repro.metrics.catalog import NUM_METRICS
 from repro.traces.frame import TraceFrame
 from repro.traces.records import Trace
+
+
+class ModelIntegrityError(ValueError):
+    """A saved model's payload does not match its recorded ``model_version``.
+
+    Raised by :meth:`VN2.load` when the content hash recomputed over the
+    ``.npz`` arrays and ``.json`` sidecar disagrees with the
+    ``model_version`` the sidecar records — i.e. the files were edited (or
+    corrupted) after :meth:`VN2.save` wrote them.  Saves from versions
+    that predate ``model_version`` carry no recorded hash and load
+    unchecked.
+    """
+
+
+def _model_fingerprint(
+    arrays: Mapping[str, np.ndarray], meta: Mapping[str, object]
+) -> str:
+    """Content hash of a model payload: every array plus the sidecar meta.
+
+    Deterministic across save/load round trips: arrays are hashed in
+    sorted name order as (name, shape, raw float64 bytes), and the meta
+    document — minus any ``model_version`` entry, so the hash can be
+    stored inside the document it covers — as canonical JSON.
+    """
+    digest = hashlib.sha256()
+    for name in sorted(arrays):
+        arr = np.ascontiguousarray(np.asarray(arrays[name], dtype=float))
+        digest.update(name.encode())
+        digest.update(str(arr.shape).encode())
+        digest.update(arr.tobytes())
+    meta = {k: v for k, v in dict(meta).items() if k != "model_version"}
+    digest.update(
+        json.dumps(meta, sort_keys=True, separators=(",", ":")).encode()
+    )
+    return digest.hexdigest()[:12]
 
 
 @dataclass
@@ -162,6 +198,9 @@ class VN2:
         self._train_mean: Optional[np.ndarray] = None
         self._train_std: Optional[np.ndarray] = None
         self._train_max_eps: float = 0.0
+        # content-hash version of the fitted payload (lazy; see
+        # ``model_version``); invalidated by anything that refits.
+        self._model_version: Optional[str] = None
         #: Per-stage wall-clock seconds of the latest fit / batch call
         #: (keys: states, exceptions, nmf, sparsify, nnls).
         self.timings_: Dict[str, float] = {}
@@ -198,6 +237,7 @@ class VN2:
             )
         self.states_ = states
         self.timings_ = {}
+        self._model_version = None
 
         # Deviation statistics for online exception scoring: mean/std of
         # every metric over the training states and the largest training
@@ -334,6 +374,59 @@ class VN2:
         """Interpretations of every Ψ row."""
         self._require_fitted()
         return list(self.labels_ or [])
+
+    def _payload_arrays(self) -> Dict[str, np.ndarray]:
+        """The arrays :meth:`save` persists — also the hashed payload."""
+        arrays = {
+            "W": self.nmf_.W,
+            "Psi": self.nmf_.Psi,
+            "W_sparse": self.sparsify_.W_sparse,
+            "lo": self.normalizer_.lo,
+            "hi": self.normalizer_.hi,
+        }
+        if self._train_mean is not None:
+            arrays["train_mean"] = self._train_mean
+            arrays["train_std"] = self._train_std
+            arrays["train_max_eps"] = np.array(self._train_max_eps)
+        return arrays
+
+    def _sidecar_meta(self) -> Dict[str, object]:
+        """The json sidecar document (sans ``model_version``)."""
+        return {
+            "rank": self.rank_,
+            "config": {
+                "rank": self.config.rank,
+                "rank_candidates": list(self.config.rank_candidates),
+                "filter_exceptions": self.config.filter_exceptions,
+                "exception_threshold": self.config.exception_threshold,
+                "retention": self.config.retention,
+                "nmf_iterations": self.config.nmf_iterations,
+                "nmf_init": self.config.nmf_init,
+                "seed": self.config.seed,
+                "normalizer_pad": self.config.normalizer_pad,
+                "min_weight_fraction": self.config.min_weight_fraction,
+            },
+            "normalizer": {
+                "method": self.normalizer_.method,
+                "robust_quantile": self.normalizer_.robust_quantile,
+            },
+        }
+
+    @property
+    def model_version(self) -> str:
+        """Content-hash version of the fitted model (short sha256 hex).
+
+        Covers exactly what :meth:`save` persists — the factor matrices,
+        normalizer ranges, training statistics and the config sidecar — so
+        two models answer diagnoses identically whenever their versions
+        match.  Computed lazily and cached; any refit invalidates it.
+        """
+        self._require_fitted()
+        if self._model_version is None:
+            self._model_version = _model_fingerprint(
+                self._payload_arrays(), self._sidecar_meta()
+            )
+        return self._model_version
 
     def explain(self, index: int) -> RootCauseLabel:
         """Interpretation of root-cause vector ``Ψ[index]`` (0-based)."""
@@ -555,7 +648,12 @@ class VN2:
     # incremental updates
     # ------------------------------------------------------------------
 
-    def refit_with(self, new_states: StateMatrix, warm_iterations: int = 60) -> "VN2":
+    def refit_with(
+        self,
+        new_states: StateMatrix,
+        warm_iterations: int = 60,
+        tol: float = 0.0,
+    ) -> "VN2":
         """Update the model with freshly collected states (warm start).
 
         The combined state set is re-filtered and re-normalized, and NMF
@@ -566,68 +664,19 @@ class VN2:
         while needing far fewer sweeps than a cold refit — the operational
         mode of a long-running deployment ("retrain nightly").
 
+        One entry point over :func:`repro.core.lifecycle.incremental_refit`
+        (which :class:`~repro.core.lifecycle.OnlineVN2Updater` also drives);
+        ``tol > 0`` enables relative-improvement early stopping of the warm
+        multiplicative sweeps (0 keeps the historical fixed-budget run).
+
         The compression factor r is kept; call :meth:`fit_states` for a
         full retrain with rank re-selection.
         """
-        self._require_fitted()
-        from repro.core.inference import infer_weights
-        from repro.core.nmf import _EPS, frobenius_loss
+        from repro.core.lifecycle import incremental_refit
 
-        combined = StateMatrix(
-            values=np.vstack([self.states_.values, new_states.values]),
-            provenance=[*self.states_.provenance, *new_states.provenance],
+        return incremental_refit(
+            self, new_states, warm_iterations=warm_iterations, tol=tol
         )
-        self.states_ = combined
-        values = combined.values
-        self._train_mean = values.mean(axis=0)
-        std = values.std(axis=0)
-        self._train_std = np.where(std < 1e-12, 1.0, std)
-        z = (values - self._train_mean) / self._train_std
-        self._train_max_eps = float(np.max((z * z).sum(axis=1)))
-
-        if self.config.filter_exceptions:
-            self.exceptions_ = detect_exceptions(
-                combined, threshold_ratio=self.config.exception_threshold
-            )
-            training = self.exceptions_.states
-        else:
-            self.exceptions_ = None
-            training = combined
-
-        self.normalizer_ = MinMaxNormalizer.fit(
-            training.values, pad_fraction=self.config.normalizer_pad
-        )
-        E = self.normalizer_.transform(training.values)
-
-        # Warm start: W from NNLS against the current Ψ, then a short run
-        # of multiplicative updates on both factors.
-        Psi = np.maximum(self.nmf_.Psi.copy(), 1e-6)
-        W, _residuals = infer_weights(Psi, E)
-        W = np.maximum(W, 1e-6)
-        loss_history = []
-        for _ in range(warm_iterations):
-            Psi *= (W.T @ E) / (W.T @ W @ Psi + _EPS)
-            W *= (E @ Psi.T) / (W @ (Psi @ Psi.T) + _EPS)
-            loss_history.append(frobenius_loss(E, W, Psi))
-        self.nmf_ = NMFResult(
-            W=W,
-            Psi=Psi,
-            loss_history=loss_history,
-            n_iter=warm_iterations,
-            converged=False,
-        )
-        self.sparsify_ = sparsify_weights(W, retention=self.config.retention)
-        usage = (
-            self.sparsify_.W_sparse.mean(axis=0)
-            if not self.config.filter_exceptions
-            else None
-        )
-        self.labels_ = self._interpreter.interpret(
-            self.psi_display(),
-            energies=self._row_energies(),
-            usage=usage,
-        )
-        return self
 
     # ------------------------------------------------------------------
     # persistence
@@ -639,51 +688,41 @@ class VN2:
         Besides the factor matrices and normalizer ranges, the training
         deviation statistics (mean/std/max ε) are stored so a loaded
         model can still screen incoming states — the ``vn2 watch`` /
-        :meth:`diagnose_stream` deployment path.
+        :meth:`diagnose_stream` deployment path.  The sidecar records the
+        payload's :attr:`model_version` content hash; :meth:`load`
+        verifies it, so tampered or corrupted files fail loudly.
         """
         self._require_fitted()
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        arrays = {
-            "W": self.nmf_.W,
-            "Psi": self.nmf_.Psi,
-            "W_sparse": self.sparsify_.W_sparse,
-            "lo": self.normalizer_.lo,
-            "hi": self.normalizer_.hi,
-        }
-        if self._train_mean is not None:
-            arrays["train_mean"] = self._train_mean
-            arrays["train_std"] = self._train_std
-            arrays["train_max_eps"] = np.array(self._train_max_eps)
+        arrays = self._payload_arrays()
         np.savez_compressed(path.with_suffix(".npz"), **arrays)
-        sidecar = {
-            "rank": self.rank_,
-            "config": {
-                "rank": self.config.rank,
-                "rank_candidates": list(self.config.rank_candidates),
-                "filter_exceptions": self.config.filter_exceptions,
-                "exception_threshold": self.config.exception_threshold,
-                "retention": self.config.retention,
-                "nmf_iterations": self.config.nmf_iterations,
-                "nmf_init": self.config.nmf_init,
-                "seed": self.config.seed,
-                "normalizer_pad": self.config.normalizer_pad,
-                "min_weight_fraction": self.config.min_weight_fraction,
-            },
-            "normalizer": {
-                "method": self.normalizer_.method,
-                "robust_quantile": self.normalizer_.robust_quantile,
-            },
-        }
+        sidecar = self._sidecar_meta()
+        sidecar["model_version"] = self.model_version
         path.with_suffix(".json").write_text(json.dumps(sidecar, indent=2))
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "VN2":
         """Load a model saved with :meth:`save` (older saves still load,
-        minus whatever they did not record)."""
+        minus whatever they did not record).
+
+        Raises:
+            ModelIntegrityError: The sidecar records a ``model_version``
+                and the payload on disk no longer hashes to it.
+        """
         path = Path(path)
         sidecar = json.loads(path.with_suffix(".json").read_text())
         arrays = np.load(path.with_suffix(".npz"))
+        computed = _model_fingerprint(
+            {name: arrays[name] for name in arrays.files}, sidecar
+        )
+        recorded = sidecar.get("model_version")
+        if recorded is not None and recorded != computed:
+            raise ModelIntegrityError(
+                f"model payload at {path} hashes to {computed} but its "
+                f"sidecar records model_version {recorded}; the files were "
+                "modified after saving (or corrupted)"
+            )
         config_kwargs = dict(sidecar["config"])
         if "rank_candidates" in config_kwargs:
             config_kwargs["rank_candidates"] = tuple(
@@ -725,4 +764,5 @@ class VN2:
             energies=tool._row_energies(),
             usage=usage,
         )
+        tool._model_version = computed
         return tool

@@ -31,8 +31,18 @@ exactly.
 from __future__ import annotations
 
 import time
+from collections import OrderedDict, deque
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Mapping, Optional, Tuple, Union
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -44,9 +54,18 @@ from repro.core.incidents import (
     Observation,
     observations_for_state,
 )
-from repro.core.inference import infer_weights_batch, sparsify_inferred
+from repro.core.inference import (
+    NNLSSolverCache,
+    infer_weights_batch,
+    sparsify_inferred,
+)
 from repro.core.pipeline import VN2, DiagnosisReport
-from repro.core.states import StreamedState, StreamingStateBuilder
+from repro.core.states import (
+    StateMatrix,
+    StreamedState,
+    StreamingStateBuilder,
+    stack_states,
+)
 from repro.traces.frame import TraceFrame, as_frame
 from repro.traces.records import SnapshotRow, Trace
 
@@ -89,6 +108,85 @@ def iter_packets(
                 float(generated_at),
                 np.asarray(values, dtype=float),
             )
+
+
+class WarmStartCache:
+    """Bounded per-node LRU of previous NNLS weight vectors.
+
+    A node's successive exception states activate largely the same root
+    causes, so its previous solution's support is an excellent initial
+    passive set for the next solve (see
+    :func:`~repro.core.inference.infer_weights_batch` — the warm start
+    changes convergence speed, never the solution).  Two bounds keep the
+    cache honest on long-lived sinks:
+
+    * ``max_nodes`` — least-recently-solved nodes are evicted first;
+    * ``max_age_epochs`` — an entry older than this many epochs *in the
+      node's own epoch counting* is discarded on lookup, so a node that
+      fell silent and came back gets a cold solve (stale supports would
+      only slow pivoting down).
+
+    Every eviction — capacity or staleness — increments
+    ``repro_warmstart_evictions_total``.
+    """
+
+    def __init__(
+        self,
+        max_nodes: int = 1024,
+        max_age_epochs: int = 32,
+        registry: Optional[MetricsRegistry] = None,
+        labels: Optional[Mapping[str, str]] = None,
+    ):
+        if max_nodes < 1:
+            raise ValueError(f"max_nodes must be >= 1, got {max_nodes}")
+        if max_age_epochs < 1:
+            raise ValueError(
+                f"max_age_epochs must be >= 1, got {max_age_epochs}"
+            )
+        self.max_nodes = max_nodes
+        self.max_age_epochs = max_age_epochs
+        self._entries: "OrderedDict[int, Tuple[np.ndarray, int]]" = (
+            OrderedDict()
+        )
+        reg = get_registry() if registry is None else registry
+        self._m_evictions = reg.counter(
+            "repro_warmstart_evictions_total",
+            "Warm-start cache entries evicted (capacity or staleness)",
+            dict(labels) if labels else None,
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, node_id: int, epoch: int) -> Optional[np.ndarray]:
+        """Previous weights for ``node_id``, or None (cold) when absent
+        for more than ``max_age_epochs`` epochs."""
+        entry = self._entries.get(node_id)
+        if entry is None:
+            return None
+        weights, last_epoch = entry
+        if epoch - last_epoch > self.max_age_epochs:
+            del self._entries[node_id]
+            self._m_evictions.inc()
+            return None
+        return weights
+
+    def put(self, node_id: int, epoch: int, weights: np.ndarray) -> None:
+        """Record a node's latest solution (evicting LRU past capacity)."""
+        if node_id in self._entries:
+            self._entries.move_to_end(node_id)
+        self._entries[node_id] = (
+            np.array(weights, dtype=float).ravel(),
+            int(epoch),
+        )
+        while len(self._entries) > self.max_nodes:
+            self._entries.popitem(last=False)
+            self._m_evictions.inc()
+
+    def clear(self) -> None:
+        """Drop every entry (model rotation: old supports are meaningless
+        against a new Ψ).  Not counted as evictions."""
+        self._entries.clear()
 
 
 @dataclass
@@ -136,6 +234,18 @@ class StreamingDiagnosisSession:
             service passes its own private registry per shard.
         metric_labels: Constant labels stamped on every metric this
             session (and its tracker) emits, e.g. ``{"deployment": name}``.
+            A ``model_version`` label, when present, is re-stamped by
+            :meth:`set_model` on every rotation.
+        warm_start: Seed each node's NNLS solve from its previous solution
+            (on by default — same weights, fewer pivoting sweeps; see
+            :class:`WarmStartCache`).
+        warm_cache_nodes / warm_max_age: Warm-start cache bounds (LRU node
+            capacity; staleness in the node's own epochs before a cold
+            solve).
+        keep_exception_states: Retain up to this many recent exception
+            states for :meth:`drain_exception_states` (0 = keep none) —
+            the feedstock of incremental refits.
+        drift_window: Relative-residual samples behind :attr:`drift_score`.
 
     A model without training statistics (saved by an older version)
     cannot screen, so — exactly like the batch aggregator's fallback —
@@ -157,6 +267,11 @@ class StreamingDiagnosisSession:
         max_closed_incidents: Optional[int] = None,
         registry: Optional[MetricsRegistry] = None,
         metric_labels: Optional[Mapping[str, str]] = None,
+        warm_start: bool = True,
+        warm_cache_nodes: int = 1024,
+        warm_max_age: int = 32,
+        keep_exception_states: int = 0,
+        drift_window: int = 256,
     ):
         tool._require_fitted()
         self.tool = tool
@@ -180,11 +295,44 @@ class StreamingDiagnosisSession:
             registry=self.registry,
             metric_labels=labels,
         )
-        reg = self.registry
+        self._labels: Optional[Dict[str, str]] = labels
         # ``_obs_on`` gates the per-packet perf_counter pair; the metric
         # handles themselves are no-op singletons when the registry is
         # disabled, so inc() stays safe either way.
-        self._obs_on = reg.enabled
+        self._obs_on = self.registry.enabled
+        self._bind_metrics()
+        self._warm: Optional[WarmStartCache] = (
+            WarmStartCache(
+                max_nodes=warm_cache_nodes,
+                max_age_epochs=warm_max_age,
+                registry=self.registry,
+                labels=labels,
+            )
+            if warm_start
+            else None
+        )
+        # The other half of warm-starting: passive-set factorizations are
+        # functions of Ψ alone, so they survive from packet to packet
+        # (cleared on model rotation).  Reuse is bit-identical to
+        # recomputation — see NNLSSolverCache.
+        self._solver_cache: Optional[NNLSSolverCache] = (
+            NNLSSolverCache(registry=self.registry, labels=labels)
+            if warm_start
+            else None
+        )
+        self._reservoir: Optional["deque[StreamedState]"] = (
+            deque(maxlen=keep_exception_states)
+            if keep_exception_states > 0
+            else None
+        )
+        self._drift: "deque[float]" = deque(maxlen=drift_window)
+        self._bind_model(tool)
+        self.n_exceptions = 0
+        self._finished = False
+
+    def _bind_metrics(self) -> None:
+        reg = self.registry
+        labels = self._labels
         self._m_packets = reg.counter(
             "repro_streaming_packets_total", "Report packets ingested", labels
         )
@@ -212,6 +360,9 @@ class StreamingDiagnosisSession:
             labels,
             buckets=LATENCY_BUCKETS,
         )
+
+    def _bind_model(self, tool: VN2) -> None:
+        self.tool = tool
         self._has_stats = getattr(tool, "_train_mean", None) is not None
         self._fallback: Optional[StreamingExceptionDetector] = (
             None
@@ -220,8 +371,6 @@ class StreamingDiagnosisSession:
                 threshold_ratio=self.threshold_ratio, keep_states=False
             )
         )
-        self.n_exceptions = 0
-        self._finished = False
 
     @property
     def n_packets(self) -> int:
@@ -291,14 +440,30 @@ class StreamingDiagnosisSession:
             )
         self.n_exceptions += 1
         self._m_exceptions.inc()
+        if self._reservoir is not None:
+            self._reservoir.append(state)
         # ONE per-state solve — identical to observation_weights(), reused
         # for the report so batch and stream agree bit for bit on
-        # observation strengths without a second NNLS.
+        # observation strengths without a second NNLS.  The node's last
+        # solution warm-starts the pivoting (same solution, fewer sweeps).
         normalized = self.tool._normalize_states(state.values)
-        weights, residuals = infer_weights_batch(self.tool.nmf_.Psi, normalized)
+        previous = (
+            self._warm.get(state.node_id, state.epoch_to)
+            if self._warm is not None
+            else None
+        )
+        weights, residuals = infer_weights_batch(
+            self.tool.nmf_.Psi,
+            normalized,
+            warm_start=None if previous is None else previous[None, :],
+            solver_cache=self._solver_cache,
+        )
+        if self._warm is not None:
+            self._warm.put(state.node_id, state.epoch_to, weights[0])
         report = self.tool._build_report(
             weights[0], float(residuals[0]), float(np.linalg.norm(normalized[0]))
         )
+        self._drift.append(report.relative_residual)
         sparse = sparsify_inferred(weights, retention=self.retention)[0]
         observations = observations_for_state(
             self.tool,
@@ -323,6 +488,70 @@ class StreamingDiagnosisSession:
             observations=observations,
             events=events,
         )
+
+    @property
+    def drift_score(self) -> float:
+        """Mean relative residual of recently diagnosed exception states.
+
+        0 when nothing has been diagnosed yet.  Values climbing toward 1
+        mean the serving model can no longer explain what it flags — the
+        refit trigger :class:`~repro.core.lifecycle.OnlineVN2Updater`
+        formalizes (here surfaced per shard so the sink's
+        :class:`~repro.service.models.ModelManager` can poll it).
+        """
+        if not self._drift:
+            return 0.0
+        return float(np.mean(self._drift))
+
+    def drain_exception_states(self) -> StateMatrix:
+        """Pop the retained exception states (for an incremental refit).
+
+        Only retains anything when the session was constructed with
+        ``keep_exception_states > 0``; draining empties the reservoir, so
+        successive refits never absorb the same state twice.
+        """
+        if not self._reservoir:
+            return stack_states([])
+        states = list(self._reservoir)
+        self._reservoir.clear()
+        return stack_states(states)
+
+    def set_model(self, tool: VN2) -> Dict[str, int]:
+        """Atomically swap the serving model (zero-downtime rotation).
+
+        Everything *positional* survives — the state builder's per-node
+        packet cache, the incident tracker with its open incidents, and
+        every counter — so the packet stream continues seamlessly: the
+        next completed state is diagnosed by the new model.  Everything
+        *model-derived* is reset: the warm-start cache (old supports are
+        meaningless against a new Ψ), the solver's factorization cache
+        (old factors are *wrong* against a new Ψ) and the drift window
+        (the new model gets a clean slate).
+
+        The screening threshold chosen at construction is kept — rotation
+        changes the model, not the session's operating point.  When the
+        session's metric labels carry a ``model_version``, the label is
+        re-stamped with the new model's version so per-version series
+        split at the rotation (the incident tracker keeps its original
+        labels: incidents span rotations).
+
+        Returns the rotation boundary ``{"packets": ..., "states": ...}``
+        — replaying the same packets through ``diagnose_stream`` with the
+        old model up to ``states`` and the new model after it reproduces
+        this session's output exactly.
+        """
+        tool._require_fitted()
+        boundary = {"packets": self.n_packets, "states": self.n_states}
+        self._bind_model(tool)
+        if self._warm is not None:
+            self._warm.clear()
+        if self._solver_cache is not None:
+            self._solver_cache.clear()
+        self._drift.clear()
+        if self._labels is not None and "model_version" in self._labels:
+            self._labels = {**self._labels, "model_version": tool.model_version}
+            self._bind_metrics()
+        return boundary
 
     def process(self, packets) -> Iterator[StreamUpdate]:
         """Stream updates for every state a packet source completes.

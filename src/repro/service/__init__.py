@@ -26,8 +26,10 @@ from repro.service.client import (
     ServiceUnavailable,
     SubmitResult,
     http_get_json,
+    http_post_json,
 )
 from repro.service.metrics import LatencyWindow, ShardCounters
+from repro.service.models import ModelManager
 from repro.service.protocol import PROTOCOL_VERSION, ProtocolError
 from repro.service.server import (
     DeploymentShard,
@@ -60,6 +62,7 @@ __all__ = [
     "InprocBackend",
     "LatencyWindow",
     "LoadgenReport",
+    "ModelManager",
     "PROTOCOL_VERSION",
     "ProcessPoolBackend",
     "ProtocolError",
@@ -71,6 +74,7 @@ __all__ = [
     "ShardCounters",
     "SubmitResult",
     "http_get_json",
+    "http_post_json",
     "replay_trace",
     "replay_trace_fanout",
     "start_service_thread",

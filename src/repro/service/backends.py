@@ -49,6 +49,7 @@ import bisect
 import time
 import weakref
 from collections import OrderedDict
+from dataclasses import dataclass
 from hashlib import sha256
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -63,10 +64,26 @@ from repro.service.metrics import (
 __all__ = [
     "HashRing",
     "InprocBackend",
+    "ModelSwap",
     "ProcessPoolBackend",
     "ShardBackend",
     "make_backend",
 ]
+
+
+@dataclass
+class ModelSwap:
+    """In-queue rotation command for inproc shards.
+
+    The inproc backend rotates by enqueuing one of these into every
+    shard's packet queue: the shard loop applies it strictly between two
+    batches — the same FIFO-boundary guarantee the pool backend gets from
+    its worker pipes — and resolves ``future`` with the session's
+    rotation boundary.
+    """
+
+    tool: object
+    future: asyncio.Future
 
 
 class HashRing:
@@ -169,6 +186,25 @@ class ShardBackend:
     async def refresh(self) -> None:
         """Pull fresh state from the shard hosts (no-op inproc)."""
 
+    async def rotate_model(self, tool) -> Dict[str, dict]:
+        """Atomically swap every live session to ``tool`` mid-stream.
+
+        Returns deployment → rotation boundary (``{"packets", "states"}``)
+        for every shard that existed when the rotation landed.  The swap
+        is a FIFO barrier per shard: no batch is split across models, no
+        event is dropped, duplicated or reordered.
+        """
+        raise NotImplementedError
+
+    async def collect_refit_states(self) -> Tuple[Dict[str, object], Dict[str, float]]:
+        """Drain retained exception states and drift scores per shard.
+
+        Returns ``(states, drift)``: deployment → drained
+        :class:`~repro.core.states.StateMatrix` (omitted when empty) and
+        deployment → drift score.
+        """
+        raise NotImplementedError
+
     async def prometheus_text(self) -> str:
         raise NotImplementedError
 
@@ -241,6 +277,34 @@ class InprocBackend(ShardBackend):
             name: shard.snapshot()
             for name, shard in sorted(self.shards.items())
         }
+
+    async def rotate_model(self, tool) -> Dict[str, dict]:
+        """Swap every shard to ``tool`` via an in-queue :class:`ModelSwap`.
+
+        The sentinel rides the same bounded queue as packet batches, so
+        the shard loop applies it strictly between two batches — exactly
+        the FIFO boundary the pool backend gets from its worker pipes.
+        ``service.tool`` is updated first so shards materialized during
+        the rotation start on the new model from their first packet.
+        """
+        self.service.tool = tool
+        loop = asyncio.get_running_loop()
+        waits = []
+        for name, shard in sorted(self.shards.items()):
+            swap = ModelSwap(tool=tool, future=loop.create_future())
+            shard.queue.put_nowait(swap)
+            waits.append((name, swap.future))
+        return {name: await future for name, future in waits}
+
+    async def collect_refit_states(self) -> Tuple[Dict[str, object], Dict[str, float]]:
+        states: Dict[str, object] = {}
+        drift: Dict[str, float] = {}
+        for name, shard in sorted(self.shards.items()):
+            drained = shard.session.drain_exception_states()
+            if len(drained):
+                states[name] = drained
+            drift[name] = shard.session.drift_score
+        return states, drift
 
     async def prometheus_text(self) -> str:
         return self.service.registry.to_prometheus()
@@ -408,6 +472,7 @@ class ProcessPoolBackend(ShardBackend):
             "time_gap_s": config.time_gap_s,
             "radius_m": config.radius_m,
             "max_closed_incidents": config.max_closed_incidents,
+            "keep_exception_states": config.keep_exception_states,
             "heartbeat_s": config.heartbeat_s,
         }
 
@@ -574,7 +639,7 @@ class ProcessPoolBackend(ShardBackend):
                 )
             if not info["bye"].done():
                 info["bye"].set_result(True)
-        elif mtype in ("w_metrics", "w_incidents"):
+        elif mtype in ("w_metrics", "w_incidents", "w_model", "w_states"):
             if mtype == "w_metrics":
                 self._dumps[worker_id] = message.get("dump") or {}
                 for shard in message.get("shards") or []:
@@ -612,6 +677,15 @@ class ProcessPoolBackend(ShardBackend):
             # Death during drain: unblock the waiter; the worker's
             # accepted-but-undiagnosed work is gone with it.
             info["bye"].set_result(False)
+        # A dead worker will never answer an in-flight operator query
+        # (metrics/incidents/model/states): drop it from every pending
+        # request so gathers resolve with the survivors' replies instead
+        # of stalling to the timeout.
+        for request in self._requests.values():
+            if worker_id in request["waiting"]:
+                request["waiting"].discard(worker_id)
+                if not request["waiting"] and not request["future"].done():
+                    request["future"].set_result(request["replies"])
         if self._draining:
             return
         for route in self.routes.values():
@@ -723,6 +797,57 @@ class ProcessPoolBackend(ShardBackend):
         for reply in replies.values():
             out.update(reply.get("incidents") or {})
         return dict(sorted(out.items()))
+
+    async def rotate_model(self, tool, timeout: float = 30.0) -> Dict[str, dict]:
+        """Broadcast ``model_update`` and gather per-shard boundaries.
+
+        Each worker's pipe is FIFO, so the update lands strictly between
+        two ingest batches on every shard it owns — the same no-split
+        guarantee the inproc sentinel gives.  ``service.tool`` is updated
+        too, keeping ``/health`` and future restarts consistent.
+        """
+        self.service.tool = tool
+        alive = [
+            wid for wid, info in self._workers.items() if info["alive"]
+        ]
+        if not alive or self._draining:
+            return {}
+        req, request = self._begin_request(alive)
+        try:
+            version = tool.model_version
+            for worker_id in alive:
+                self.pool.send(
+                    worker_id, protocol.model_update(req, tool, version)
+                )
+            replies = await self._gather(request, timeout)
+        finally:
+            self._requests.pop(req, None)
+        boundaries: Dict[str, dict] = {}
+        for reply in replies.values():
+            boundaries.update(reply.get("boundaries") or {})
+        return dict(sorted(boundaries.items()))
+
+    async def collect_refit_states(
+        self, timeout: float = 10.0
+    ) -> Tuple[Dict[str, object], Dict[str, float]]:
+        alive = [
+            wid for wid, info in self._workers.items() if info["alive"]
+        ]
+        if not alive or self._draining:
+            return {}, {}
+        req, request = self._begin_request(alive)
+        try:
+            for worker_id in alive:
+                self.pool.send(worker_id, protocol.states_query(req))
+            replies = await self._gather(request, timeout)
+        finally:
+            self._requests.pop(req, None)
+        states: Dict[str, object] = {}
+        drift: Dict[str, float] = {}
+        for reply in replies.values():
+            states.update(reply.get("states") or {})
+            drift.update(reply.get("drift") or {})
+        return states, drift
 
 
 def make_backend(service) -> ShardBackend:

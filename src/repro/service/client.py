@@ -284,12 +284,20 @@ class ServiceClient:
         """Convenience ``GET /metrics`` against the operator port."""
         return http_get_json(self.host, http_port, "/metrics")
 
+    def model(self, http_port: int) -> dict:
+        """Convenience ``GET /model`` (serving version + lifecycle state)."""
+        return http_get_json(self.host, http_port, "/model")
 
-def http_get_json(host: str, port: int, path: str, timeout: float = 10.0) -> dict:
-    """Tiny dependency-free HTTP GET → parsed JSON body."""
+    def rotate_model(self, http_port: int, path: str) -> dict:
+        """Rotate the sink to the saved model at ``path`` (server host)."""
+        return http_post_json(self.host, http_port, "/model", {"path": path})
+
+
+def _http_exchange(
+    host: str, port: int, request: bytes, timeout: float
+) -> tuple:
     with socket.create_connection((host, port), timeout=timeout) as sock:
-        request = f"GET {path} HTTP/1.1\r\nHost: {host}\r\nConnection: close\r\n\r\n"
-        sock.sendall(request.encode("latin-1"))
+        sock.sendall(request)
         chunks = []
         while True:
             data = sock.recv(65536)
@@ -299,9 +307,47 @@ def http_get_json(host: str, port: int, path: str, timeout: float = 10.0) -> dic
     payload = b"".join(chunks)
     head, _, body = payload.partition(b"\r\n\r\n")
     status = head.split(b" ", 2)[1].decode("latin-1")
+    return status, body
+
+
+def http_get_json(host: str, port: int, path: str, timeout: float = 10.0) -> dict:
+    """Tiny dependency-free HTTP GET → parsed JSON body."""
+    request = (
+        f"GET {path} HTTP/1.1\r\nHost: {host}\r\nConnection: close\r\n\r\n"
+    )
+    status, body = _http_exchange(host, port, request.encode("latin-1"), timeout)
     if status != "200":
         raise ConnectionError(f"GET {path} -> HTTP {status}")
     return json.loads(body)
+
+
+def http_post_json(
+    host: str, port: int, path: str, body: dict, timeout: float = 120.0
+) -> dict:
+    """Dependency-free HTTP POST of a JSON body → parsed JSON reply.
+
+    Raises :class:`ConnectionError` on any non-200 status, with the
+    server's error message when it sent one.  The generous default
+    timeout covers a forced refit, which runs a full NMF absorb before
+    replying.
+    """
+    payload = json.dumps(body).encode("utf-8")
+    request = (
+        f"POST {path} HTTP/1.1\r\nHost: {host}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(payload)}\r\nConnection: close\r\n\r\n"
+    ).encode("latin-1") + payload
+    status, reply = _http_exchange(host, port, request, timeout)
+    if status != "200":
+        detail = ""
+        try:
+            detail = json.loads(reply).get("error", "")
+        except ValueError:
+            pass
+        raise ConnectionError(
+            f"POST {path} -> HTTP {status}" + (f": {detail}" if detail else "")
+        )
+    return json.loads(reply)
 
 
 # --------------------------------------------------------------------------

@@ -303,6 +303,8 @@ WORKER_DOWN_TYPES = (
     "drain_all",       # graceful shutdown: finish every shard, then exit
     "metrics_query",   # request a registry dump + shard snapshots
     "incidents_query", # request the incidents document
+    "model_update",    # rotate every session to a new fitted model
+    "states_query",    # request retained exception states + drift scores
 )
 
 #: Worker → front door message types.
@@ -313,6 +315,8 @@ WORKER_UP_TYPES = (
     "w_drained",    # answer to drain: final events + session counters
     "w_metrics",    # answer to metrics_query
     "w_incidents",  # answer to incidents_query
+    "w_model",      # answer to model_update: per-shard rotation boundaries
+    "w_states",     # answer to states_query
     "w_bye",        # answer to drain_all: final registry dump + spans
     "w_error",      # worker-side failure (shard kept alive if possible)
 )
@@ -368,6 +372,18 @@ def incidents_query(req: int, deployment: Optional[str] = None) -> dict:
             "deployment": deployment}
 
 
+def model_update(req: int, tool, version: str) -> dict:
+    """``tool`` is the fitted :class:`~repro.core.pipeline.VN2` itself —
+    the pipe pickles it, and pipe FIFO order makes the rotation boundary
+    deterministic per shard (strictly between two acked batches)."""
+    return {"v": PROTOCOL_VERSION, "type": "model_update", "req": req,
+            "tool": tool, "version": version}
+
+
+def states_query(req: int) -> dict:
+    return {"v": PROTOCOL_VERSION, "type": "states_query", "req": req}
+
+
 def worker_hello(worker: str, pid: int) -> dict:
     return {"v": PROTOCOL_VERSION, "type": "w_hello",
             "worker": worker, "pid": pid}
@@ -408,6 +424,22 @@ def worker_metrics(
 def worker_incidents(req: int, worker: str, incidents: dict) -> dict:
     return {"v": PROTOCOL_VERSION, "type": "w_incidents", "req": req,
             "worker": worker, "incidents": incidents}
+
+
+def worker_model(req: int, worker: str, version: str, boundaries: dict) -> dict:
+    """``boundaries`` maps deployment → ``{"packets", "states"}`` — each
+    session's rotation point as returned by
+    :meth:`~repro.core.streaming.StreamingDiagnosisSession.set_model`."""
+    return {"v": PROTOCOL_VERSION, "type": "w_model", "req": req,
+            "worker": worker, "version": version, "boundaries": boundaries}
+
+
+def worker_states(req: int, worker: str, states: dict, drift: dict) -> dict:
+    """``states`` maps deployment → pickled
+    :class:`~repro.core.states.StateMatrix` of drained exception states;
+    ``drift`` maps deployment → the session's drift score."""
+    return {"v": PROTOCOL_VERSION, "type": "w_states", "req": req,
+            "worker": worker, "states": states, "drift": drift}
 
 
 def worker_bye(worker: str, dump: dict, spans: Optional[list] = None) -> dict:

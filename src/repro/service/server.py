@@ -49,6 +49,7 @@ from repro.core.pipeline import VN2
 from repro.core.streaming import StreamingDiagnosisSession
 from repro.obs import MetricsRegistry
 from repro.service import protocol
+from repro.service.backends import ModelSwap
 from repro.service.metrics import (
     LatencyWindow,
     ShardCounters,
@@ -89,6 +90,16 @@ class ServiceConfig:
         heartbeat_s: Worker heartbeat period (pool backend).
         drain_timeout_s: Seconds a graceful drain waits for every worker
             to flush and say goodbye before hard-stopping the pool.
+        keep_exception_states: Exception states each shard retains for
+            background refits (0 disables retention).  Auto-enabled
+            (4096) when a refit trigger below is configured.
+        refit_every_s: Period of the model manager's refit check;
+            ``None`` (the default) disables background refits.
+        drift_threshold: When set, a refit check only fires once some
+            shard's drift score reaches this value; ``None`` refits on
+            every period that has enough retained states.
+        refit_min_states: Minimum retained exception states before a
+            (non-forced) refit is attempted.
     """
 
     host: str = "127.0.0.1"
@@ -108,6 +119,10 @@ class ServiceConfig:
     backend: str = "auto"
     heartbeat_s: float = 0.5
     drain_timeout_s: float = 30.0
+    keep_exception_states: int = 0
+    refit_every_s: Optional[float] = None
+    drift_threshold: Optional[float] = None
+    refit_min_states: int = 32
 
     def __post_init__(self):
         if self.queue_size < 1:
@@ -128,6 +143,31 @@ class ServiceConfig:
             raise ValueError(
                 f"heartbeat_s must be > 0, got {self.heartbeat_s}"
             )
+        if self.refit_every_s is not None and self.refit_every_s <= 0:
+            raise ValueError(
+                f"refit_every_s must be > 0, got {self.refit_every_s}"
+            )
+        if self.drift_threshold is not None and self.drift_threshold < 0:
+            raise ValueError(
+                f"drift_threshold must be >= 0, got {self.drift_threshold}"
+            )
+        if self.keep_exception_states < 0:
+            raise ValueError(
+                "keep_exception_states must be >= 0, "
+                f"got {self.keep_exception_states}"
+            )
+        if self.refit_min_states < 1:
+            raise ValueError(
+                f"refit_min_states must be >= 1, got {self.refit_min_states}"
+            )
+        if (
+            self.keep_exception_states == 0
+            and (self.refit_every_s is not None
+                 or self.drift_threshold is not None)
+        ):
+            # A refit trigger without retained states would never have
+            # anything to absorb; retain a bounded reservoir per shard.
+            self.keep_exception_states = 4096
 
 
 class DeploymentShard:
@@ -147,8 +187,12 @@ class DeploymentShard:
             time_gap_s=config.time_gap_s,
             radius_m=config.radius_m,
             max_closed_incidents=config.max_closed_incidents,
+            keep_exception_states=config.keep_exception_states,
             registry=service.registry,
-            metric_labels=labels,
+            metric_labels={
+                **labels,
+                "model_version": service.tool.model_version,
+            },
         )
         self.queue: asyncio.Queue = asyncio.Queue()
         self.pending = 0  #: packets queued but not yet diagnosed
@@ -217,6 +261,14 @@ class DeploymentShard:
             item = await self.queue.get()
             if item is _STOP:
                 return
+            if isinstance(item, ModelSwap):
+                # Rotation rides the same FIFO queue as packet batches,
+                # so it lands strictly between two batches — no batch is
+                # ever split across models.
+                boundary = self.session.set_model(item.tool)
+                if not item.future.done():
+                    item.future.set_result(boundary)
+                continue
             await self._resume.wait()
             packets, enqueued_at = item
             for packet in packets:
@@ -319,9 +371,12 @@ class DiagnosisService:
         #: rendered by the backend via :func:`repro.obs.merge_dumps`.)
         self.registry = MetricsRegistry(enabled=True)
         from repro.service.backends import make_backend
+        from repro.service.models import ModelManager
 
         #: Where shards execute; see :mod:`repro.service.backends`.
         self.backend = make_backend(self)
+        #: Online model lifecycle: drift-triggered refits + rotation.
+        self.models = ModelManager(self)
         _service_ref = weakref.ref(self)
         self.registry.gauge(
             "repro_service_deployments",
@@ -377,6 +432,7 @@ class DiagnosisService:
         )
         self.port = self._tcp_server.sockets[0].getsockname()[1]
         self.http_port = self._http_server.sockets[0].getsockname()[1]
+        await self.models.start()
         self._started_at = time.monotonic()
 
     async def stop(self, drain: bool = True) -> None:
@@ -386,6 +442,7 @@ class DiagnosisService:
         if self._stopping:
             return
         self._stopping = True
+        await self.models.stop()
         for server in (self._tcp_server, self._http_server):
             if server is not None:
                 server.close()
@@ -500,6 +557,7 @@ class DiagnosisService:
                 "queue_size": self.config.queue_size,
                 "protocol_version": protocol.PROTOCOL_VERSION,
                 "backend": self.backend.name,
+                "model_version": self.tool.model_version,
             },
             "totals": totals,
             "deployments": per_shard,
@@ -532,6 +590,7 @@ class DiagnosisService:
         return {
             "status": "draining" if self._stopping else "ok",
             "version": repro.__version__,
+            "model_version": self.tool.model_version,
             "deployments": len(self.backend.deployments()),
             "backend": described["backend"],
             "workers": described["workers"],
@@ -540,22 +599,53 @@ class DiagnosisService:
     async def _handle_http(self, reader, writer) -> None:
         try:
             request_line = await reader.readline()
-            while True:  # drain headers; we never need them
+            headers = {}
+            while True:
                 header = await reader.readline()
                 if header in (b"\r\n", b"\n", b""):
                     break
+                name, _, value = header.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
             parts = request_line.decode("latin-1").split()
-            if len(parts) < 2 or parts[0] != "GET":
-                self._http_reply(writer, 405, {"error": "GET only"})
+            if len(parts) < 2 or parts[0] not in ("GET", "POST"):
+                self._http_reply(writer, 405, {"error": "GET/POST only"})
                 return
+            method = parts[0]
             path, _, query = parts[1].partition("?")
             params = {}
             for pair in query.split("&"):
                 key, _, value = pair.partition("=")
                 if key:
                     params[key] = value
-            if path == "/health":
+            if method == "POST":
+                try:
+                    length = int(headers.get("content-length", "0") or 0)
+                except ValueError:
+                    length = -1
+                if length < 0 or length > _LINE_LIMIT:
+                    self._http_reply(
+                        writer, 400, {"error": "bad Content-Length"}
+                    )
+                    return
+                raw = await reader.readexactly(length) if length else b""
+                try:
+                    body = json.loads(raw) if raw else {}
+                except ValueError:
+                    self._http_reply(
+                        writer, 400, {"error": "invalid JSON body"}
+                    )
+                    return
+                if path == "/model":
+                    doc, status = await self._model_post(body)
+                    self._http_reply(writer, status, doc)
+                else:
+                    self._http_reply(
+                        writer, 404, {"error": f"no route POST {path}"}
+                    )
+            elif path == "/health":
                 self._http_reply(writer, 200, self.health_snapshot())
+            elif path == "/model":
+                self._http_reply(writer, 200, self.models.doc())
             elif path == "/metrics":
                 if params.get("format") == "prometheus":
                     # Inproc: this process's registry.  Cluster: the
@@ -574,6 +664,8 @@ class DiagnosisService:
             else:
                 self._http_reply(writer, 404, {"error": f"no route {path}"})
             await writer.drain()
+        except asyncio.IncompleteReadError:
+            pass
         except (ConnectionError, OSError):
             pass
         finally:
@@ -582,6 +674,39 @@ class DiagnosisService:
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
+
+    async def _model_post(self, body) -> Tuple[dict, int]:
+        """``POST /model``: rotate to a saved model, or force a refit.
+
+        Body is either ``{"path": "<model path on the server host>"}``
+        (load — integrity-checked — and rotate) or ``{"refit": true}``
+        (run a refit cycle now, skipping the drift/min-states gates).
+        """
+        if not isinstance(body, dict):
+            return {"error": "JSON object body required"}, 400
+        if body.get("refit"):
+            result = await self.models.maybe_refit(force=True)
+            if result is None:
+                return {
+                    "refit": False,
+                    "model_version": self.tool.model_version,
+                    "reason": self.models.last_error
+                    or "no retained exception states",
+                }, 200
+            return {"refit": True, **result}, 200
+        path = body.get("path")
+        if not isinstance(path, str) or not path:
+            return {"error": "body must carry 'path' or 'refit': true"}, 400
+        from repro.core.pipeline import ModelIntegrityError
+
+        try:
+            tool = await asyncio.to_thread(VN2.load, path)
+        except FileNotFoundError as exc:
+            return {"error": str(exc)}, 404
+        except (ModelIntegrityError, ValueError, KeyError, OSError) as exc:
+            return {"error": f"{type(exc).__name__}: {exc}"}, 400
+        result = await self.models.rotate(tool)
+        return result, 200
 
     @staticmethod
     def _http_reply(writer, status: int, body: dict) -> None:
@@ -602,7 +727,12 @@ class DiagnosisService:
     def _http_reply_raw(
         writer, status: int, payload: bytes, content_type: str
     ) -> None:
-        reason = {200: "OK", 404: "Not Found", 405: "Method Not Allowed"}
+        reason = {
+            200: "OK",
+            400: "Bad Request",
+            404: "Not Found",
+            405: "Method Not Allowed",
+        }
         head = (
             f"HTTP/1.1 {status} {reason.get(status, 'Error')}\r\n"
             f"Content-Type: {content_type}\r\n"

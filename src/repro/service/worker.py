@@ -49,6 +49,7 @@ HEARTBEAT_S = 0.5
 SESSION_OPTION_KEYS = (
     "positions", "threshold_ratio", "max_epoch_gap", "min_strength",
     "time_gap_s", "radius_m", "max_closed_incidents",
+    "keep_exception_states",
 )
 
 
@@ -86,7 +87,9 @@ class ShardWorker:
                 self.tool,
                 registry=self.registry,
                 metric_labels={
-                    "deployment": deployment, "worker": self.worker_id
+                    "deployment": deployment,
+                    "worker": self.worker_id,
+                    "model_version": self.tool.model_version,
                 },
                 **kwargs,
             )
@@ -161,6 +164,38 @@ class ShardWorker:
             }
         return protocol.worker_incidents(msg["req"], self.worker_id, out)
 
+    def handle_model_update(self, msg: dict) -> dict:
+        """Rotate every live session to the new model, atomically.
+
+        The pipe is FIFO: this message lands strictly between two ingest
+        batches, so each shard's rotation boundary is a deterministic
+        packet count — no batch is ever split across models.  New sessions
+        created after this point serve the new model too.
+        """
+        tool = msg["tool"]
+        self.tool = tool
+        boundaries = {
+            name: session.set_model(tool)
+            for name, session in sorted(self.sessions.items())
+        }
+        return protocol.worker_model(
+            msg["req"], self.worker_id, tool.model_version, boundaries
+        )
+
+    def handle_states_query(self, msg: dict) -> dict:
+        """Ship each session's retained exception states to the front door
+        (drained — a state is only ever absorbed once)."""
+        states = {}
+        drift = {}
+        for name, session in sorted(self.sessions.items()):
+            drained = session.drain_exception_states()
+            if len(drained):
+                states[name] = drained
+            drift[name] = session.drift_score
+        return protocol.worker_states(
+            msg["req"], self.worker_id, states, drift
+        )
+
     def heartbeat(self) -> dict:
         return protocol.worker_heartbeat(
             self.worker_id, os.getpid(), time.time(),
@@ -200,6 +235,10 @@ def worker_main(conn, worker_id: str, tool, options: Optional[dict] = None) -> N
                     conn.send(state.handle_metrics_query(msg))
                 elif mtype == "incidents_query":
                     conn.send(state.handle_incidents_query(msg))
+                elif mtype == "model_update":
+                    conn.send(state.handle_model_update(msg))
+                elif mtype == "states_query":
+                    conn.send(state.handle_states_query(msg))
                 else:  # an "up" type arriving downstream = version drift
                     raise protocol.ProtocolError(
                         "bad_type", f"unexpected downstream {mtype!r}"

@@ -43,7 +43,11 @@ def test_exception_score_survives_save_load(tmp_path, testbed_tool):
 
 def test_exception_score_requires_training_stats(tmp_path, testbed_tool):
     # A legacy save (before training statistics were persisted) still
-    # loads, but cannot screen states.
+    # loads, but cannot screen states.  Legacy sidecars also predate
+    # model_version, so none is recorded — otherwise the integrity
+    # check would (rightly) reject the altered payload.
+    import json
+
     path = tmp_path / "model"
     testbed_tool.save(path)
     with np.load(path.with_suffix(".npz")) as arrays:
@@ -51,6 +55,9 @@ def test_exception_score_requires_training_stats(tmp_path, testbed_tool):
             k: arrays[k] for k in arrays.files if not k.startswith("train_")
         }
     np.savez_compressed(path.with_suffix(".npz"), **stripped)
+    sidecar = json.loads(path.with_suffix(".json").read_text())
+    sidecar.pop("model_version", None)
+    path.with_suffix(".json").write_text(json.dumps(sidecar))
     loaded = VN2.load(path)
     with pytest.raises(RuntimeError):
         loaded.exception_score(np.zeros(NUM_METRICS))

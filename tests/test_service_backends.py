@@ -187,7 +187,11 @@ def test_shard_worker_ingest_ack_and_drain(testbed_tool, testbed_trace):
     # that keeps cluster rollups from collapsing colliding series.
     dump = state.registry.dump()
     labels = dump["repro_streaming_packets_total"]["series"][0]["labels"]
-    assert labels == {"deployment": "city", "worker": "w3"}
+    assert labels == {
+        "deployment": "city",
+        "worker": "w3",
+        "model_version": testbed_tool.model_version,
+    }
     open_series = dump["repro_incidents_open"]["series"][0]["labels"]
     assert open_series["worker"] == "w3"
 

@@ -24,6 +24,7 @@ scaled ``medium`` and ``full`` presets, as the CI streaming job does.
 
 from __future__ import annotations
 
+import json
 import os
 
 import numpy as np
@@ -196,6 +197,12 @@ def test_stat_less_model_diagnoses_everything(tmp_path, testbed_tool,
             k: arrays[k] for k in arrays.files if not k.startswith("train_")
         }
     np.savez_compressed(path.with_suffix(".npz"), **stripped)
+    # A real legacy save predates model_version too — drop it from the
+    # sidecar so the load is unchecked rather than integrity-failed.
+    sidecar_path = path.with_suffix(".json")
+    sidecar = json.loads(sidecar_path.read_text())
+    sidecar.pop("model_version", None)
+    sidecar_path.write_text(json.dumps(sidecar))
     legacy = VN2.load(path)
 
     frame = as_frame(testbed_trace)
