@@ -1,0 +1,62 @@
+"""CI smoke test: the chaos engine end to end through the CLI.
+
+Runs one small preset through ``vn2 chaos run`` (parallel, trace saved to
+the work directory), then scores the full preset library with
+``vn2 chaos score --gate --json`` — the gated scorecard JSON is uploaded
+as the job's artifact and the job fails if any preset's family detection
+rate lands below its floor.  Finally replays the single-preset score from
+the warm cache and asserts the two JSON documents agree, the CLI-level
+determinism check.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+work = Path(os.environ.get("VN2_CHAOS_DIR", "chaos-smoke"))
+work.mkdir(parents=True, exist_ok=True)
+
+SMOKE_PRESET = "correlated-bursts"
+
+
+def vn2(*args: str) -> int:
+    command = [sys.executable, "-m", "repro.cli", *args]
+    print("+", " ".join(command), flush=True)
+    return subprocess.call(command)
+
+
+rc = vn2(
+    "chaos", "run", "--preset", SMOKE_PRESET, "--scale", "tiny",
+    "--jobs", "2", "--output", str(work / f"{SMOKE_PRESET}.npz"),
+)
+assert rc == 0, f"vn2 chaos run failed with {rc}"
+assert (work / f"{SMOKE_PRESET}.npz").stat().st_size > 0
+
+rc = vn2(
+    "chaos", "score", "--preset", "all", "--scale", "tiny", "--jobs", "2",
+    "--gate", "--json", str(work / "scorecard.json"),
+)
+assert rc == 0, f"vn2 chaos score --gate failed with {rc}"
+
+doc = json.loads((work / "scorecard.json").read_text())
+assert doc["ok"], doc["gate_failures"]
+names = {card["scenario"] for card in doc["presets"]}
+print(f"scored presets: {sorted(names)}")
+assert SMOKE_PRESET in names
+for card in doc["presets"]:
+    assert card["families"], card["scenario"]
+
+# Determinism at the CLI boundary: scoring the smoke preset again (warm
+# cache) must reproduce its scorecard rows exactly.
+rc = vn2(
+    "chaos", "score", "--preset", SMOKE_PRESET, "--scale", "tiny",
+    "--json", str(work / "rescore.json"),
+)
+assert rc == 0
+first = next(c for c in doc["presets"] if c["scenario"] == SMOKE_PRESET)
+again = json.loads((work / "rescore.json").read_text())["presets"][0]
+assert first == again, "re-scored preset diverged from the suite run"
+
+print("chaos smoke OK")

@@ -1,0 +1,38 @@
+"""C1 (extension) — the chaos preset suite and its per-family scorecard.
+
+Runs the whole preset library at the tiny scale through the process pool
+(warm NPZ cache after the first session), fits VN2 on each frame and
+benchmarks the scorecard pass.  Prints every preset's per-family table —
+the same rows ``vn2 chaos score`` and the CI chaos job report — and
+asserts the suite's detection-rate gates, so a diagnosis regression that
+blinds a fault family fails the bench even before CI's gated run.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis.scorecard import run_chaos_suite
+from repro.chaos import PRESET_NAMES
+
+
+@pytest.fixture(scope="module")
+def chaos_suite():
+    jobs = int(os.environ.get("VN2_BENCH_JOBS", "1"))
+    return run_chaos_suite(seed=2011, scale="tiny", jobs=jobs, gate=True)
+
+
+def test_bench_chaos_suite_scorecard(benchmark, chaos_suite):
+    doc = benchmark.pedantic(chaos_suite.to_json_dict, rounds=1, iterations=1)
+    print("\n=== Chaos preset suite: per-family scorecards ===")
+    if chaos_suite.run_report is not None:
+        print(chaos_suite.run_report.to_text())
+    print(chaos_suite.to_text())
+
+    assert {card["scenario"] for card in doc["presets"]} == set(PRESET_NAMES)
+    # every preset's stressed families were exercised: each scorecard has
+    # at least one family with ground-truth episodes
+    for card in chaos_suite.scorecards:
+        assert any(s.episodes > 0 for s in card.per_family), card.scenario_name
+    # the detection-rate gates the CI chaos job enforces
+    assert chaos_suite.ok, "\n".join(chaos_suite.gate_failures)

@@ -55,6 +55,15 @@ from repro.analysis.evaluation import (
     threshold_sweep,
 )
 from repro.analysis.node_report import NodeHealth, NodeReport, node_health_report
+from repro.analysis.scorecard import (
+    FAMILY_HAZARDS,
+    ChaosScorecard,
+    ChaosSuiteResult,
+    FamilyScore,
+    run_chaos_suite,
+    score_frame,
+    score_scenario_frame,
+)
 
 __all__ = [
     "format_table",
@@ -100,4 +109,11 @@ __all__ = [
     "NodeHealth",
     "NodeReport",
     "node_health_report",
+    "FAMILY_HAZARDS",
+    "ChaosScorecard",
+    "ChaosSuiteResult",
+    "FamilyScore",
+    "run_chaos_suite",
+    "score_frame",
+    "score_scenario_frame",
 ]

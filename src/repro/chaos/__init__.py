@@ -1,0 +1,59 @@
+"""Chaos scenario engine: composable fault DSL, presets, and runtime.
+
+Public surface:
+
+* :class:`~repro.chaos.dsl.ChaosScenario` — declarative, dict-serializable
+  scenario spec (profile + fault layers + deployment shape).
+* :data:`~repro.chaos.presets.PRESETS` / :func:`~repro.chaos.presets.build_preset`
+  — the named preset library.
+* :func:`~repro.chaos.runtime.generate_chaos_frame` — run a scenario to a
+  cached :class:`~repro.traces.frame.TraceFrame`.
+"""
+
+from repro.chaos.dsl import (
+    BACKGROUND_KINDS,
+    EPISODE_KINDS,
+    FAMILIES,
+    FAULT_FAMILIES,
+    FAULT_KINDS,
+    FAULT_REGISTRY,
+    ChaosScenario,
+    fault_from_dict,
+    fault_to_dict,
+    validate_scenario,
+)
+from repro.chaos.presets import (
+    PRESET_NAMES,
+    PRESETS,
+    SCALES,
+    PresetInfo,
+    build_preset,
+    profile_for_scale,
+)
+from repro.chaos.runtime import (
+    build_chaos_network,
+    chaos_cache_paths,
+    generate_chaos_frame,
+)
+
+__all__ = [
+    "BACKGROUND_KINDS",
+    "EPISODE_KINDS",
+    "FAMILIES",
+    "FAULT_FAMILIES",
+    "FAULT_KINDS",
+    "FAULT_REGISTRY",
+    "ChaosScenario",
+    "PresetInfo",
+    "PRESETS",
+    "PRESET_NAMES",
+    "SCALES",
+    "build_chaos_network",
+    "build_preset",
+    "chaos_cache_paths",
+    "fault_from_dict",
+    "fault_to_dict",
+    "generate_chaos_frame",
+    "profile_for_scale",
+    "validate_scenario",
+]

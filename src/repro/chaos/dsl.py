@@ -1,0 +1,285 @@
+"""The chaos scenario DSL: declarative, composable, dict-serializable.
+
+A :class:`ChaosScenario` is a complete description of one messy,
+field-realistic simulator run: a :class:`~repro.traces.citysee.CitySeeProfile`
+for scale/shape, optional CitySee background/episode fault mixes, any
+number of explicit fault primitives from :mod:`repro.simnet.faults` (the
+paper's seven hazards plus the chaos extensions), and extra gateway
+sinks.  Scenarios are frozen dataclasses that round-trip losslessly
+through plain dicts (:meth:`ChaosScenario.to_dict` /
+:meth:`ChaosScenario.from_dict`) — no YAML/JSON dependency, and the
+canonical JSON form doubles as the trace-cache key.
+
+Every ground-truth fault *kind* a scenario can emit belongs to exactly one
+**fault family** (:data:`FAULT_FAMILIES`); the scorecard in
+:mod:`repro.analysis.scorecard` reports diagnosis accuracy per family.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.simnet.faults import (
+    BatteryBrownout,
+    BatteryDrain,
+    ClockSkew,
+    CorrelatedInterference,
+    DutyCycle,
+    FirmwareSkew,
+    ForcedLoop,
+    GatewayFailure,
+    Interference,
+    LinkDegradation,
+    NodeFailure,
+    NodeMove,
+    NodeReboot,
+    TrafficBurst,
+)
+from repro.traces.citysee import CitySeeProfile
+
+#: Spec tag -> fault primitive class.  The tag is the ``type`` field of a
+#: fault's dict form.
+FAULT_REGISTRY: Dict[str, type] = {
+    "node_failure": NodeFailure,
+    "node_reboot": NodeReboot,
+    "link_degradation": LinkDegradation,
+    "interference": Interference,
+    "forced_loop": ForcedLoop,
+    "traffic_burst": TrafficBurst,
+    "battery_drain": BatteryDrain,
+    "correlated_interference": CorrelatedInterference,
+    "battery_brownout": BatteryBrownout,
+    "clock_skew": ClockSkew,
+    "firmware_skew": FirmwareSkew,
+    "duty_cycle": DutyCycle,
+    "node_move": NodeMove,
+    "gateway_failure": GatewayFailure,
+}
+
+_TYPE_OF_CLASS: Dict[type, str] = {cls: tag for tag, cls in FAULT_REGISTRY.items()}
+
+#: Spec tag -> ground-truth kind(s) the primitive records.
+FAULT_KINDS: Dict[str, Tuple[str, ...]] = {
+    "node_failure": ("node_failure",),
+    "node_reboot": ("node_reboot",),
+    "link_degradation": ("link_degradation",),
+    "interference": ("interference",),
+    "forced_loop": ("routing_loop",),
+    "traffic_burst": ("traffic_burst",),
+    "battery_drain": ("battery_drain",),
+    "correlated_interference": ("correlated_interference",),
+    "battery_brownout": ("battery_brownout",),
+    "clock_skew": ("clock_skew",),
+    "firmware_skew": ("firmware_skew",),
+    "duty_cycle": ("duty_cycle",),
+    "node_move": ("node_move",),
+    "gateway_failure": ("gateway_failover",),
+}
+
+#: Ground-truth fault kind -> fault family.  Families partition every kind
+#: the simulator can record (including the emergent ``battery_death``), so
+#: the scorecard's per-family rows cover the whole ground-truth log.
+FAULT_FAMILIES: Dict[str, str] = {
+    "interference": "rf",
+    "correlated_interference": "rf",
+    "link_degradation": "link",
+    "node_move": "link",
+    "routing_loop": "routing",
+    "traffic_burst": "traffic",
+    "node_failure": "churn",
+    "node_reboot": "churn",
+    "gateway_failover": "churn",
+    "duty_cycle": "churn",
+    "battery_drain": "energy",
+    "battery_death": "energy",
+    "battery_brownout": "energy",
+    "clock_skew": "timing",
+    "firmware_skew": "reporting",
+}
+
+#: All fault families, sorted.
+FAMILIES: Tuple[str, ...] = tuple(sorted(set(FAULT_FAMILIES.values())))
+
+#: Ground-truth kinds of the CitySee background mix
+#: (:func:`repro.traces.citysee._build_background_faults`).
+BACKGROUND_KINDS: Tuple[str, ...] = (
+    "node_reboot",
+    "interference",
+    "routing_loop",
+    "link_degradation",
+    "traffic_burst",
+    "battery_drain",
+)
+
+#: Additional kinds of the concentrated CitySee degradation episode.
+EPISODE_KINDS: Tuple[str, ...] = ("interference", "routing_loop", "node_failure")
+
+
+def _tuplify(value):
+    """Recursively turn lists into tuples (JSON round-trip -> dataclass)."""
+    if isinstance(value, list):
+        return tuple(_tuplify(v) for v in value)
+    return value
+
+
+def _listify(value):
+    """Recursively turn tuples into lists (dataclass -> JSON-ready dict)."""
+    if isinstance(value, tuple):
+        return [_listify(v) for v in value]
+    return value
+
+
+def fault_to_dict(fault) -> Dict[str, object]:
+    """One fault primitive as a JSON-ready dict with a ``type`` tag."""
+    cls = type(fault)
+    tag = _TYPE_OF_CLASS.get(cls)
+    if tag is None:
+        raise TypeError(f"{cls.__name__} is not a registered fault primitive")
+    payload: Dict[str, object] = {"type": tag}
+    for field in dataclasses.fields(fault):
+        payload[field.name] = _listify(getattr(fault, field.name))
+    return payload
+
+
+def fault_from_dict(payload: Dict[str, object]):
+    """Inverse of :func:`fault_to_dict`; raises ``ValueError`` on junk."""
+    data = dict(payload)
+    tag = data.pop("type", None)
+    if tag not in FAULT_REGISTRY:
+        raise ValueError(f"unknown fault type {tag!r}")
+    cls = FAULT_REGISTRY[tag]
+    kwargs = {key: _tuplify(value) for key, value in data.items()}
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        raise ValueError(f"bad {tag} spec: {exc}") from None
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One composed chaos run: profile + fault layers + deployment shape.
+
+    Attributes:
+        name: Scenario name (used in cache paths and reports).
+        profile: Scale/shape/seed parameters, including the background
+            fault intensities when ``background`` is on.
+        background: Layer the CitySee Poisson background mix over the run.
+        episode: Layer the concentrated CitySee degradation episode.
+        episode_days: Episode window in profile days (when ``episode``).
+        faults: Explicit fault primitives, installed after any background.
+        gateway_ids: Extra sink nodes (multi-gateway deployments).
+    """
+
+    name: str
+    profile: CitySeeProfile
+    background: bool = True
+    episode: bool = False
+    episode_days: Tuple[float, float] = (6.0, 8.0)
+    faults: Tuple[object, ...] = ()
+    gateway_ids: Tuple[int, ...] = ()
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready dict; :meth:`from_dict` inverts it exactly."""
+        return {
+            "name": self.name,
+            "profile": {
+                key: _listify(value)
+                for key, value in dataclasses.asdict(self.profile).items()
+            },
+            "background": self.background,
+            "episode": self.episode,
+            "episode_days": list(self.episode_days),
+            "faults": [fault_to_dict(f) for f in self.faults],
+            "gateway_ids": list(self.gateway_ids),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ChaosScenario":
+        """Build a scenario from its dict form (tuples restored)."""
+        data = dict(payload)
+        profile_data = {
+            key: _tuplify(value) for key, value in dict(data["profile"]).items()
+        }
+        return cls(
+            name=str(data["name"]),
+            profile=CitySeeProfile(**profile_data),
+            background=bool(data.get("background", True)),
+            episode=bool(data.get("episode", False)),
+            episode_days=tuple(data.get("episode_days", (6.0, 8.0))),
+            faults=tuple(
+                fault_from_dict(f) for f in data.get("faults", ())
+            ),
+            gateway_ids=tuple(int(g) for g in data.get("gateway_ids", ())),
+        )
+
+    def canonical_json(self) -> str:
+        """Sorted-key JSON form — the scenario's identity string."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    def cache_key(self) -> str:
+        """16-hex-digit cache key, a pure function of the scenario."""
+        payload = json.dumps(
+            {"scenario": self.to_dict(), "v": 1}, sort_keys=True
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    # -- introspection ---------------------------------------------------
+
+    def fault_kinds(self) -> Tuple[str, ...]:
+        """Sorted ground-truth kinds this scenario can emit."""
+        kinds = set()
+        if self.background:
+            kinds.update(BACKGROUND_KINDS)
+        if self.episode:
+            kinds.update(EPISODE_KINDS)
+        for fault in self.faults:
+            kinds.update(FAULT_KINDS[_TYPE_OF_CLASS[type(fault)]])
+        return tuple(sorted(kinds))
+
+    def families(self) -> Tuple[str, ...]:
+        """Sorted fault families this scenario stresses."""
+        return tuple(sorted({FAULT_FAMILIES[k] for k in self.fault_kinds()}))
+
+    def describe(self) -> str:
+        """Short human-readable summary (runner job labels)."""
+        return (
+            f"chaos[{self.name}, {self.profile.n_nodes}n x "
+            f"{self.profile.days:g}d, seed={self.profile.seed}]"
+        )
+
+
+def validate_scenario(scenario: ChaosScenario) -> List[str]:
+    """Static sanity problems of a scenario (empty list = fine).
+
+    Checks the cheap invariants that do not need a built network: fault
+    windows inside the run, known metric names, gateway references.  The
+    injector's conflict check (same-node same-tick lifecycle clashes) runs
+    at install time on the concrete schedule.
+    """
+    problems: List[str] = []
+    duration = scenario.profile.duration_s()
+    for fault in scenario.faults:
+        tag = _TYPE_OF_CLASS[type(fault)]
+        start = getattr(fault, "start", getattr(fault, "at", None))
+        if start is not None and not 0.0 <= float(start) <= duration:
+            problems.append(
+                f"{tag} starts at {start:g}, outside the {duration:g}s run"
+            )
+        end = getattr(fault, "end", None)
+        if end is not None and start is not None and end <= start:
+            problems.append(f"{tag} window [{start:g}, {end:g}) is empty")
+        if isinstance(fault, GatewayFailure) and fault.gateway_id not in (
+            0,  # the primary sink (random_geometric_topology pins it at 0)
+            *scenario.gateway_ids,
+        ):
+            problems.append(
+                f"gateway_failure targets node {fault.gateway_id}, which is "
+                "neither the sink nor in scenario.gateway_ids"
+            )
+    return problems

@@ -19,7 +19,12 @@ Commands:
   (``diff``), or rotate a running sink to a new save (``rotate``).
 * ``vn2 experiment`` — run one of the paper's figure/table harnesses.
 * ``vn2 sweep`` — run a multi-seed scenario sweep through the parallel
-  runner and score every deployment against its fault schedule.
+  runner and score every deployment against its fault schedule
+  (``--suite chaos`` runs the chaos preset suite instead).
+* ``vn2 chaos`` — the chaos scenario engine: ``list`` the preset
+  library, ``run`` presets through the process pool, ``score`` them
+  with the per-fault-family accuracy scorecard (``--gate`` enforces
+  each preset's detection-rate floors; the CI gate).
 * ``vn2 profile`` — run any other subcommand under the span tracer and
   print its span tree, hot-spot table and (optionally) a spans JSONL.
 * ``vn2 stats`` — fetch and pretty-print a running service's
@@ -653,6 +658,24 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.analysis.evaluation import evaluate_seed_sweep
     from repro.traces.citysee import CitySeeProfile
 
+    if args.suite == "chaos":
+        from repro.analysis.scorecard import run_chaos_suite
+
+        suite = run_chaos_suite(
+            seed=args.seed,
+            scale=args.profile,
+            jobs=args.jobs,
+            use_cache=not args.no_cache,
+            min_strength=args.min_strength,
+        )
+        if suite.run_report is not None:
+            print(suite.run_report.to_text())
+            print()
+            if args.timings:
+                suite.run_report.write_timings(args.timings)
+        print(suite.to_text())
+        return 0 if suite.ok else 1
+
     profile = {
         "tiny": CitySeeProfile.tiny,
         "small": CitySeeProfile.small,
@@ -674,6 +697,103 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             result.run_report.write_timings(args.timings)
     print(result.to_text())
     return 0
+
+
+def _chaos_preset_names(arg: str) -> List[str]:
+    from repro.chaos.presets import PRESET_NAMES, PRESETS
+
+    if arg == "all":
+        return list(PRESET_NAMES)
+    names = [n.strip() for n in arg.split(",") if n.strip()]
+    for name in names:
+        if name not in PRESETS:
+            raise SystemExit(
+                f"unknown preset {name!r}; available: "
+                f"{', '.join(PRESET_NAMES)} (or 'all')"
+            )
+    return names
+
+
+def _cmd_chaos_list(args: argparse.Namespace) -> int:
+    from repro.analysis.reporting import format_table
+    from repro.chaos.presets import PRESETS
+
+    rows = []
+    for info in PRESETS.values():
+        scenario = info.build(seed=args.seed, scale=args.scale)
+        floors = ", ".join(
+            f"{family}>={floor:.2f}"
+            for family, floor in sorted(info.gate_floors.items())
+        )
+        rows.append(
+            (
+                info.name,
+                info.description,
+                ",".join(scenario.families()),
+                len(scenario.faults),
+                floors,
+            )
+        )
+    print(format_table(
+        ["preset", "description", "families", "faults", "gate floors"], rows
+    ))
+    return 0
+
+
+def _cmd_chaos_run(args: argparse.Namespace) -> int:
+    from repro.runner import chaos_preset_jobs, run_jobs
+    from repro.traces.io import save_frame
+
+    names = _chaos_preset_names(args.preset)
+    jobs = chaos_preset_jobs(names, seed=args.seed, scale=args.scale)
+    report = run_jobs(jobs, n_workers=args.jobs, use_cache=not args.no_cache)
+    print(report.to_text())
+    if not report.ok:
+        for result in report.errors():
+            print(result.error, file=sys.stderr)
+        return 1
+    for job, result in zip(jobs, report.results):
+        frame = result.frame()
+        print(
+            f"{job.scenario.name}: {len(frame)} snapshots, "
+            f"delivery {frame.delivery_ratio():.3f}, "
+            f"{len(frame.ground_truth)} ground-truth episodes"
+        )
+    if args.output:
+        if len(jobs) != 1:
+            print("--output needs exactly one preset", file=sys.stderr)
+            return 2
+        save_frame(report.results[0].frame(), args.output, fmt=args.format)
+        print(f"trace -> {args.output}")
+    return 0
+
+
+def _cmd_chaos_score(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.analysis.scorecard import run_chaos_suite
+
+    names = _chaos_preset_names(args.preset)
+    suite = run_chaos_suite(
+        names,
+        seed=args.seed,
+        scale=args.scale,
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        min_strength=args.min_strength,
+        gate=args.gate,
+    )
+    if suite.run_report is not None:
+        print(suite.run_report.to_text())
+        print()
+    print(suite.to_text())
+    if args.json:
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(_json.dumps(suite.to_json_dict(), indent=2) + "\n")
+        print(f"scorecard -> {path}")
+    return 0 if (suite.ok or not args.gate) else 1
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -1002,6 +1122,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="multi-seed CitySee sweep through the parallel runner, "
              "scored against ground truth",
     )
+    p.add_argument("--suite", choices=["seeds", "chaos"], default="seeds",
+                   help="'seeds': multi-seed CitySee sweep; 'chaos': the "
+                        "chaos preset suite with per-family gates")
     p.add_argument("--profile", choices=["tiny", "small", "medium", "full"],
                    default="small")
     p.add_argument("--seed", type=int, default=2011)
@@ -1013,6 +1136,53 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write per-job timing JSON (CI artifact format)")
     add_jobs_option(p)
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "chaos",
+        help="chaos scenario engine: composable fault presets and the "
+             "per-fault-family accuracy scorecard",
+    )
+    chaos_sub = p.add_subparsers(dest="chaos_command", required=True)
+
+    def add_chaos_selection(q: argparse.ArgumentParser) -> None:
+        q.add_argument("--preset", default="all", metavar="NAME",
+                       help="preset name, comma list, or 'all' "
+                            "(see 'vn2 chaos list')")
+        q.add_argument("--seed", type=int, default=2011)
+        q.add_argument("--scale", choices=["tiny", "small", "medium", "full"],
+                       default="tiny")
+
+    q = chaos_sub.add_parser("list", help="show the preset library")
+    q.add_argument("--seed", type=int, default=2011)
+    q.add_argument("--scale", choices=["tiny", "small", "medium", "full"],
+                   default="tiny")
+    q.set_defaults(func=_cmd_chaos_list)
+
+    q = chaos_sub.add_parser(
+        "run", help="run chaos presets through the process pool"
+    )
+    add_chaos_selection(q)
+    q.add_argument("--no-cache", action="store_true")
+    q.add_argument("--output", default=None, metavar="FILE",
+                   help="save the trace (single preset only)")
+    add_format_option(q, "save with")
+    add_jobs_option(q)
+    q.set_defaults(func=_cmd_chaos_run)
+
+    q = chaos_sub.add_parser(
+        "score",
+        help="fit + score presets with the per-family scorecard",
+    )
+    add_chaos_selection(q)
+    q.add_argument("--min-strength", type=float, default=0.2)
+    q.add_argument("--no-cache", action="store_true")
+    q.add_argument("--json", default=None, metavar="FILE",
+                   help="write the scorecard JSON (CI artifact format)")
+    q.add_argument("--gate", action="store_true",
+                   help="exit non-zero if any preset's family detection "
+                        "rate is below its floor")
+    add_jobs_option(q)
+    q.set_defaults(func=_cmd_chaos_score)
 
     p = sub.add_parser(
         "profile",

@@ -148,6 +148,12 @@ class SinkCollector:
         }
         #: (node_id, epoch, packet_class, received_at) tuples, in arrival order.
         self.arrival_log: List[Tuple[int, int, PacketClass, float]] = []
+        #: node_id -> sorted metric names its last completed epoch actually
+        #: carried.  Nodes on old firmware report a catalog subset
+        #: (:data:`repro.metrics.packets.MISSING_METRIC_FILL` pads the
+        #: rest); this map is how sink-side consumers can tell a filled
+        #: value from a measured one.
+        self.metrics_reported: Dict[int, Tuple[str, ...]] = {}
 
     def deliver(self, packet: ReportPacket, received_at: float) -> Optional[SnapshotRecord]:
         """Register an arriving packet.
@@ -171,6 +177,9 @@ class SinkCollector:
             return None
 
         values = merge_packets(bucket)
+        self.metrics_reported[packet.node_id] = tuple(
+            sorted(name for p in bucket for name in p.values)
+        )
         record = SnapshotRecord(
             node_id=packet.node_id,
             epoch=packet.epoch,

@@ -27,6 +27,30 @@ _C2_NAMES: Tuple[str, ...] = tuple(m.name for m in metrics_in_packet(PacketClass
 _C3_NAMES: Tuple[str, ...] = tuple(m.name for m in metrics_in_packet(PacketClass.C3))
 
 
+def _fill_defaults() -> np.ndarray:
+    """Sink-side fill values for metrics an old-firmware node never reports.
+
+    Empty neighbor-table slots are reported as -100 dBm / ETX 50 by current
+    firmware (see ``repro.simnet.node.EMPTY_RSSI_SLOT`` /
+    ``EMPTY_ETX_SLOT``; the literals are repeated here because the metrics
+    layer does not import the simulator).  Using the same values for
+    *unreported* slots keeps the merged snapshot constant where coverage is
+    constant, so firmware-skewed nodes do not shower the pipeline with fake
+    per-epoch deltas.  Everything else fills with zero.
+    """
+    fill = np.zeros(NUM_METRICS, dtype=float)
+    for name, index in METRIC_INDEX.items():
+        if name.startswith("rssi_"):
+            fill[index] = -100.0
+        elif name.startswith("etx_"):
+            fill[index] = 50.0
+    return fill
+
+
+MISSING_METRIC_FILL: np.ndarray = _fill_defaults()
+"""Per-metric defaults merged in for metrics absent from an epoch's packets."""
+
+
 @dataclass
 class ReportPacket:
     """Base class for the three report packet types.
@@ -85,7 +109,11 @@ _PACKET_TYPES = (C1Packet, C2Packet, C3Packet)
 
 
 def snapshot_to_packets(
-    node_id: int, epoch: int, generated_at: float, snapshot: np.ndarray
+    node_id: int,
+    epoch: int,
+    generated_at: float,
+    snapshot: np.ndarray,
+    metrics: Optional[Iterable[str]] = None,
 ) -> Tuple[C1Packet, C2Packet, C3Packet]:
     """Split a full 43-metric snapshot into its three report packets.
 
@@ -94,19 +122,35 @@ def snapshot_to_packets(
         epoch: Reporting-epoch index at the origin.
         generated_at: Simulation time of the snapshot.
         snapshot: Length-43 array in catalog order.
+        metrics: Firmware reporting subset — only these metric names are
+            carried (``None`` = full catalog, the default firmware).  All
+            three packets are still emitted, possibly with empty payloads:
+            old firmware keeps the C1/C2/C3 packet train, it just packs
+            fewer fields.
 
     Returns:
         The (C1, C2, C3) packets carrying the corresponding slices.
+
+    Raises:
+        ValueError: On a malformed snapshot or unknown metric names.
     """
     snapshot = np.asarray(snapshot, dtype=float)
     if snapshot.shape != (NUM_METRICS,):
         raise ValueError(
             f"snapshot must have shape ({NUM_METRICS},), got {snapshot.shape}"
         )
+    mask: Optional[frozenset] = None
+    if metrics is not None:
+        mask = frozenset(metrics)
+        unknown = mask - set(METRIC_NAMES)
+        if unknown:
+            raise ValueError(f"unknown metrics {sorted(unknown)}")
     packets = []
     for cls in _PACKET_TYPES:
         values = {
-            name: float(snapshot[METRIC_INDEX[name]]) for name in cls.FIELD_NAMES
+            name: float(snapshot[METRIC_INDEX[name]])
+            for name in cls.FIELD_NAMES
+            if mask is None or name in mask
         }
         packets.append(cls(node_id, epoch, generated_at, values))
     return tuple(packets)  # type: ignore[return-value]
@@ -115,8 +159,10 @@ def snapshot_to_packets(
 def merge_packets(packets: Iterable[ReportPacket]) -> np.ndarray:
     """Reassemble one epoch's packets into a full snapshot vector.
 
-    All packets must come from the same node and epoch, and together must
-    cover every metric exactly once (i.e. one C1, one C2 and one C3).
+    All packets must come from the same node and epoch, with one C1, one C2
+    and one C3.  Metrics no packet carries (firmware-skewed nodes report a
+    subset of the catalog) take their :data:`MISSING_METRIC_FILL` default,
+    so the result is always a full-width vector.
 
     Returns:
         Length-43 array in catalog order.
@@ -142,7 +188,7 @@ def merge_packets(packets: Iterable[ReportPacket]) -> np.ndarray:
         raise ValueError(
             f"incomplete snapshot: missing {sorted(c.value for c in missing)}"
         )
-    snapshot = np.zeros(NUM_METRICS, dtype=float)
+    snapshot = MISSING_METRIC_FILL.copy()
     for packet in packets:
         for name, value in packet.values.items():
             snapshot[METRIC_INDEX[name]] = value

@@ -22,9 +22,11 @@ from repro.runner.pool import (
     attach_span_trees,
 )
 from repro.runner.jobs import (
+    ChaosJob,
     CitySeeJob,
     JobSpec,
     TestbedJob,
+    chaos_preset_jobs,
     citysee_seed_sweep,
     citysee_study_jobs,
     job_cache_path,
@@ -33,6 +35,7 @@ from repro.runner.jobs import (
 )
 
 __all__ = [
+    "ChaosJob",
     "CitySeeJob",
     "JobResult",
     "JobSpec",
@@ -42,6 +45,7 @@ __all__ = [
     "TestbedJob",
     "WorkerHandle",
     "attach_span_trees",
+    "chaos_preset_jobs",
     "citysee_seed_sweep",
     "citysee_study_jobs",
     "execute_job",

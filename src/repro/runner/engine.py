@@ -29,7 +29,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from repro.obs import Tracer, get_tracer, set_tracer
-from repro.runner.jobs import CitySeeJob, JobSpec, TestbedJob, job_cache_path
+from repro.runner.jobs import ChaosJob, CitySeeJob, JobSpec, TestbedJob, job_cache_path
 from repro.runner.pool import attach_span_trees
 from repro.traces.frame import TraceFrame
 from repro.traces.io import load_frame_npz
@@ -74,6 +74,12 @@ def execute_job(
             spacing_m=job.spacing_m,
             use_cache=use_cache,
             cache_dir=cache_dir,
+        )
+    if isinstance(job, ChaosJob):
+        from repro.chaos.runtime import generate_chaos_frame
+
+        return generate_chaos_frame(
+            job.scenario, use_cache=use_cache, cache_dir=cache_dir
         )
     raise TypeError(f"unknown job spec {type(job).__name__}")
 

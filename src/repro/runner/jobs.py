@@ -22,6 +22,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple, Union
 
+from repro.chaos.dsl import ChaosScenario
+from repro.chaos.runtime import chaos_cache_paths
 from repro.simnet.rng import derive_seed
 from repro.traces.citysee import CitySeeProfile, citysee_cache_paths
 from repro.traces.testbed import TestbedScenario, testbed_cache_paths
@@ -65,7 +67,22 @@ class TestbedJob:
         )
 
 
-JobSpec = Union[CitySeeJob, TestbedJob]
+@dataclass(frozen=True)
+class ChaosJob:
+    """One chaos-scenario run (:mod:`repro.chaos`).
+
+    The scenario spec is carried whole: it is a frozen dataclass of frozen
+    parts (profile, fault primitives, tuples), so the job stays hashable
+    and picklable, and its canonical JSON keys the cache entry.
+    """
+
+    scenario: ChaosScenario
+
+    def describe(self) -> str:
+        return self.scenario.describe()
+
+
+JobSpec = Union[CitySeeJob, TestbedJob, ChaosJob]
 
 
 def job_cache_path(job: JobSpec, cache_dir: Optional[Path] = None) -> Path:
@@ -86,6 +103,9 @@ def job_cache_path(job: JobSpec, cache_dir: Optional[Path] = None) -> Path:
             job.report_period_s, job.rows, job.cols, job.spacing_m,
             cache_dir,
         )
+    if isinstance(job, ChaosJob):
+        npz_path, _jsonl = chaos_cache_paths(job.scenario, cache_dir)
+        return npz_path
     raise TypeError(f"unknown job spec {type(job).__name__}")
 
 
@@ -130,6 +150,20 @@ def citysee_study_jobs(
             episode=True,
             episode_days=episode_days,
         ),
+    ]
+
+
+def chaos_preset_jobs(
+    names: Optional[Sequence[str]] = None,
+    seed: int = 2011,
+    scale: str = "tiny",
+) -> List[ChaosJob]:
+    """One job per named chaos preset (default: the whole library)."""
+    from repro.chaos.presets import PRESET_NAMES, build_preset
+
+    return [
+        ChaosJob(build_preset(name, seed=seed, scale=scale))
+        for name in (names if names is not None else PRESET_NAMES)
     ]
 
 

@@ -24,12 +24,34 @@ TrafficBurst       Extra self-traffic: queue pressure, overflow drops,
 BatteryDrain       Accelerated energy use: voltage sags, radio-on time
                    grows; eventual node death.
 =================  =========================================================
+
+The chaos engine (:mod:`repro.chaos`) layers seven more field-realistic
+primitives on the same duck-typed ``install(network)`` protocol:
+
+=======================  ===================================================
+Fault                    Expected signature
+=======================  ===================================================
+CorrelatedInterference   Several noise regions flaring in lock-step bursts:
+                         synchronized contention/noise across distant disks.
+BatteryBrownout          Voltage sag -> recover -> sag under load phases;
+                         low-voltage readings without (necessarily) death.
+ClockSkew                Extra crystal drift: reports arrive too fast/slow,
+                         inter-report spacing shifts.
+FirmwareSkew             Nodes report only a metric subset; the sink fills
+                         the rest, so onset shows one neighbor-table jump.
+DutyCycle                Periodic sleep/wake with state kept: report gaps,
+                         parent churn on wake, but no counter cliffs.
+NodeMove                 Relocation: RSSI/ETX discontinuity, neighbor-set
+                         turnover, parent changes.
+GatewayFailure           A gateway sink dies (and maybe recovers): its
+                         subtree sees NOACKs, churns to another gateway.
+=======================  ===================================================
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.simnet.environment import NoiseRegion
 from repro.simnet.network import Network
@@ -160,7 +182,8 @@ class TrafficBurst:
                 from repro.metrics.packets import snapshot_to_packets
 
                 c1, _c2, _c3 = snapshot_to_packets(
-                    node.node_id, node.epoch, now, snapshot
+                    node.node_id, node.epoch, now, snapshot,
+                    metrics=node.report_metrics,
                 )
                 network.stats.packets_generated += 1
                 node.forwarding.submit_self_report(c1, now)
@@ -198,11 +221,286 @@ class BatteryDrain:
         )
 
 
+# ----------------------------------------------------------------------
+# chaos-engine primitives (field-realistic hazards beyond Table I's mix)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CorrelatedInterference:
+    """Noise regions around several centers flaring in synchronized bursts.
+
+    One :class:`NoiseRegion` is created per (center, burst) pair, so
+    spatially distant disks light up and die down *together* — the
+    correlated-noise regime a single :class:`Interference` disk cannot
+    express.  One ground-truth event per burst, covering the union of
+    affected nodes.
+    """
+
+    centers: Tuple[Tuple[float, float], ...]
+    radius: float
+    bursts: Tuple[Tuple[float, float], ...]  # (start, end) windows
+    delta_db: float = 15.0
+
+    def install(self, network: Network) -> None:
+        affected = tuple(
+            sorted(
+                nid
+                for nid, pos in network.topology.positions.items()
+                if any(
+                    (pos[0] - cx) ** 2 + (pos[1] - cy) ** 2 <= self.radius**2
+                    for cx, cy in self.centers
+                )
+            )
+        )
+        for start, end in self.bursts:
+            for center in self.centers:
+                network.environment.add_noise_region(
+                    NoiseRegion(tuple(center), self.radius, start, end, self.delta_db)
+                )
+            network.record_ground_truth(
+                "correlated_interference", affected, start, end
+            )
+
+
+@dataclass(frozen=True)
+class BatteryBrownout:
+    """Voltage sag -> recover -> sag phases on one node during [start, end).
+
+    The span is split into ``2 * sags - 1`` equal segments alternating
+    *sag* (supply droop of ``sag_v`` volts plus ``multiplier``-accelerated
+    drain) and *recover* (normal).  The droop is reversible and does not by
+    itself kill the node (see :class:`repro.simnet.hardware.Battery`),
+    though the accelerated drain still burns real charge.
+    """
+
+    node_id: int
+    start: float
+    end: float
+    sag_v: float = 0.12
+    multiplier: float = 25.0
+    sags: int = 2
+
+    def install(self, network: Network) -> None:
+        if self.sags < 1:
+            raise ValueError("BatteryBrownout needs at least one sag phase")
+        node = network.nodes[self.node_id]
+        battery = node.hardware.battery
+
+        def sag() -> None:
+            battery.brownout_v = self.sag_v
+            battery.drain_multiplier = self.multiplier
+
+        def recover() -> None:
+            battery.brownout_v = 0.0
+            battery.drain_multiplier = 1.0
+
+        n_segments = 2 * self.sags - 1
+        seg = (self.end - self.start) / n_segments
+        for k in range(n_segments):
+            at = self.start + k * seg
+            network.sim.schedule_at(at, sag if k % 2 == 0 else recover)
+        network.sim.schedule_at(self.end, recover)
+        network.record_ground_truth(
+            "battery_brownout", (self.node_id,), self.start, self.end
+        )
+
+
+@dataclass(frozen=True)
+class ClockSkew:
+    """Extra crystal drift on one node during [start, end).
+
+    ``extra_ppm`` adds to the temperature model's drift, so the node's
+    report timer genuinely runs fast (negative ppm) or slow (positive).
+    The offset lives on the node's own :class:`~repro.simnet.hardware.Hardware`
+    — the shared :class:`~repro.simnet.hardware.ClockParams` is untouched.
+    """
+
+    node_id: int
+    start: float
+    end: float
+    #: Physically absurd but diagnostically honest: Table I's "too
+    #: fast / too slow" needs the reporting cadence (and with it every
+    #: per-epoch counter delta) visibly shifted within a scaled run.
+    extra_ppm: float = 200000.0  # +20% period (reports arrive slow)
+
+    def install(self, network: Network) -> None:
+        hardware = network.nodes[self.node_id].hardware
+
+        def begin() -> None:
+            hardware.skew_extra_ppm = self.extra_ppm
+
+        def finish() -> None:
+            hardware.skew_extra_ppm = 0.0
+
+        network.sim.schedule_at(self.start, begin)
+        network.sim.schedule_at(self.end, finish)
+        network.record_ground_truth(
+            "clock_skew", (self.node_id,), self.start, self.end
+        )
+
+
+@dataclass(frozen=True)
+class FirmwareSkew:
+    """Nodes downgrade to firmware reporting only a metric subset.
+
+    From ``start`` to ``end`` the listed nodes pack only ``metrics`` into
+    their report packets (all three packet classes are still emitted); the
+    sink fills the gaps with
+    :data:`repro.metrics.packets.MISSING_METRIC_FILL`, so the onset shows
+    as a single neighbor-table jump, then the filled slots hold constant.
+    """
+
+    node_ids: Tuple[int, ...]
+    metrics: Tuple[str, ...]
+    start: float
+    end: float
+
+    def install(self, network: Network) -> None:
+        from repro.metrics.catalog import METRIC_INDEX
+
+        unknown = set(self.metrics) - set(METRIC_INDEX)
+        if unknown:
+            raise ValueError(f"FirmwareSkew names unknown metrics {sorted(unknown)}")
+        subset = tuple(self.metrics)
+        for node_id in self.node_ids:
+            node = network.nodes[node_id]
+
+            def downgrade(node=node) -> None:
+                node.report_metrics = subset
+
+            def upgrade(node=node) -> None:
+                node.report_metrics = None
+
+            network.sim.schedule_at(self.start, downgrade)
+            network.sim.schedule_at(self.end, upgrade)
+        network.record_ground_truth(
+            "firmware_skew", tuple(self.node_ids), self.start, self.end
+        )
+
+
+@dataclass(frozen=True)
+class DutyCycle:
+    """Periodic sleep/wake on one node during [start, end).
+
+    Each ``period_s`` cycle the node is awake for ``on_fraction`` of the
+    period and asleep (radio off, timers inert, *state kept*) for the
+    rest.  The node is always woken at ``end``.  A node that died while
+    asleep (e.g. a concurrent failure fault) stays down —
+    :meth:`~repro.simnet.node.Node.wake` only reverses sleep.
+    """
+
+    node_id: int
+    start: float
+    end: float
+    period_s: float = 1800.0
+    on_fraction: float = 0.5
+
+    def install(self, network: Network) -> None:
+        if not 0.0 < self.on_fraction < 1.0:
+            raise ValueError("on_fraction must be in (0, 1)")
+        if self.period_s <= 0.0:
+            raise ValueError("period_s must be positive")
+        node = network.nodes[self.node_id]
+        off_s = self.period_s * (1.0 - self.on_fraction)
+        t = self.start
+        while t < self.end:
+            network.sim.schedule_at(t, node.sleep)
+            network.sim.schedule_at(min(t + off_s, self.end), node.wake)
+            t += self.period_s
+        network.record_ground_truth(
+            "duty_cycle", (self.node_id,), self.start, self.end
+        )
+
+
+@dataclass(frozen=True)
+class NodeMove:
+    """Relocate a node at ``at`` (mobile deployments).
+
+    Links touching the node are rebuilt with fresh distances/shadowing and
+    its sensors start sampling the new spot — neighbors see it "reappear"
+    somewhere else.
+    """
+
+    node_id: int
+    at: float
+    to: Tuple[float, float]
+
+    def install(self, network: Network) -> None:
+        network.sim.schedule_at(
+            self.at, lambda: network.move_node(self.node_id, self.to)
+        )
+        network.record_ground_truth("node_move", (self.node_id,), self.at, self.at)
+
+
+@dataclass(frozen=True)
+class GatewayFailure:
+    """A gateway sink dies at ``at`` (and optionally recovers).
+
+    Requires the network to have been built with the node as a sink
+    (``topology.sink_id`` or ``NetworkConfig.gateway_ids``).  Failover is
+    emergent: the dead gateway stops acking, its subtree NOACK-churns to
+    paths toward a surviving gateway.  The ground-truth node list covers
+    the gateway *and its radio neighborhood* — the nodes whose metrics
+    actually move.
+    """
+
+    gateway_id: int
+    at: float
+    recover_at: Optional[float] = None
+
+    def install(self, network: Network) -> None:
+        node = network.nodes[self.gateway_id]
+        if not node.is_sink:
+            raise ValueError(
+                f"node {self.gateway_id} is not a sink/gateway of this network"
+            )
+        network.sim.schedule_at(self.at, node.die)
+        if self.recover_at is not None:
+            if self.recover_at <= self.at:
+                raise ValueError("recover_at must be after at")
+            network.sim.schedule_at(self.recover_at, node.reboot)
+        affected = (self.gateway_id, *sorted(network.medium.neighbors(self.gateway_id)))
+        network.record_ground_truth(
+            "gateway_failover",
+            affected,
+            self.at,
+            self.recover_at if self.recover_at is not None else self.at,
+        )
+
+
 Fault = object  # any of the dataclasses above (duck-typed on .install)
 
 
+class FaultConflictError(ValueError):
+    """Two faults demand contradictory node state at the same instant."""
+
+
+def _lifecycle_points(fault: Fault) -> List[Tuple[int, float, str]]:
+    """(node_id, time, action) for each instantaneous lifecycle change."""
+    if isinstance(fault, NodeFailure):
+        return [(fault.node_id, fault.at, "die")]
+    if isinstance(fault, NodeReboot):
+        return [(fault.node_id, fault.at, "reboot")]
+    if isinstance(fault, GatewayFailure):
+        points = [(fault.gateway_id, fault.at, "die")]
+        if fault.recover_at is not None:
+            points.append((fault.gateway_id, fault.recover_at, "reboot"))
+        return points
+    return []
+
+
 class FaultInjector:
-    """Installs a declarative fault schedule into a network."""
+    """Installs a declarative fault schedule into a network.
+
+    Lifecycle faults (failure/reboot/gateway failure) targeting the *same
+    node at the same instant* are rejected with
+    :class:`FaultConflictError` at install time: the simulator's event
+    queue breaks time ties by insertion order, so e.g. a ``NodeFailure``
+    and a ``NodeReboot`` at the identical tick would silently resolve to
+    whichever was listed last.  At distinct times ordering is well-defined
+    and any combination is allowed.
+    """
 
     def __init__(self, faults: Optional[Sequence[Fault]] = None):
         self.faults: List[Fault] = list(faults or [])
@@ -212,7 +510,28 @@ class FaultInjector:
         self.faults.append(fault)
         return self
 
+    def check_conflicts(self) -> None:
+        """Raise :class:`FaultConflictError` on same-node same-tick clashes."""
+        seen: Dict[Tuple[int, float], Tuple[str, Fault]] = {}
+        for fault in self.faults:
+            for node_id, at, action in _lifecycle_points(fault):
+                key = (node_id, at)
+                if key in seen:
+                    other_action, other = seen[key]
+                    raise FaultConflictError(
+                        f"conflicting faults on node {node_id} at t={at:g}: "
+                        f"{type(other).__name__} ({other_action}) vs "
+                        f"{type(fault).__name__} ({action}); outcome would "
+                        "depend on schedule insertion order"
+                    )
+                seen[key] = (action, fault)
+
     def install(self, network: Network) -> None:
-        """Schedule every fault on the network's simulator."""
+        """Schedule every fault on the network's simulator.
+
+        Raises:
+            FaultConflictError: See :meth:`check_conflicts`.
+        """
+        self.check_conflicts()
         for fault in self.faults:
             fault.install(network)

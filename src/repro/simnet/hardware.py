@@ -69,6 +69,12 @@ class Battery:
         self.capacity_j = params.battery_capacity_j
         self.used_j = (1.0 - initial_fraction) * self.capacity_j
         self.drain_multiplier = 1.0
+        #: Load-induced supply droop (V), injected by brown-out faults.
+        #: Unlike depletion it is reversible, and it is deliberately kept out
+        #: of :meth:`is_dead` so a sagging node limps instead of dying — the
+        #: *reported* voltage dips, which is what the Ψ "low voltage"
+        #: signature keys on.
+        self.brownout_v = 0.0
 
     def consume(self, joules: float) -> None:
         """Drain ``joules`` (scaled by any fault-injected drain multiplier)."""
@@ -83,7 +89,7 @@ class Battery:
         d = self.depletion()
         # Slightly convex discharge: flat at first, sagging near empty.
         v = self.V_FULL - (self.V_FULL - self.V_EMPTY) * (d ** 1.5)
-        return v + float(self._rng.normal(0.0, 0.004))
+        return v - self.brownout_v + float(self._rng.normal(0.0, 0.004))
 
     def is_dead(self) -> bool:
         """True once the voltage (noise-free) is below the 2.8 V cutoff."""
@@ -95,6 +101,7 @@ class Battery:
         """Reset to a full battery (battery swap on reboot)."""
         self.used_j = 0.0
         self.drain_multiplier = 1.0
+        self.brownout_v = 0.0
 
 
 class Hardware:
@@ -112,6 +119,10 @@ class Hardware:
         self.battery = Battery(energy, rng, initial_battery_fraction)
         self.radio_on_time = 0.0
         self._last_idle_accrual = 0.0
+        #: Fault-injected extra drift (ppm).  Lives on the *hardware*, not on
+        #: :class:`ClockParams` — the params object is shared by every node
+        #: of a network, so a per-node clock-skew fault must not touch it.
+        self.skew_extra_ppm = 0.0
 
     # -- energy events ---------------------------------------------------
 
@@ -144,7 +155,9 @@ class Hardware:
         """
         p = self.clock_params
         drift_ppm = p.base_ppm + p.curvature_ppm * (temperature_c - p.turnover_c) ** 2
-        return 1.0 + drift_ppm * 1e-6
+        # Floor far below any physical drift: keeps the report period
+        # positive even under absurd fault-injected negative offsets.
+        return max(0.05, 1.0 + (drift_ppm + self.skew_extra_ppm) * 1e-6)
 
     # -- lifecycle -------------------------------------------------------
 
@@ -152,5 +165,10 @@ class Hardware:
         """Reset volatile hardware state (radio-on time restarts at zero)."""
         self.radio_on_time = 0.0
         self._last_idle_accrual = now
+        self.skew_extra_ppm = 0.0
         if fresh_battery:
             self.battery.recharge()
+
+    def resume_idle(self, now: float) -> None:
+        """Restart idle accounting at ``now`` (radio was off while asleep)."""
+        self._last_idle_accrual = now

@@ -151,6 +151,38 @@ class Medium:
                     b, a, distance, common + asym_ba, self.params, self._rng
                 )
 
+    def rebuild_links_for(self, node_id: int) -> None:
+        """Recompute every link touching ``node_id`` after a relocation.
+
+        Pairs now out of range are dropped; pairs still (or newly) in range
+        get fresh distance and shadowing.  Re-drawing shadowing even for
+        surviving pairs is intentional — a moved node sees a new multipath
+        environment.  Peers are visited in ascending id order so the rng
+        draw sequence is a pure function of the call, keeping runs
+        bit-reproducible.
+        """
+        positions = self.topology.positions
+        if node_id not in positions:
+            raise KeyError(f"unknown node {node_id}")
+        for key in [k for k in self._links if node_id in k]:
+            del self._links[key]
+        for other in sorted(positions):
+            if other == node_id:
+                continue
+            distance = self.topology.distance(node_id, other)
+            if distance > self.max_range:
+                continue
+            common = float(self._rng.normal(0.0, self.params.shadowing_sigma_db))
+            asym_ab = float(self._rng.normal(0.0, 0.8))
+            asym_ba = float(self._rng.normal(0.0, 0.8))
+            a, b = node_id, other
+            self._links[(a, b)] = Link(
+                a, b, distance, common + asym_ab, self.params, self._rng
+            )
+            self._links[(b, a)] = Link(
+                b, a, distance, common + asym_ba, self.params, self._rng
+            )
+
     def link(self, src: int, dst: int) -> Optional[Link]:
         """The directed link src -> dst, or ``None`` if out of range."""
         return self._links.get((src, dst))

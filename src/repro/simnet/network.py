@@ -56,6 +56,12 @@ class NetworkConfig:
     max_range_m: float = 150.0
     day_seconds: float = 86400.0
     seed: int = 0
+    #: Extra sink nodes beyond ``topology.sink_id`` (multi-gateway
+    #: deployments).  Every gateway delivers into the same shared
+    #: :class:`~repro.metrics.collector.SinkCollector`, and CTP failover
+    #: between gateways is emergent: sinks advertise path-ETX 0, so when
+    #: one gateway dies its subtree re-routes to the next-cheapest one.
+    gateway_ids: Tuple[int, ...] = ()
     radio: RadioParams = field(default_factory=RadioParams)
     mac: MacParams = field(default_factory=MacParams)
     energy: EnergyParams = field(default_factory=EnergyParams)
@@ -116,11 +122,15 @@ class Network:
             nid: self.medium.neighbors(nid) for nid in topology.node_ids
         }
 
+        unknown_gateways = set(self.config.gateway_ids) - set(topology.node_ids)
+        if unknown_gateways:
+            raise ValueError(
+                f"gateway_ids {sorted(unknown_gateways)} not in topology"
+            )
+        sink_ids = {topology.sink_id, *self.config.gateway_ids}
         self.nodes: Dict[int, Node] = {}
         for node_id in topology.node_ids:
-            self.nodes[node_id] = Node(
-                node_id, self, is_sink=(node_id == topology.sink_id)
-            )
+            self.nodes[node_id] = Node(node_id, self, is_sink=node_id in sink_ids)
 
         self._started = False
 
@@ -130,8 +140,13 @@ class Network:
 
     @property
     def sink(self) -> Node:
-        """The sink node."""
+        """The primary sink node."""
         return self.nodes[self.topology.sink_id]
+
+    @property
+    def sink_ids(self) -> List[int]:
+        """All sink/gateway node ids, ascending (primary sink included)."""
+        return sorted({self.topology.sink_id, *self.config.gateway_ids})
 
     def start(self) -> None:
         """Arm every node's timers (idempotent)."""
@@ -156,6 +171,24 @@ class Network:
     ) -> None:
         """Append an event to the ground-truth log."""
         self.ground_truth.append(GroundTruthEvent(kind, node_ids, start, end))
+
+    def move_node(self, node_id: int, position: Tuple[float, float]) -> None:
+        """Relocate a node (mobile deployments): links and caches follow.
+
+        The medium rebuilds every link touching the node (new distances,
+        freshly drawn shadowing for newly in-range pairs) and the
+        neighbor/activity caches are refreshed.  Deterministic: the event
+        loop is single-threaded and shadowing draws come off the medium's
+        own named stream in sorted-peer order.
+        """
+        if node_id not in self.nodes:
+            raise KeyError(f"unknown node {node_id}")
+        self.topology.positions[node_id] = (float(position[0]), float(position[1]))
+        self.medium.rebuild_links_for(node_id)
+        self.nodes[node_id].sensors.set_position(self.topology.positions[node_id])
+        self._neighbor_cache = {
+            nid: self.medium.neighbors(nid) for nid in self.topology.node_ids
+        }
 
     # ------------------------------------------------------------------
     # radio primitives

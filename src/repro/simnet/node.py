@@ -17,7 +17,7 @@ network and continues when the completion callback fires.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
@@ -97,6 +97,13 @@ class Node:
         self._service_scheduled = False
         self._started = False
         self._gen = 0
+        self._sleeping = False
+        #: Firmware reporting subset: metric names this node's firmware
+        #: packs into its report packets (``None`` = the full 43-metric
+        #: catalog).  Old-firmware nodes still emit all three packet
+        #: classes, just with fewer fields; the sink fills the gaps
+        #: (see :func:`repro.metrics.packets.merge_packets`).
+        self.report_metrics: Optional[Tuple[str, ...]] = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -141,12 +148,50 @@ class Node:
         """Hard failure: the node goes silent (radio off, timers inert)."""
         self.alive = False
         self._busy = False
+        self._sleeping = False
         self._gen += 1  # invalidate any armed timers
+
+    def sleep(self) -> None:
+        """Duty-cycle off: radio off and timers inert, but state *kept*.
+
+        Unlike :meth:`die`/:meth:`reboot`, counters, neighbor tables and the
+        send queue survive — a duty-cycled node resumes where it left off,
+        so its deltas stay sane (no reboot-style counter cliffs).
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self._busy = False
+        self._service_scheduled = False
+        self._sleeping = True
+        self._gen += 1  # invalidate any armed timers
+
+    def wake(self) -> None:
+        """Resume from :meth:`sleep`; a no-op unless actually sleeping.
+
+        A node that *died* while scheduled to wake (battery death, a
+        concurrent failure fault) stays down — only duty-cycle sleep is
+        reversible here.
+        """
+        if not self._sleeping:
+            return
+        now = self.network.sim.now()
+        self._sleeping = False
+        self.alive = True
+        self.hardware.resume_idle(now)  # radio was off: no idle burn accrues
+        config = self.network.config
+        self._arm_timers(
+            beacon_delay=(0.1, 2.0),
+            report_delay=(0.5, max(1.0, config.report_period_s * 0.25)),
+            maintenance_delay=(0.5, config.maintenance_period_s),
+        )
+        self.schedule_service()
 
     def reboot(self, fresh_battery: bool = True) -> None:
         """Restart the node: counters, tables and queues reset to zero."""
         now = self.network.sim.now()
         self.alive = True
+        self._sleeping = False
         self.counters.reset()
         self.hardware.reboot(now, fresh_battery=fresh_battery)
         self.estimator.clear()
@@ -203,7 +248,9 @@ class Node:
         sim = self.network.sim
         now = sim.now()
         snapshot = self.build_snapshot(now)
-        packets = snapshot_to_packets(self.node_id, self.epoch, now, snapshot)
+        packets = snapshot_to_packets(
+            self.node_id, self.epoch, now, snapshot, metrics=self.report_metrics
+        )
         self.epoch += 1
         self.network.stats.packets_generated += len(packets)
         for packet in packets:

@@ -62,3 +62,7 @@ class SensorSuite:
     def ambient_temperature(self, time: float) -> float:
         """Temperature without calibration offset (drives clock skew)."""
         return self._environment.temperature(time, self._position)
+
+    def set_position(self, position: Tuple[float, float]) -> None:
+        """Follow a node relocation: future readings sample the new spot."""
+        self._position = position

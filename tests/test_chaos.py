@@ -1,0 +1,445 @@
+"""Chaos engine tests: DSL round-trip, fault behaviour, preset contracts.
+
+Four layers:
+
+* **DSL** — hypothesis round-trip of scenarios through their dict/JSON
+  form, cache-key stability, static validation.
+* **Fault primitives** — each new chaos hazard leaves its intended mark on
+  a small grid network (same harness as ``test_faults``).
+* **Presets** — every preset is a pure function of ``(name, seed, scale)``,
+  runs serial-vs-parallel bit-identically through the runner, and
+  ``citysee-mix`` is column-for-column the plain CitySee generator.
+* **Scorecard** — per-family rows, episode detection and gate checks.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.scorecard import FamilyScore, score_scenario_frame
+from repro.chaos import (
+    PRESET_NAMES,
+    ChaosScenario,
+    build_preset,
+    fault_from_dict,
+    fault_to_dict,
+    generate_chaos_frame,
+    validate_scenario,
+)
+from repro.runner import chaos_preset_jobs, run_jobs
+from repro.simnet.faults import (
+    BatteryBrownout,
+    ClockSkew,
+    CorrelatedInterference,
+    DutyCycle,
+    FaultInjector,
+    FirmwareSkew,
+    GatewayFailure,
+    NodeFailure,
+    NodeMove,
+)
+from repro.simnet.network import Network, NetworkConfig
+from repro.simnet.radio import RadioParams
+from repro.simnet.topology import grid_topology
+from repro.traces.citysee import CitySeeProfile, generate_citysee_frame
+from tests.test_runner_differential import assert_columns_equal
+
+N_TEST_JOBS = int(os.environ.get("VN2_TEST_JOBS", "4"))
+
+
+# ----------------------------------------------------------------------
+# DSL round-trip (hypothesis)
+# ----------------------------------------------------------------------
+
+_times = st.floats(
+    min_value=0.0, max_value=2e5, allow_nan=False, allow_infinity=False
+)
+_coords = st.tuples(
+    st.floats(min_value=0.0, max_value=800.0, allow_nan=False),
+    st.floats(min_value=0.0, max_value=800.0, allow_nan=False),
+)
+_node_ids = st.integers(min_value=1, max_value=29)
+_windows = st.tuples(_times, _times).map(sorted).map(tuple).filter(
+    lambda w: w[0] < w[1]
+)
+
+_fault_specs = st.one_of(
+    st.builds(NodeFailure, node_id=_node_ids, at=_times),
+    st.builds(
+        ClockSkew,
+        node_id=_node_ids,
+        start=_times,
+        end=_times,
+        extra_ppm=st.floats(min_value=-4e5, max_value=4e5, allow_nan=False),
+    ),
+    st.builds(
+        BatteryBrownout,
+        node_id=_node_ids,
+        start=_times,
+        end=_times,
+        sag_v=st.floats(min_value=0.01, max_value=0.3, allow_nan=False),
+        sags=st.integers(min_value=1, max_value=4),
+    ),
+    st.builds(
+        CorrelatedInterference,
+        centers=st.lists(_coords, min_size=1, max_size=3).map(tuple),
+        radius=st.floats(min_value=1.0, max_value=300.0, allow_nan=False),
+        bursts=st.lists(_windows, min_size=1, max_size=3).map(tuple),
+    ),
+    st.builds(
+        FirmwareSkew,
+        node_ids=st.lists(_node_ids, min_size=1, max_size=4, unique=True).map(tuple),
+        metrics=st.sampled_from(
+            [("temperature", "voltage"), ("neighbor_num", "rssi_1", "etx_1")]
+        ),
+        start=_times,
+        end=_times,
+    ),
+    st.builds(
+        DutyCycle,
+        node_id=_node_ids,
+        start=_times,
+        end=_times,
+        period_s=st.floats(min_value=60.0, max_value=7200.0, allow_nan=False),
+        on_fraction=st.floats(min_value=0.1, max_value=0.9, allow_nan=False),
+    ),
+    st.builds(NodeMove, node_id=_node_ids, at=_times, to=_coords),
+    st.builds(
+        GatewayFailure,
+        gateway_id=_node_ids,
+        at=_times,
+        recover_at=st.one_of(st.none(), _times),
+    ),
+)
+
+
+@st.composite
+def _scenarios(draw) -> ChaosScenario:
+    return ChaosScenario(
+        name=draw(st.sampled_from(["s1", "chaos-x", "mixed_bag"])),
+        profile=CitySeeProfile.tiny(seed=draw(st.integers(0, 2**31 - 1))),
+        background=draw(st.booleans()),
+        episode=draw(st.booleans()),
+        episode_days=draw(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=3.0, allow_nan=False),
+                st.floats(min_value=3.0, max_value=8.0, allow_nan=False),
+            )
+        ),
+        faults=tuple(draw(st.lists(_fault_specs, max_size=4))),
+        gateway_ids=tuple(
+            draw(st.lists(_node_ids, max_size=2, unique=True))
+        ),
+    )
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(scenario=_scenarios())
+def test_scenario_roundtrips_through_json(scenario):
+    payload = json.loads(json.dumps(scenario.to_dict()))
+    restored = ChaosScenario.from_dict(payload)
+    assert restored == scenario
+    assert restored.cache_key() == scenario.cache_key()
+    assert restored.canonical_json() == scenario.canonical_json()
+
+
+@settings(max_examples=40, deadline=None)
+@given(fault=_fault_specs)
+def test_fault_roundtrips_through_dict(fault):
+    assert fault_from_dict(fault_to_dict(fault)) == fault
+
+
+def test_fault_from_dict_rejects_junk():
+    with pytest.raises(ValueError, match="unknown fault type"):
+        fault_from_dict({"type": "gremlins", "node_id": 3})
+    with pytest.raises(ValueError, match="bad node_failure spec"):
+        fault_from_dict({"type": "node_failure", "nonsense": 1})
+
+
+def test_cache_key_tracks_content():
+    base = build_preset("clock-storm", seed=7, scale="tiny")
+    again = build_preset("clock-storm", seed=7, scale="tiny")
+    other_seed = build_preset("clock-storm", seed=8, scale="tiny")
+    assert base.cache_key() == again.cache_key()
+    assert base.cache_key() != other_seed.cache_key()
+
+
+def test_validate_scenario_flags_static_problems():
+    profile = CitySeeProfile.tiny(seed=7)
+    bad = ChaosScenario(
+        name="bad",
+        profile=profile,
+        faults=(
+            ClockSkew(node_id=3, start=profile.duration_s() + 10.0,
+                      end=profile.duration_s() + 20.0),
+            BatteryBrownout(node_id=4, start=500.0, end=400.0),
+            GatewayFailure(gateway_id=17, at=600.0),
+        ),
+    )
+    problems = validate_scenario(bad)
+    assert len(problems) == 3
+    assert any("outside" in p for p in problems)
+    assert any("empty" in p for p in problems)
+    assert any("gateway" in p for p in problems)
+    assert validate_scenario(build_preset("flaky-field", seed=7, scale="tiny")) == []
+    with pytest.raises(ValueError, match="invalid scenario"):
+        generate_chaos_frame(bad, use_cache=False)
+
+
+# ----------------------------------------------------------------------
+# fault primitive behaviour (small grid harness, as in test_faults)
+# ----------------------------------------------------------------------
+
+
+def fresh_network(seed=3, **config):
+    topo = grid_topology(rows=5, cols=5, spacing=9.0)
+    return Network(topo, NetworkConfig(
+        report_period_s=120.0, beacon_min_s=10.0, beacon_max_s=120.0,
+        seed=seed, radio=RadioParams(tx_power_dbm=-10.0), max_range_m=40.0,
+        **config,
+    ))
+
+
+def test_battery_brownout_sags_and_recovers():
+    net = fresh_network()
+    FaultInjector([
+        BatteryBrownout(12, start=600.0, end=1200.0, sag_v=0.15, sags=2),
+    ]).install(net)
+    battery = net.nodes[12].hardware.battery
+    net.run_until(700.0)  # first sag segment [600, 800)
+    assert battery.brownout_v == pytest.approx(0.15)
+    assert battery.drain_multiplier > 1.0
+    assert not battery.is_dead()  # droop alone must not kill the node
+    net.run_until(900.0)  # recover segment [800, 1000)
+    assert battery.brownout_v == 0.0
+    net.run_until(1100.0)  # second sag segment [1000, 1200)
+    assert battery.brownout_v == pytest.approx(0.15)
+    net.run_until(1400.0)  # past end: fully recovered
+    assert battery.brownout_v == 0.0
+    assert battery.drain_multiplier == 1.0
+    assert [g.kind for g in net.ground_truth] == ["battery_brownout"]
+
+
+def test_clock_skew_changes_report_cadence():
+    baseline = fresh_network()
+    baseline.run(3600.0)
+    skewed = fresh_network()
+    FaultInjector([
+        ClockSkew(12, start=600.0, end=3600.0, extra_ppm=500000.0),
+    ]).install(skewed)
+    skewed.run(3600.0)
+    # +50% period from t=600 -> visibly fewer self reports than baseline.
+    n_base = baseline.nodes[12].counters.self_transmit_counter
+    n_skew = skewed.nodes[12].counters.self_transmit_counter
+    assert n_skew < n_base
+    assert skewed.nodes[12].hardware.skew_extra_ppm == 0.0  # cleared at end
+
+
+def test_clock_skew_floor_keeps_period_positive():
+    net = fresh_network()
+    hw = net.nodes[12].hardware
+    hw.skew_extra_ppm = -5e6  # absurd negative drift
+    assert hw.clock_skew(25.0) > 0.0
+
+
+def test_duty_cycle_sleeps_then_wakes_with_state_kept():
+    net = fresh_network()
+    FaultInjector([
+        DutyCycle(12, start=600.0, end=1800.0, period_s=600.0, on_fraction=0.5),
+    ]).install(net)
+    net.run_until(750.0)  # inside first off-phase [600, 900)
+    node = net.nodes[12]
+    assert not node.alive
+    tx_asleep = node.counters.transmit_counter
+    net.run_until(1100.0)  # awake phase [900, 1200)
+    assert node.alive
+    net.run_until(2400.0)  # past end: awake for good
+    assert node.alive
+    # sleep keeps state: counters accumulate across naps instead of resetting
+    assert node.counters.transmit_counter > tx_asleep
+    assert node.counters.self_transmit_counter > 0
+
+
+def test_firmware_skew_narrows_then_restores_reported_metrics():
+    full_set = None
+    net = fresh_network()
+    subset = ("temperature", "voltage", "neighbor_num", "transmit_counter")
+    FaultInjector([
+        FirmwareSkew((12,), metrics=subset, start=600.0, end=1800.0),
+    ]).install(net)
+    net.run_until(550.0)
+    full_set = net.collector.metrics_reported.get(12)
+    assert full_set and len(full_set) > len(subset)
+    net.run_until(1700.0)  # well inside the window: only the subset arrives
+    assert net.collector.metrics_reported[12] == tuple(sorted(subset))
+    net.run_until(2800.0)  # upgraded again
+    assert net.collector.metrics_reported[12] == full_set
+
+
+def test_firmware_skew_rejects_unknown_metric_names():
+    net = fresh_network()
+    with pytest.raises(ValueError, match="unknown metrics"):
+        FaultInjector([
+            FirmwareSkew((12,), metrics=("bogus_metric",), start=0.0, end=10.0),
+        ]).install(net)
+
+
+def test_gateway_failure_needs_a_sink_and_recovers():
+    net = fresh_network(gateway_ids=(24,))
+    assert net.nodes[24].is_sink
+    assert net.sink_ids == [0, 24]
+    FaultInjector([
+        GatewayFailure(24, at=900.0, recover_at=1800.0),
+    ]).install(net)
+    net.run_until(1200.0)
+    assert not net.nodes[24].alive
+    net.run_until(2400.0)
+    assert net.nodes[24].alive
+    (event,) = net.ground_truth
+    assert event.kind == "gateway_failover"
+    assert event.node_ids[0] == 24 and len(event.node_ids) > 1
+    assert net.collector.packets_received > 0  # traffic survived the outage
+
+    plain = fresh_network()
+    with pytest.raises(ValueError, match="not a sink"):
+        FaultInjector([GatewayFailure(24, at=900.0)]).install(plain)
+
+
+def test_node_move_relocates_and_rebuilds_links():
+    net = fresh_network()
+    assert net.medium.neighbors(12)
+    FaultInjector([NodeMove(12, at=600.0, to=(500.0, 500.0))]).install(net)
+    net.run_until(700.0)
+    assert net.topology.positions[12] == (500.0, 500.0)
+    assert net.medium.neighbors(12) == []  # out of everyone's range now
+    assert [g.kind for g in net.ground_truth] == ["node_move"]
+
+
+def test_correlated_interference_records_one_event_per_burst():
+    net = fresh_network()
+    fault = CorrelatedInterference(
+        centers=((0.0, 0.0), (36.0, 36.0)),
+        radius=10.0,
+        bursts=((600.0, 900.0), (1500.0, 1800.0)),
+    )
+    FaultInjector([fault]).install(net)
+    assert [g.kind for g in net.ground_truth] == [
+        "correlated_interference", "correlated_interference",
+    ]
+    first, second = net.ground_truth
+    assert first.node_ids == second.node_ids  # same disks, each burst
+    # both corners affected, the far-away center column not
+    assert 0 in first.node_ids and 24 in first.node_ids
+    assert 2 not in first.node_ids
+
+
+# ----------------------------------------------------------------------
+# presets through the runner: determinism and bit-identity
+# ----------------------------------------------------------------------
+
+
+def test_presets_are_pure_functions_of_their_arguments():
+    for name in PRESET_NAMES:
+        a = build_preset(name, seed=13, scale="tiny")
+        b = build_preset(name, seed=13, scale="tiny")
+        assert a == b and a.to_dict() == b.to_dict(), name
+        assert validate_scenario(a) == [], name
+
+
+@pytest.fixture(scope="module")
+def preset_reports(tmp_path_factory):
+    """Every tiny preset, run serially and across a process pool."""
+    jobs = chaos_preset_jobs(seed=2011, scale="tiny")
+    base = tmp_path_factory.mktemp("chaos-diff")
+    serial = run_jobs(jobs, n_workers=1, cache_dir=base / "serial")
+    parallel = run_jobs(jobs, n_workers=N_TEST_JOBS, cache_dir=base / "parallel")
+    assert serial.ok and parallel.ok
+    return jobs, serial, parallel
+
+
+def _frame_for(jobs, report, name):
+    for job, result in zip(jobs, report.results):
+        if job.scenario.name == name:
+            return result.frame()
+    raise KeyError(name)
+
+
+def test_every_preset_parallel_bit_identical_to_serial(preset_reports):
+    jobs, serial, parallel = preset_reports
+    assert [j.scenario.name for j in jobs] == list(PRESET_NAMES)
+    for job, s, p in zip(jobs, serial.frames(), parallel.frames()):
+        assert_columns_equal(s, p, job.describe())
+        assert len(s) > 0
+
+
+def test_citysee_mix_is_exactly_the_plain_generator(preset_reports):
+    jobs, serial, _parallel = preset_reports
+    mix = _frame_for(jobs, serial, "citysee-mix")
+    plain = generate_citysee_frame(CitySeeProfile.tiny(seed=2011), use_cache=False)
+    assert_columns_equal(mix, plain, "citysee-mix vs generate_citysee_frame")
+
+
+def test_chaos_frames_carry_their_scenario(preset_reports):
+    jobs, serial, _parallel = preset_reports
+    frame = _frame_for(jobs, serial, "gateway-blackout")
+    assert frame.metadata["kind"] == "chaos"
+    restored = ChaosScenario.from_dict(frame.metadata["scenario"])
+    assert restored == jobs[-1].scenario
+    assert any(g.kind == "gateway_failover" for g in frame.ground_truth)
+
+
+# ----------------------------------------------------------------------
+# scorecard
+# ----------------------------------------------------------------------
+
+
+def test_scorecard_detects_correlated_bursts(preset_reports):
+    jobs, serial, _parallel = preset_reports
+    frame = _frame_for(jobs, serial, "correlated-bursts")
+    card = score_scenario_frame(frame, scenario_name="correlated-bursts")
+    rf = card.family("rf")
+    assert rf.episodes == 3
+    assert rf.detected >= 2
+    assert all(lat >= 0.0 for lat in rf.latencies_s)
+    doc = card.to_json_dict()
+    assert doc["scenario"] == "correlated-bursts"
+    families = {row["family"] for row in doc["families"]}
+    assert "rf" in families
+    assert card.check_gates({"rf": 0.5}) == []
+
+
+def test_scorecard_gate_failures_are_descriptive():
+    card_score = FamilyScore("timing", episodes=5, detected=1)
+    from repro.analysis.scorecard import ChaosScorecard
+
+    card = ChaosScorecard(
+        scenario_name="demo", per_family=[card_score], n_states=10,
+        min_strength=0.2,
+    )
+    failures = card.check_gates({"timing": 0.5, "rf": 0.3})
+    assert len(failures) == 2
+    assert any("timing detection rate 0.20 below floor 0.50" in f
+               for f in failures)
+    assert any("no ground-truth episodes" in f for f in failures)
+    assert card.check_gates({"timing": 0.1}) == []
+
+
+def test_conflicting_lifecycle_faults_rejected_in_scenarios():
+    """The injector's conflict check guards chaos schedules too."""
+    from repro.simnet.faults import FaultConflictError
+
+    net = fresh_network(gateway_ids=(24,))
+    with pytest.raises(FaultConflictError):
+        FaultInjector([
+            NodeFailure(24, at=600.0),
+            GatewayFailure(24, at=600.0),
+        ]).install(net)

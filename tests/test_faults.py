@@ -146,3 +146,29 @@ def test_ground_truth_recorded():
 def test_injector_add_chaining():
     injector = FaultInjector().add(NodeFailure(1, at=1.0)).add(NodeReboot(1, at=2.0))
     assert len(injector.faults) == 2
+
+
+def test_same_node_same_tick_lifecycle_conflict_rejected():
+    """Regression: a failure and a reboot of one node at the identical tick
+    used to resolve silently to whichever was installed last (event-queue
+    insertion order); the injector now refuses the schedule up front."""
+    from repro.simnet.faults import FaultConflictError
+
+    net = fresh_network()
+    injector = FaultInjector([
+        NodeFailure(12, at=600.0),
+        NodeReboot(12, at=600.0),
+    ])
+    with pytest.raises(FaultConflictError, match="node 12 at t=600"):
+        injector.install(net)
+    # nothing was scheduled: the network still runs fault-free
+    net.run(900.0)
+    assert net.nodes[12].alive
+
+
+def test_distinct_ticks_and_distinct_nodes_do_not_conflict():
+    FaultInjector([
+        NodeFailure(12, at=600.0),
+        NodeReboot(12, at=900.0),   # same node, later tick: fine
+        NodeFailure(13, at=600.0),  # same tick, other node: fine
+    ]).check_conflicts()
