@@ -1,0 +1,157 @@
+"""Dashboard overhead: ingest with a live SSE client, paired, under 5%.
+
+The observability-dashboard acceptance gate: with the dashboard enabled
+and one SSE client consuming ``/api/incidents/stream`` during a loadgen
+replay, socket-to-diagnosis ingest throughput must regress less than 5%
+against the identical replay with ``--dashboard`` off.  Rounds alternate
+off/on and the best round per mode is compared (the
+``test_bench_obs_overhead`` idiom), with a small absolute slack so timer
+jitter cannot flip the verdict on fast machines.
+
+The same runs double as the fidelity gate: the event objects served over
+SSE must be bit-identical to what a plain TCP subscriber (``vn2 watch``)
+receives from a dashboard-off sink — the dashboard observes the stream,
+it never alters it.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core.pipeline import VN2, VN2Config
+from repro.service.client import ServiceClient
+from repro.service.loadgen import replay_trace
+from repro.service.server import ServiceConfig, start_service_thread
+
+ROUNDS = 3
+MAX_REGRESSION = 0.05
+ABS_SLACK_PPS = 200.0  # jitter floor: ~2ms of a 5k pkt/s replay
+
+
+@pytest.fixture(scope="module")
+def dashboard_tool(citysee_default_trace):
+    return VN2(VN2Config(rank=20)).fit(citysee_default_trace)
+
+
+def _read_all(sock, chunks):
+    try:
+        while True:
+            data = sock.recv(65536)
+            if not data:
+                return
+            chunks.append(data)
+    except (OSError, ConnectionError):
+        return
+
+
+def _sse_events(chunks):
+    body = b"".join(chunks).partition(b"\r\n\r\n")[2]
+    events = []
+    for block in body.split(b"\n\n"):
+        for line in block.split(b"\n"):
+            if line.startswith(b"data: "):
+                payload = json.loads(line[6:])
+                if payload.get("type") == "event":
+                    events.append(payload["event"])
+    return events
+
+
+def _replay_round(tool, frame, dashboard: bool):
+    """One full replay; returns (throughput_pps, subscriber_events,
+    sse_events or None)."""
+    config = ServiceConfig(port=0, http_port=0, dashboard=dashboard)
+    with start_service_thread(tool, config) as handle:
+        sse_sock = None
+        sse_chunks: list = []
+        sse_thread = None
+        if dashboard:
+            sse_sock = socket.create_connection(
+                ("127.0.0.1", handle.http_port), timeout=10
+            )
+            sse_sock.sendall(
+                b"GET /api/incidents/stream HTTP/1.1\r\nHost: b\r\n\r\n"
+            )
+            sse_thread = threading.Thread(
+                target=_read_all, args=(sse_sock, sse_chunks), daemon=True
+            )
+            sse_thread.start()
+            time.sleep(0.2)
+
+        subscriber = ServiceClient("127.0.0.1", handle.port)
+        subscriber.connect()
+        sub_events: list = []
+
+        def _collect():
+            for event in subscriber.events("bench", timeout=2.0):
+                sub_events.append(event)
+
+        collector = threading.Thread(target=_collect, daemon=True)
+        collector.start()
+        time.sleep(0.2)
+
+        with ServiceClient("127.0.0.1", handle.port) as client:
+            report = replay_trace(client, "bench", frame, batch_size=512)
+        collector.join(timeout=60.0)
+        subscriber.close()
+
+        sse_events = None
+        if dashboard:
+            time.sleep(0.5)  # let the hub flush the tail of the feed
+            sse_sock.shutdown(socket.SHUT_RD)
+            sse_sock.close()
+            sse_thread.join(timeout=10.0)
+            sse_events = _sse_events(sse_chunks)
+    assert report.packets_sent == len(frame)
+    return report.throughput_pps, sub_events, sse_events
+
+
+def test_bench_dashboard_ingest_overhead(dashboard_tool,
+                                         citysee_default_trace):
+    frame = citysee_default_trace
+    off_pps, on_pps = [], []
+    reference_events = None
+    sse_served = None
+    for _ in range(ROUNDS):
+        pps, events, _none = _replay_round(
+            dashboard_tool, frame, dashboard=False
+        )
+        off_pps.append(pps)
+        if reference_events is None:
+            reference_events = events
+        pps, _events, sse_events = _replay_round(
+            dashboard_tool, frame, dashboard=True
+        )
+        on_pps.append(pps)
+        if sse_served is None:
+            sse_served = sse_events
+
+    best_off, best_on = max(off_pps), max(on_pps)
+    ratio = best_on / best_off
+    floor = (1.0 - MAX_REGRESSION) * best_off - ABS_SLACK_PPS
+
+    print("\n=== Dashboard ingest overhead (one live SSE client) ===")
+    print(f"dashboard off: {best_off:,.0f} pkt/s  (rounds "
+          f"{[f'{v:,.0f}' for v in off_pps]})")
+    print(f"dashboard on : {best_on:,.0f} pkt/s  (rounds "
+          f"{[f'{v:,.0f}' for v in on_pps]})")
+    print(f"ratio {ratio:.3f} (floor {floor:,.0f} pkt/s); "
+          f"{len(sse_served)} events served over SSE")
+
+    # Fidelity: SSE serves the exact event objects a dashboard-off
+    # subscriber receives — same JSON, same order.
+    assert reference_events, "replay must emit incident events"
+    assert (
+        [json.dumps(e, sort_keys=True) for e in sse_served]
+        == [json.dumps(e, sort_keys=True) for e in reference_events]
+    )
+
+    # The gate: < 5% ingest regression with the dashboard live.
+    assert best_on >= floor, (
+        f"dashboard-on ingest {best_on:,.0f} pkt/s regresses more than "
+        f"{MAX_REGRESSION:.0%} vs off {best_off:,.0f} pkt/s"
+    )

@@ -315,6 +315,12 @@ async def _serve_async(tool, config, ready_file: Optional[str]) -> int:
         f"(backend: {service.backend.name})",
         flush=True,
     )
+    if config.dashboard:
+        print(
+            f"vn2 serve: dashboard at "
+            f"http://{config.host}:{service.http_port}/dashboard",
+            flush=True,
+        )
     if not await service.backend.wait_ready(timeout=60.0):
         print("vn2 serve: shard workers failed to become healthy",
               flush=True)
@@ -392,8 +398,81 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         refit_every_s=args.refit_every,
         drift_threshold=args.drift_threshold,
         refit_min_states=args.refit_min_states,
+        dashboard=args.dashboard,
+        dashboard_queue=args.dashboard_queue,
     )
     return asyncio.run(_serve_async(tool, config, args.ready_file))
+
+
+def _cmd_dashboard(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.client import http_get_json
+
+    path = "/api/topology"
+    if args.deployment:
+        path += f"?deployment={args.deployment}"
+    try:
+        doc = http_get_json(args.host, args.http_port, path,
+                            timeout=args.timeout)
+    except ConnectionError as exc:
+        print(f"vn2 dashboard: {exc}", file=sys.stderr)
+        print(
+            "hint: is the sink running with --dashboard? "
+            f"(vn2 serve <model> --dashboard --http-port {args.http_port})",
+            file=sys.stderr,
+        )
+        return 1
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    server = doc["server"]
+    print(
+        f"sink: backend={server['backend']} "
+        f"model={server['model_version']} up={server['uptime_s']}s "
+        f"(browser view: http://{args.host}:{args.http_port}/dashboard)"
+    )
+    if not doc["deployments"]:
+        print("no deployments materialized yet")
+        return 0
+    for name, dep in sorted(doc["deployments"].items()):
+        nodes, edges = dep["nodes"], dep["edges"]
+        exceptions = sum(1 for n in nodes if n["exception"])
+        print(
+            f"\ndeployment {name}: {len(nodes)} nodes, "
+            f"{len(edges)} tree edges, {exceptions} in exception, "
+            f"{len(dep['incidents_open'])} open incidents "
+            f"({dep['incidents_closed_total']} closed total)"
+        )
+        hops: dict = {}
+        for n in nodes:
+            hop = "?" if n["hop"] is None else int(round(n["hop"]))
+            hops[hop] = hops.get(hop, 0) + 1
+        ring = "  ".join(
+            f"hop {h}: {hops[h]}"
+            for h in sorted(hops, key=lambda v: (isinstance(v, str), v))
+        )
+        print(f"  rings: {ring}")
+        for inc in dep["incidents_open"]:
+            nodes_s = ",".join(str(i) for i in inc["node_ids"])
+            print(
+                f"  OPEN {inc['hazard']}: nodes [{nodes_s}] "
+                f"peak={inc['peak_strength']:.2f} "
+                f"obs={inc['n_observations']} "
+                f"t={inc['start']:.0f}..{inc['end']:.0f}"
+            )
+        worst = [
+            n for n in nodes
+            if n["hazard"] is not None and not n["exception"]
+        ]
+        for n in sorted(
+            worst, key=lambda n: -(n["strength"] or 0.0)
+        )[:5]:
+            print(
+                f"  last-hazard node {n['node_id']}: {n['hazard']} "
+                f"(strength {n['strength']:.2f})"
+            )
+    return 0
 
 
 def _cmd_model_info(args: argparse.Namespace) -> int:
@@ -1029,7 +1108,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--refit-min-states", type=int, default=32, metavar="N",
                    help="minimum retained exception states before a "
                         "scheduled refit is attempted")
+    p.add_argument("--dashboard", action="store_true",
+                   help="serve the live dashboard: GET /dashboard (HTML), "
+                        "/api/topology, /api/series and the "
+                        "/api/incidents/stream SSE feed")
+    p.add_argument("--dashboard-queue", type=int, default=256,
+                   metavar="FRAMES",
+                   help="SSE frames buffered per dashboard client; a "
+                        "client that falls this far behind is evicted so "
+                        "it can never backpressure ingest")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "dashboard",
+        help="fetch a running sink's /api/topology and print a terminal "
+             "summary (the browser view lives at http://host:port/dashboard)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--http-port", type=int, default=7434,
+                   help="the sink's operator HTTP port")
+    p.add_argument("--deployment", default=None,
+                   help="limit the view to one deployment")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw /api/topology JSON document")
+    p.add_argument("--timeout", type=float, default=10.0, metavar="SECONDS")
+    p.set_defaults(func=_cmd_dashboard)
 
     p = sub.add_parser(
         "model",

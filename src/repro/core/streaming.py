@@ -14,8 +14,10 @@ of the paper's Fig 1 run packet by packet instead of trace by trace:
    whose open/update/close :class:`~repro.core.incidents.IncidentEvent`
    records are what ``vn2 watch`` prints.
 
-Memory is bounded: one cached report per node, O(metrics) screening
-statistics, and the open incidents — nothing grows with trace length.
+Memory is bounded: one cached report per node, one small health summary
+per node (:meth:`StreamingDiagnosisSession.node_summaries` — the
+dashboard's topology feed), O(metrics) screening statistics, and the
+open incidents — nothing grows with trace length.
 Closed incidents accumulate in ``tracker.incidents`` by default (so batch
 replays stay bit-identical); pass ``max_closed_incidents`` to cap that
 retention for unbounded runs (the sink service does).
@@ -47,6 +49,7 @@ from typing import (
 import numpy as np
 
 from repro.obs import LATENCY_BUCKETS, MetricsRegistry, get_registry
+from repro.metrics.catalog import METRIC_INDEX
 from repro.core.exceptions import StreamingExceptionDetector
 from repro.core.incidents import (
     IncidentEvent,
@@ -71,6 +74,13 @@ from repro.traces.records import SnapshotRow, Trace
 
 #: One report packet: (node_id, epoch, generated_at, values).
 Packet = Tuple[int, int, float, np.ndarray]
+
+#: Raw catalog metrics captured into per-node summaries — the dashboard's
+#: topology/health feed: routing position (hop count), path quality,
+#: energy, and neighbor-table degree.
+SUMMARY_METRICS = ("path_length", "path_etx", "voltage", "neighbor_num")
+_SUMMARY_KEYS = ("hop", "path_etx", "voltage", "neighbors")
+_SUMMARY_IDX = tuple(METRIC_INDEX[name] for name in SUMMARY_METRICS)
 
 
 def iter_packets(
@@ -326,6 +336,9 @@ class StreamingDiagnosisSession:
             else None
         )
         self._drift: "deque[float]" = deque(maxlen=drift_window)
+        #: node_id -> small plain dict of last-packet/last-state facts —
+        #: O(nodes), no frames or arrays retained (the dashboard's feed).
+        self._node_summaries: Dict[int, dict] = {}
         self._bind_model(tool)
         self.n_exceptions = 0
         self._finished = False
@@ -397,6 +410,45 @@ class StreamingDiagnosisSession:
             "incidents_evicted": tracker.n_evicted,
         }
 
+    def _summary(self, node_id: int) -> dict:
+        summary = self._node_summaries.get(node_id)
+        if summary is None:
+            summary = self._node_summaries[node_id] = {
+                "node_id": int(node_id),
+                "epoch": None,
+                "last_seen": None,
+                "hop": None,
+                "path_etx": None,
+                "voltage": None,
+                "neighbors": None,
+                "packets": 0,
+                "states": 0,
+                "score": None,
+                "exception": False,
+                "hazard": None,
+                "family": None,
+                "strength": None,
+            }
+        return summary
+
+    def node_summaries(self) -> List[dict]:
+        """Per-node last-packet/health summaries, in node-id order.
+
+        Each entry is a small plain dict — last epoch and arrival time,
+        the raw routing/energy metrics of :data:`SUMMARY_METRICS` (as
+        ``hop``/``path_etx``/``voltage``/``neighbors``), packet/state
+        counts, and the last exception screen outcome (``score``,
+        ``exception``, top ``hazard``/``family``/``strength``).  O(nodes)
+        and frame-free by construction, so it is safe to ship over the
+        cluster's worker pipes or serialize as JSON after every packet:
+        this is what ``GET /api/topology`` renders.  Summaries survive
+        :meth:`set_model` (they are positional state, like the tracker).
+        """
+        return [
+            dict(self._node_summaries[node_id])
+            for node_id in sorted(self._node_summaries)
+        ]
+
     def push_packet(
         self,
         node_id: int,
@@ -405,6 +457,12 @@ class StreamingDiagnosisSession:
         values: np.ndarray,
     ) -> Optional[StreamUpdate]:
         """Ingest one report packet; return the update it completed, if any."""
+        summary = self._summary(node_id)
+        summary["epoch"] = int(epoch)
+        summary["last_seen"] = float(generated_at)
+        summary["packets"] += 1
+        for key, idx in zip(_SUMMARY_KEYS, _SUMMARY_IDX):
+            summary[key] = float(values[idx])
         if not self._obs_on:
             state = self.builder.push(node_id, epoch, generated_at, values)
             if state is None:
@@ -429,6 +487,10 @@ class StreamingDiagnosisSession:
             score = self._fallback.score(state.values)
             self._fallback.update(state.values)
             flagged = True
+        summary = self._summary(state.node_id)
+        summary["states"] += 1
+        summary["score"] = None if score is None else float(score)
+        summary["exception"] = bool(flagged)
         if not flagged:
             return StreamUpdate(
                 state=state,
@@ -475,6 +537,12 @@ class StreamingDiagnosisSession:
             retention=self.retention,
             weights=sparse,
         )
+        if observations:
+            top = max(observations, key=lambda o: o.strength)
+            summary["hazard"] = top.hazard
+            summary["strength"] = float(top.strength)
+        if report.primary is not None:
+            summary["family"] = report.primary.label.family
         events = [e for obs in observations for e in self.tracker.add(obs)]
         if observations:
             self._m_observations.inc(len(observations))

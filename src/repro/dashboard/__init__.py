@@ -1,0 +1,33 @@
+"""Dependency-free live dashboard served by the diagnosis sink.
+
+The dashboard is a read-only observer assembled entirely from surfaces
+the service already exposes: per-node summaries from the streaming
+sessions, the incident tracker documents, the fitted model's Ψ
+interpretation, and the subscribe-protocol event feed.  It adds zero
+coupling into the diagnosis path — the SSE hub is just another
+subscriber, and a stalled browser is evicted rather than ever
+backpressuring ingest (:mod:`repro.dashboard.sse`).
+
+Enable it with ``vn2 serve --dashboard`` and open ``/dashboard``; see
+``docs/dashboard.md`` for the endpoint contracts.
+"""
+
+from repro.dashboard.sse import DashboardHub, SSEClient, format_sse
+from repro.dashboard.topology import (
+    assemble_topology,
+    infer_edges,
+    model_doc,
+    validate_stream_event,
+    validate_topology_doc,
+)
+
+__all__ = [
+    "DashboardHub",
+    "SSEClient",
+    "assemble_topology",
+    "format_sse",
+    "infer_edges",
+    "model_doc",
+    "validate_stream_event",
+    "validate_topology_doc",
+]

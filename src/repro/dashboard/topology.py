@@ -1,0 +1,282 @@
+"""Topology assembly for the live dashboard.
+
+The sink's visible surface is built from three existing feeds — per-node
+summaries (:meth:`~repro.core.streaming.StreamingDiagnosisSession.node_summaries`),
+the incident tracker's open/closed documents, and the fitted model's Ψ
+interpretation — stitched here into the ``GET /api/topology`` payload.
+
+The 43-metric catalog carries no explicit parent pointer, but it does
+carry each node's hop count (``path_length``) and path ETX, and the sink
+may know static node positions.  :func:`infer_edges` reconstructs a
+plausible collection tree the way the paper's operators read one: every
+node at hop *h* links to the "nearest" node at hop *h-1* — nearest by
+Euclidean position when positions are configured, else the parent
+candidate whose own path ETX is closest to the child's minus one (the
+expected one-hop ETX gap).  The inference is deterministic (ties break
+on node id) and cheap: O(nodes at h × nodes at h-1) per hop ring, on
+dicts that are already O(nodes).
+
+The validators at the bottom are the documented JSON contract of
+``/api/topology`` and ``/api/incidents/stream`` (see
+``docs/dashboard.md``); tests and the CI dashboard smoke job run every
+served payload through them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from repro.metrics.catalog import METRIC_NAMES
+
+__all__ = [
+    "assemble_topology",
+    "infer_edges",
+    "model_doc",
+    "validate_stream_event",
+    "validate_topology_doc",
+]
+
+#: Keys every per-node summary entry must carry (the streaming session's
+#: contract; the validator checks them on served payloads).
+NODE_KEYS = (
+    "node_id", "epoch", "last_seen", "hop", "path_etx", "voltage",
+    "neighbors", "packets", "states", "score", "exception", "hazard",
+    "family", "strength",
+)
+
+#: Keys of one incident object (:func:`repro.service.protocol.incident_obj`).
+INCIDENT_KEYS = (
+    "hazard", "node_ids", "start", "end", "peak_strength",
+    "total_strength", "n_observations",
+)
+
+
+def _finite(value) -> Optional[float]:
+    if isinstance(value, (int, float)) and math.isfinite(value):
+        return float(value)
+    return None
+
+
+def infer_edges(
+    nodes: List[dict],
+    positions: Optional[Dict[int, tuple]] = None,
+) -> List[dict]:
+    """Infer collection-tree edges from per-node hop counts.
+
+    Returns ``{"from": child, "to": parent, "etx": child path ETX}``
+    dicts, children in node-id order.  Nodes without a finite hop (never
+    reported ``path_length``) and hop-ring gaps (no candidates at
+    ``h-1``) simply contribute no edge — the dashboard renders them as
+    unattached, which is itself a visibility signal.
+    """
+    by_hop: Dict[int, List[dict]] = {}
+    for node in nodes:
+        hop = _finite(node.get("hop"))
+        if hop is None:
+            continue
+        by_hop.setdefault(int(round(hop)), []).append(node)
+    edges: List[dict] = []
+    for hop in sorted(by_hop):
+        parents = by_hop.get(hop - 1)
+        if hop <= 0 or not parents:
+            continue
+        for node in sorted(by_hop[hop], key=lambda n: n["node_id"]):
+            parent = _closest_parent(node, parents, positions)
+            if parent is not None:
+                edges.append({
+                    "from": int(node["node_id"]),
+                    "to": int(parent["node_id"]),
+                    "etx": _finite(node.get("path_etx")),
+                })
+    return edges
+
+
+def _closest_parent(node, parents, positions) -> Optional[dict]:
+    def _distance(parent) -> float:
+        if positions:
+            mine = positions.get(node["node_id"])
+            theirs = positions.get(parent["node_id"])
+            if mine is not None and theirs is not None:
+                return math.hypot(
+                    float(mine[0]) - float(theirs[0]),
+                    float(mine[1]) - float(theirs[1]),
+                )
+        # No geometry: the parent whose own path ETX best explains this
+        # child's (child ≈ parent + one hop) is the likeliest relay.
+        child_etx = _finite(node.get("path_etx"))
+        parent_etx = _finite(parent.get("path_etx"))
+        if child_etx is None or parent_etx is None:
+            return float("inf")
+        return abs(child_etx - 1.0 - parent_etx)
+
+    best = min(
+        parents, key=lambda p: (_distance(p), int(p["node_id"])), default=None
+    )
+    return best
+
+
+def assemble_topology(
+    nodes: List[dict],
+    incidents: Optional[dict] = None,
+    positions: Optional[Dict[int, tuple]] = None,
+) -> dict:
+    """One deployment's topology panel: nodes + inferred edges + incidents.
+
+    ``nodes`` is a session's :meth:`node_summaries` list; ``incidents``
+    the deployment's tracker document (``{"open": [...], ...}``).  Known
+    positions are stamped onto nodes as ``x``/``y`` so the page can lay
+    the tree out geographically; without them it falls back to hop rings.
+    """
+    incidents = incidents or {}
+    doc_nodes = []
+    for node in sorted(nodes, key=lambda n: n["node_id"]):
+        entry = dict(node)
+        position = (positions or {}).get(node["node_id"])
+        if position is not None:
+            entry["x"] = float(position[0])
+            entry["y"] = float(position[1])
+        doc_nodes.append(entry)
+    return {
+        "nodes": doc_nodes,
+        "edges": infer_edges(nodes, positions),
+        "incidents_open": list(incidents.get("open") or []),
+        "incidents_closed_total": int(incidents.get("closed_total") or 0),
+        "incidents_evicted": int(incidents.get("evicted") or 0),
+    }
+
+
+def model_doc(tool) -> dict:
+    """The serving model's Ψ signatures, for the heatmap panel.
+
+    One entry per component: its interpreted family/hazards/explanation
+    (:class:`~repro.core.interpretation.RootCauseLabel`) and the raw Ψ
+    row over the 43 catalog metrics.  The page matches an incident's
+    hazard to the components that score it to render the exception
+    signature behind each open incident.
+    """
+    psi = tool.nmf_.Psi
+    return {
+        "version": tool.model_version,
+        "rank": int(psi.shape[0]),
+        "metric_names": list(METRIC_NAMES),
+        "components": [
+            {
+                "index": int(label.index),
+                "family": label.family,
+                "hazards": [
+                    [name, float(score)] for name, score in label.hazards
+                ],
+                "explanation": label.explanation,
+                "is_baseline": bool(label.is_baseline),
+                "psi": [float(v) for v in psi[int(label.index)]],
+            }
+            for label in tool.labels
+        ],
+    }
+
+
+# --------------------------------------------------------------------------
+# payload validation (the documented JSON contract; tests + CI smoke)
+# --------------------------------------------------------------------------
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(message)
+
+
+def _check_incident(obj, where: str) -> None:
+    _require(isinstance(obj, dict), f"{where}: incident must be an object")
+    for key in INCIDENT_KEYS:
+        _require(key in obj, f"{where}: incident missing {key!r}")
+    _require(
+        isinstance(obj["node_ids"], list) and obj["node_ids"],
+        f"{where}: incident node_ids must be a non-empty list",
+    )
+
+
+def validate_topology_doc(doc) -> int:
+    """Structurally validate a ``GET /api/topology`` payload.
+
+    Returns the total node count across deployments; raises
+    ``ValueError`` on the first contract violation.
+    """
+    _require(isinstance(doc, dict), "topology doc must be an object")
+    for key in ("ts", "server", "deployments", "model"):
+        _require(key in doc, f"topology doc missing {key!r}")
+    server = doc["server"]
+    _require(isinstance(server, dict), "server section must be an object")
+    for key in ("backend", "model_version", "uptime_s"):
+        _require(key in server, f"server section missing {key!r}")
+    model = doc["model"]
+    _require(isinstance(model, dict), "model section must be an object")
+    _require(
+        isinstance(model.get("components"), list) and model["components"],
+        "model section must list components",
+    )
+    _require(
+        model.get("metric_names") == list(METRIC_NAMES),
+        "model metric_names must be the 43-metric catalog",
+    )
+    width = len(METRIC_NAMES)
+    for component in model["components"]:
+        _require(
+            isinstance(component.get("psi"), list)
+            and len(component["psi"]) == width,
+            f"component psi must have {width} entries",
+        )
+    _require(
+        isinstance(doc["deployments"], dict),
+        "deployments section must be an object",
+    )
+    n_nodes = 0
+    for name, deployment in doc["deployments"].items():
+        where = f"deployment {name!r}"
+        _require(isinstance(deployment, dict), f"{where} must be an object")
+        for key in ("nodes", "edges", "incidents_open"):
+            _require(key in deployment, f"{where} missing {key!r}")
+        node_ids = set()
+        for node in deployment["nodes"]:
+            _require(isinstance(node, dict), f"{where}: node must be an object")
+            for key in NODE_KEYS:
+                _require(key in node, f"{where}: node missing {key!r}")
+            node_ids.add(node["node_id"])
+        n_nodes += len(node_ids)
+        for edge in deployment["edges"]:
+            _require(
+                edge.get("from") in node_ids and edge.get("to") in node_ids,
+                f"{where}: edge endpoints must be known nodes",
+            )
+        for incident in deployment["incidents_open"]:
+            _check_incident(incident, where)
+    return n_nodes
+
+
+def validate_stream_event(obj) -> str:
+    """Structurally validate one ``/api/incidents/stream`` data payload.
+
+    Returns the payload's type (``hello`` or ``event``); raises
+    ``ValueError`` on violation.  ``event`` payloads are the verbatim
+    subscribe-protocol messages, so the nested ``event`` object is the
+    exact shape ``vn2 watch --output`` writes.
+    """
+    _require(isinstance(obj, dict), "stream payload must be an object")
+    kind = obj.get("type")
+    if kind == "hello":
+        _require(
+            isinstance(obj.get("deployments"), list),
+            "hello payload must list deployments",
+        )
+        return "hello"
+    _require(kind == "event", f"unknown stream payload type {kind!r}")
+    _require(
+        isinstance(obj.get("deployment"), str) and obj["deployment"],
+        "event payload missing deployment",
+    )
+    event = obj.get("event")
+    _require(isinstance(event, dict), "event payload missing event object")
+    for key in ("kind", "incident_id", "time"):
+        _require(key in event, f"event object missing {key!r}")
+    _check_incident(event, f"event {event.get('incident_id')!r}")
+    return "event"

@@ -351,12 +351,19 @@ class MetricsRegistry:
                 metric = cls(name, help=help, labels=items, **kwargs)
                 self._metrics[key] = metric
                 self._kinds[name] = cls.kind
-                self._helps.setdefault(name, help)
             elif metric.kind != cls.kind:
                 raise ValueError(
                     f"metric {name!r} already registered as {metric.kind}, "
                     f"requested {cls.kind}"
                 )
+            # Help text is per *name*: the first non-empty string wins,
+            # but a later registration may backfill an empty one (merge
+            # paths can register a name before the instrumented code
+            # does), so HELP coverage never depends on registration order.
+            if help and not self._helps.get(name):
+                self._helps[name] = help
+            else:
+                self._helps.setdefault(name, help)
         return metric
 
     def counter(
@@ -589,16 +596,21 @@ _LABEL_PAIR_RE = re.compile(
 )
 
 
-def validate_exposition(text: str) -> int:
+def validate_exposition(text: str, require_help: bool = False) -> int:
     """Syntax-check Prometheus text exposition; returns the sample count.
 
     Raises ``ValueError`` on the first malformed line.  This is a strict
     line-grammar check (HELP/TYPE comments, sample lines with optional
     labels and timestamps, numeric values incl. ``+Inf``/``NaN``), not a
     full semantic validation.
+
+    With ``require_help=True``, additionally require every ``# TYPE``'d
+    metric to carry a ``# HELP`` line with a non-empty description — the
+    repo-wide exposition contract (CI scrapes are checked with it).
     """
     n_samples = 0
     typed: Dict[str, str] = {}
+    helped: Dict[str, str] = {}
     for lineno, line in enumerate(text.splitlines(), start=1):
         if not line.strip():
             continue
@@ -618,6 +630,8 @@ def validate_exposition(text: str) -> int:
                             f"line {lineno}: unknown metric type {kind!r}"
                         )
                     typed[parts[2]] = kind
+                else:
+                    helped[parts[2]] = parts[3] if len(parts) > 3 else ""
             continue
         match = _SAMPLE_RE.match(line)
         if not match:
@@ -640,6 +654,14 @@ def validate_exposition(text: str) -> int:
         n_samples += 1
     if n_samples == 0:
         raise ValueError("no samples in exposition")
+    if require_help:
+        missing = sorted(
+            name for name in typed if not helped.get(name, "").strip()
+        )
+        if missing:
+            raise ValueError(
+                f"metrics missing a # HELP description: {', '.join(missing)}"
+            )
     return n_samples
 
 

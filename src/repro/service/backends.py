@@ -208,7 +208,24 @@ class ShardBackend:
     async def prometheus_text(self) -> str:
         raise NotImplementedError
 
+    async def registry_snapshot(self) -> dict:
+        """The registry's JSON snapshot, merged across all processes
+        (``GET /api/series`` — the dashboard's sparkline feed)."""
+        raise NotImplementedError
+
     async def incidents_doc(self, deployment: Optional[str] = None) -> dict:
+        raise NotImplementedError
+
+    async def node_summaries_doc(
+        self, deployment: Optional[str] = None
+    ) -> Dict[str, list]:
+        """Deployment → per-node summary list (the ``/api/topology`` feed).
+
+        Summaries come from each live session's
+        :meth:`~repro.core.streaming.StreamingDiagnosisSession.node_summaries`;
+        in cluster mode one deployment lives on exactly one worker, so
+        merging per-worker answers never collides.
+        """
         raise NotImplementedError
 
     def describe(self) -> dict:
@@ -246,6 +263,7 @@ class InprocBackend(ShardBackend):
             shard = self.shards[deployment] = DeploymentShard(
                 deployment, self.service
             )
+            self.service._deployment_materialized(deployment)
         return shard
 
     def try_enqueue(self, deployment: str, packets, now: float) -> Tuple[bool, int]:
@@ -309,6 +327,9 @@ class InprocBackend(ShardBackend):
     async def prometheus_text(self) -> str:
         return self.service.registry.to_prometheus()
 
+    async def registry_snapshot(self) -> dict:
+        return self.service.registry.snapshot()
+
     async def incidents_doc(self, deployment: Optional[str] = None) -> dict:
         names = (
             [deployment] if deployment is not None else sorted(self.shards)
@@ -319,6 +340,19 @@ class InprocBackend(ShardBackend):
             if shard is None:
                 continue
             out[name] = _tracker_doc(shard.session.tracker)
+        return out
+
+    async def node_summaries_doc(
+        self, deployment: Optional[str] = None
+    ) -> Dict[str, list]:
+        names = (
+            [deployment] if deployment is not None else sorted(self.shards)
+        )
+        out = {}
+        for name in names:
+            shard = self.shards.get(name)
+            if shard is not None:
+                out[name] = shard.session.node_summaries()
         return out
 
     def describe(self) -> dict:
@@ -542,6 +576,7 @@ class ProcessPoolBackend(ShardBackend):
                     route.worker_id,
                     protocol.assign(deployment, route.worker_id),
                 )
+            self.service._deployment_materialized(deployment)
         return route
 
     def try_enqueue(self, deployment: str, packets, now: float) -> Tuple[bool, int]:
@@ -639,7 +674,9 @@ class ProcessPoolBackend(ShardBackend):
                 )
             if not info["bye"].done():
                 info["bye"].set_result(True)
-        elif mtype in ("w_metrics", "w_incidents", "w_model", "w_states"):
+        elif mtype in (
+            "w_metrics", "w_incidents", "w_model", "w_states", "w_topology"
+        ):
             if mtype == "w_metrics":
                 self._dumps[worker_id] = message.get("dump") or {}
                 for shard in message.get("shards") or []:
@@ -775,6 +812,35 @@ class ProcessPoolBackend(ShardBackend):
             [self.service.registry.dump()] + list(self._dumps.values())
         )
         return merged.to_prometheus()
+
+    async def registry_snapshot(self) -> dict:
+        await self.refresh()
+        merged = merge_dumps(
+            [self.service.registry.dump()] + list(self._dumps.values())
+        )
+        return merged.snapshot()
+
+    async def node_summaries_doc(
+        self, deployment: Optional[str] = None, timeout: float = 5.0
+    ) -> Dict[str, list]:
+        alive = [
+            wid for wid, info in self._workers.items() if info["alive"]
+        ]
+        if not alive:
+            return {}
+        req, request = self._begin_request(alive)
+        try:
+            for worker_id in alive:
+                self.pool.send(
+                    worker_id, protocol.topology_query(req, deployment)
+                )
+            replies = await self._gather(request, timeout)
+        finally:
+            self._requests.pop(req, None)
+        out: Dict[str, list] = {}
+        for reply in replies.values():
+            out.update(reply.get("nodes") or {})
+        return dict(sorted(out.items()))
 
     async def incidents_doc(
         self, deployment: Optional[str] = None, timeout: float = 5.0

@@ -305,6 +305,7 @@ WORKER_DOWN_TYPES = (
     "incidents_query", # request the incidents document
     "model_update",    # rotate every session to a new fitted model
     "states_query",    # request retained exception states + drift scores
+    "topology_query",  # request per-node summaries (dashboard topology)
 )
 
 #: Worker → front door message types.
@@ -317,6 +318,7 @@ WORKER_UP_TYPES = (
     "w_incidents",  # answer to incidents_query
     "w_model",      # answer to model_update: per-shard rotation boundaries
     "w_states",     # answer to states_query
+    "w_topology",   # answer to topology_query
     "w_bye",        # answer to drain_all: final registry dump + spans
     "w_error",      # worker-side failure (shard kept alive if possible)
 )
@@ -384,6 +386,11 @@ def states_query(req: int) -> dict:
     return {"v": PROTOCOL_VERSION, "type": "states_query", "req": req}
 
 
+def topology_query(req: int, deployment: Optional[str] = None) -> dict:
+    return {"v": PROTOCOL_VERSION, "type": "topology_query", "req": req,
+            "deployment": deployment}
+
+
 def worker_hello(worker: str, pid: int) -> dict:
     return {"v": PROTOCOL_VERSION, "type": "w_hello",
             "worker": worker, "pid": pid}
@@ -440,6 +447,13 @@ def worker_states(req: int, worker: str, states: dict, drift: dict) -> dict:
     ``drift`` maps deployment → the session's drift score."""
     return {"v": PROTOCOL_VERSION, "type": "w_states", "req": req,
             "worker": worker, "states": states, "drift": drift}
+
+
+def worker_topology(req: int, worker: str, nodes: dict) -> dict:
+    """``nodes`` maps deployment → list of per-node summary dicts from
+    :meth:`~repro.core.streaming.StreamingDiagnosisSession.node_summaries`."""
+    return {"v": PROTOCOL_VERSION, "type": "w_topology", "req": req,
+            "worker": worker, "nodes": nodes}
 
 
 def worker_bye(worker: str, dump: dict, spans: Optional[list] = None) -> dict:

@@ -100,6 +100,14 @@ class ServiceConfig:
             every period that has enough retained states.
         refit_min_states: Minimum retained exception states before a
             (non-forced) refit is attempted.
+        dashboard: Serve the live dashboard (``GET /dashboard``,
+            ``/api/topology``, ``/api/series``, ``/api/incidents/stream``).
+            Off by default: when disabled those routes 404 and zero
+            dashboard code runs.
+        dashboard_queue: SSE frames buffered per dashboard client before
+            the slow consumer is evicted (see :mod:`repro.dashboard.sse`).
+        dashboard_keepalive_s: Idle seconds between SSE keepalive
+            comments (holds proxies/browsers open through quiet spells).
     """
 
     host: str = "127.0.0.1"
@@ -123,6 +131,9 @@ class ServiceConfig:
     refit_every_s: Optional[float] = None
     drift_threshold: Optional[float] = None
     refit_min_states: int = 32
+    dashboard: bool = False
+    dashboard_queue: int = 256
+    dashboard_keepalive_s: float = 15.0
 
     def __post_init__(self):
         if self.queue_size < 1:
@@ -159,6 +170,15 @@ class ServiceConfig:
         if self.refit_min_states < 1:
             raise ValueError(
                 f"refit_min_states must be >= 1, got {self.refit_min_states}"
+            )
+        if self.dashboard_queue < 1:
+            raise ValueError(
+                f"dashboard_queue must be >= 1, got {self.dashboard_queue}"
+            )
+        if self.dashboard_keepalive_s <= 0:
+            raise ValueError(
+                "dashboard_keepalive_s must be > 0, "
+                f"got {self.dashboard_keepalive_s}"
             )
         if (
             self.keep_exception_states == 0
@@ -377,6 +397,16 @@ class DiagnosisService:
         self.backend = make_backend(self)
         #: Online model lifecycle: drift-triggered refits + rotation.
         self.models = ModelManager(self)
+        #: SSE fan-out for the live dashboard; ``None`` when disabled —
+        #: the dashboard is a pure observer riding the subscribe
+        #: protocol, so turning it off removes every trace of it.
+        self.dashboard = None
+        if self.config.dashboard:
+            from repro.dashboard.sse import DashboardHub
+
+            self.dashboard = DashboardHub(
+                self, max_queue=self.config.dashboard_queue
+            )
         _service_ref = weakref.ref(self)
         self.registry.gauge(
             "repro_service_deployments",
@@ -433,6 +463,8 @@ class DiagnosisService:
         self.port = self._tcp_server.sockets[0].getsockname()[1]
         self.http_port = self._http_server.sockets[0].getsockname()[1]
         await self.models.start()
+        if self.dashboard is not None:
+            await self.dashboard.start()
         self._started_at = time.monotonic()
 
     async def stop(self, drain: bool = True) -> None:
@@ -443,6 +475,11 @@ class DiagnosisService:
             return
         self._stopping = True
         await self.models.stop()
+        if self.dashboard is not None:
+            # Abort SSE clients first: on 3.12+ ``wait_closed`` below
+            # waits for handlers, and a handler blocked writing to a
+            # dead browser would stall shutdown.
+            await self.dashboard.stop()
         for server in (self._tcp_server, self._http_server):
             if server is not None:
                 server.close()
@@ -462,6 +499,12 @@ class DiagnosisService:
             stop_event = asyncio.Event()
         await stop_event.wait()
         await self.stop(drain=True)
+
+    def _deployment_materialized(self, deployment: str) -> None:
+        """Backend hook: a new shard/route exists.  Lets the dashboard
+        hub subscribe before the deployment's first events publish."""
+        if self.dashboard is not None:
+            self.dashboard.on_deployment(deployment)
 
     def shard(self, deployment: str) -> DeploymentShard:
         """The inproc shard for a deployment, created on first use.
@@ -587,13 +630,55 @@ class DiagnosisService:
         import repro
 
         described = self.backend.describe()
+        uptime = (
+            None if self._started_at is None
+            else round(time.monotonic() - self._started_at, 3)
+        )
         return {
             "status": "draining" if self._stopping else "ok",
             "version": repro.__version__,
             "model_version": self.tool.model_version,
+            "uptime_s": uptime,
             "deployments": len(self.backend.deployments()),
             "backend": described["backend"],
             "workers": described["workers"],
+            "dashboard": self.dashboard is not None,
+        }
+
+    async def topology_doc(self, deployment: Optional[str] = None) -> dict:
+        """The ``GET /api/topology`` document (cluster-aware).
+
+        Per-node summaries and incident docs come from the backend —
+        inproc reads its shards directly; the pool queries every worker
+        over the pipes and merges (one deployment lives on exactly one
+        worker, so the merge never collides).  Shape is validated by
+        :func:`repro.dashboard.topology.validate_topology_doc`.
+        """
+        from repro.dashboard.topology import assemble_topology, model_doc
+
+        nodes = await self.backend.node_summaries_doc(deployment)
+        incidents = await self.backend.incidents_doc(deployment)
+        deployments = {
+            name: assemble_topology(
+                nodes.get(name, []),
+                incidents.get(name),
+                self.config.positions,
+            )
+            for name in sorted(set(nodes) | set(incidents))
+        }
+        uptime = (
+            None if self._started_at is None
+            else round(time.monotonic() - self._started_at, 3)
+        )
+        return {
+            "ts": time.time(),
+            "server": {
+                "backend": self.backend.name,
+                "model_version": self.tool.model_version,
+                "uptime_s": uptime,
+            },
+            "deployments": deployments,
+            "model": model_doc(self.tool),
         }
 
     async def _handle_http(self, reader, writer) -> None:
@@ -661,6 +746,36 @@ class DiagnosisService:
                     params.get("deployment")
                 )
                 self._http_reply(writer, 200, {"deployments": doc})
+            elif path in (
+                "/dashboard", "/api/topology", "/api/series",
+                "/api/incidents/stream",
+            ):
+                if self.dashboard is None:
+                    self._http_reply(writer, 404, {
+                        "error": "dashboard disabled; start the sink with "
+                        "vn2 serve --dashboard "
+                        "(ServiceConfig(dashboard=True))",
+                    })
+                elif path == "/dashboard":
+                    self._http_reply_raw(
+                        writer, 200, _dashboard_page(),
+                        "text/html; charset=utf-8",
+                    )
+                elif path == "/api/topology":
+                    doc = await self.topology_doc(
+                        params.get("deployment") or None
+                    )
+                    self._http_reply(writer, 200, doc)
+                elif path == "/api/series":
+                    self._http_reply(writer, 200, {
+                        "ts": time.time(),
+                        "metrics": await self.backend.registry_snapshot(),
+                    })
+                else:
+                    # The one streaming route: _serve_sse owns the socket
+                    # until the client goes away (or is evicted).
+                    await self._serve_sse(writer, params)
+                    return
             else:
                 self._http_reply(writer, 404, {"error": f"no route {path}"})
             await writer.drain()
@@ -674,6 +789,69 @@ class DiagnosisService:
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
+
+    async def _serve_sse(self, writer, params) -> None:
+        """``GET /api/incidents/stream``: the dashboard's live feed.
+
+        Attaches one bounded-queue client to the hub and pumps frames
+        until the browser disconnects or the hub closes the client
+        (slow-consumer eviction aborts the transport, which surfaces
+        here as a connection error).  Data payloads are the verbatim
+        subscribe-protocol event messages — byte-identical JSON to what
+        a TCP subscriber (``vn2 watch``) receives.
+        """
+        import socket as _socket
+
+        from repro.dashboard.sse import SSE_BUFFER_BYTES, format_sse
+
+        # Keep a stalled browser's backlog in the hub's *bounded* client
+        # queue — where eviction is defined — rather than in elastic
+        # transport/kernel buffers that would hide the stall for
+        # hundreds of KB.  SSE frames are a few hundred bytes; these
+        # limits are generous for any client that actually reads.
+        writer.transport.set_write_buffer_limits(high=SSE_BUFFER_BYTES)
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            try:
+                sock.setsockopt(
+                    _socket.SOL_SOCKET, _socket.SO_SNDBUF, SSE_BUFFER_BYTES
+                )
+            except OSError:  # pragma: no cover - exotic transports
+                pass
+        client = self.dashboard.attach(
+            params.get("deployment") or None,
+            on_close=writer.transport.abort,
+        )
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: text/event-stream\r\n"
+            "Cache-Control: no-cache\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1"))
+        writer.write(format_sse(
+            {
+                "type": "hello",
+                "deployments": sorted(self.backend.deployments()),
+                "model_version": self.tool.model_version,
+            },
+            event="hello",
+            retry_ms=2000,
+        ))
+        try:
+            await writer.drain()
+            while True:
+                frame = await client.next_frame(
+                    self.config.dashboard_keepalive_s
+                )
+                if frame is None:
+                    break  # hub closed this client (eviction/shutdown)
+                writer.write(frame)
+                await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            self.dashboard.detach(client)
 
     async def _model_post(self, body) -> Tuple[dict, int]:
         """``POST /model``: rotate to a saved model, or force a refit.
@@ -740,6 +918,15 @@ class DiagnosisService:
             f"Connection: close\r\n\r\n"
         )
         writer.write(head.encode("latin-1") + payload)
+
+
+def _dashboard_page() -> bytes:
+    """The single-file dashboard page, shipped as package data."""
+    from importlib.resources import files
+
+    return (
+        files("repro.dashboard").joinpath("static/index.html").read_bytes()
+    )
 
 
 # --------------------------------------------------------------------------

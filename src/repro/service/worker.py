@@ -164,6 +164,16 @@ class ShardWorker:
             }
         return protocol.worker_incidents(msg["req"], self.worker_id, out)
 
+    def handle_topology_query(self, msg: dict) -> dict:
+        target = msg.get("deployment")
+        names = [target] if target is not None else sorted(self.sessions)
+        nodes = {}
+        for name in names:
+            session = self.sessions.get(name)
+            if session is not None:
+                nodes[name] = session.node_summaries()
+        return protocol.worker_topology(msg["req"], self.worker_id, nodes)
+
     def handle_model_update(self, msg: dict) -> dict:
         """Rotate every live session to the new model, atomically.
 
@@ -239,6 +249,8 @@ def worker_main(conn, worker_id: str, tool, options: Optional[dict] = None) -> N
                     conn.send(state.handle_model_update(msg))
                 elif mtype == "states_query":
                     conn.send(state.handle_states_query(msg))
+                elif mtype == "topology_query":
+                    conn.send(state.handle_topology_query(msg))
                 else:  # an "up" type arriving downstream = version drift
                     raise protocol.ProtocolError(
                         "bad_type", f"unexpected downstream {mtype!r}"
